@@ -1,0 +1,41 @@
+// Fig. 4: periodic steady state of the free-running 3-stage ring oscillator.
+//
+// Reproduces: the normalized (1-periodic) PSS waveform of V(n1) (and the
+// other stage outputs), the oscillation frequency near 9.6 kHz, and the
+// output peak position dphi_peak within the cycle.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace phlogon;
+
+int main() {
+    bench::banner("Fig. 4", "PSS response of the free-running ring oscillator");
+
+    const auto& osc = bench::osc1n1p();
+    const auto& pss = osc.pss();
+    const auto& model = osc.model();
+
+    std::printf("shooting converged in %d iterations, residual %.2e\n", pss.shootIterations,
+                pss.shootResidual);
+    std::printf("f0 = %.4f kHz, period T0 = %.3f us\n", pss.f0 / 1e3, 1e6 * pss.period);
+    std::printf("output peak (raw waveform)  at dphi = %.3f cycles\n", model.waveformPeak());
+    std::printf("output peak (fundamental)   at dphi = %.3f cycles\n\n", model.dphiPeak());
+
+    bench::paperVsMeasured("oscillation frequency f0", "~9.6 kHz (C=4.7nF)",
+                           std::to_string(pss.f0 / 1e3) + " kHz");
+    bench::paperVsMeasured("dphi_peak of V(n1)", "~0.21 (their devices)",
+                           std::to_string(model.waveformPeak()));
+    std::printf("\n");
+
+    viz::Chart chart("Fig. 4 — PSS of the ring oscillator (one normalized period)",
+                     "t / T0 (cycles)", "node voltage [V]");
+    const std::size_t n = model.sampleCount();
+    num::Vec theta(n);
+    for (std::size_t i = 0; i < n; ++i) theta[i] = static_cast<double>(i) / n;
+    for (const char* node : {"osc.n1", "osc.n2", "osc.n3"})
+        chart.add(node, theta, model.xsSamples(model.indexOf(node)));
+    bench::showChart(chart, "fig04_pss");
+    return 0;
+}

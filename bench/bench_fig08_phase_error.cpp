@@ -1,0 +1,63 @@
+// Fig. 8: lock-phase error |dphi_i - dphi_ref_i| across the locking range.
+//
+// Paper shape: the error is zero at zero detuning (where the references are
+// defined) and grows toward the edges of the locking range, approaching a
+// quarter cycle at the boundary where the stable and unstable solutions
+// merge.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/gae_sweep.hpp"
+
+using namespace phlogon;
+
+int main() {
+    bench::banner("Fig. 8", "lock-phase error across the SHIL locking range");
+
+    const auto& osc = bench::osc1n1p();
+    const auto& model = osc.model();
+    const std::vector<core::Injection> inj{
+        core::Injection::tone(osc.outputUnknown(), bench::kSyncAmp, 2)};
+    const core::LockingRange range = core::lockingRange(model, inj);
+    std::printf("locking range at A = %.0f uA: [%.4f, %.4f] kHz (width %.1f Hz)\n\n",
+                bench::kSyncAmp * 1e6, range.fLow / 1e3, range.fHigh / 1e3, range.width());
+
+    num::Vec grid;
+    const std::size_t nPts = 41;
+    for (std::size_t i = 0; i < nPts; ++i)
+        grid.push_back(range.fLow + range.width() * (0.02 + 0.96 * static_cast<double>(i) /
+                                                                (nPts - 1)));
+    const auto pts = core::lockPhaseErrorSweep(model, inj, grid);
+
+    viz::Chart chart("Fig. 8 — |dphi - dphi_ref| within the locking range", "f1 (kHz)",
+                     "phase error (cycles)");
+    num::Vec x1, e1, x2, e2;
+    double maxErr = 0.0, errAtF0 = 1.0;
+    for (const auto& p : pts) {
+        for (std::size_t s = 0; s < p.errors.size() && s < 2; ++s) {
+            (s == 0 ? x1 : x2).push_back(p.f1 / 1e3);
+            (s == 0 ? e1 : e2).push_back(p.errors[s]);
+            maxErr = std::max(maxErr, p.errors[s]);
+            if (std::abs(p.f1 - model.f0()) < 0.02 * range.width())
+                errAtF0 = std::min(errAtF0, p.errors[s]);
+        }
+    }
+    chart.add("lock state 1", x1, e1);
+    chart.add("lock state 0", x2, e2);
+
+    std::printf("f1 [kHz] | err(state1) | err(state0)\n");
+    std::printf("---------+-------------+------------\n");
+    for (std::size_t i = 0; i < pts.size(); i += 4) {
+        if (pts[i].errors.size() >= 2)
+            std::printf("%8.4f | %11.4f | %11.4f\n", pts[i].f1 / 1e3, pts[i].errors[0],
+                        pts[i].errors[1]);
+    }
+    std::printf("\n");
+    bench::paperVsMeasured("error ~0 at band center, grows to band edge", "yes",
+                           "center " + std::to_string(errAtF0) + ", max " +
+                               std::to_string(maxErr));
+    std::printf("\n");
+    bench::showChart(chart, "fig08_phase_error");
+    return 0;
+}

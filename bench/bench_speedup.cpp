@@ -1,0 +1,129 @@
+// Efficiency claim (paper Secs. 2 and 4.2-4.3): phase-macromodel simulation
+// is far cheaper than SPICE-level transient for the same simulated time —
+// the scalar GAE replaces the oscillator's full DAE, and the full-system
+// phase co-simulation replaces the FSM's DAE.
+//
+// google-benchmark timings of the three levels for the same workload: the
+// D latch writing a bit over 40 reference cycles, and the serial adder over
+// one bit slot.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/dcop.hpp"
+#include "analysis/transient.hpp"
+#include "common.hpp"
+#include "core/gae_transient.hpp"
+#include "phlogon/encoding.hpp"
+#include "phlogon/serial_adder.hpp"
+
+using namespace phlogon;
+
+namespace {
+
+void BM_LatchSpiceTransient(benchmark::State& state) {
+    const auto& d = bench::design100();
+    ckt::Netlist nl;
+    logic::buildDLatchEnCircuit(nl, "dl", ckt::RingOscSpec{}, d.syncAmp, d.f1,
+                                logic::dataCurrentWaveform(d, 150e-6, {1}, 1.0),
+                                [](double) { return true; });
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    num::Vec x0 = dc.x;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+    an::TransientOptions opt;
+    opt.dt = 1.0 / (d.f1 * 300.0);
+    opt.storeEvery = 16;
+    for (auto _ : state) {
+        const auto r = an::transient(dae, x0, 0.0, 40.0 / d.f1, opt);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_LatchSpiceTransient)->Unit(benchmark::kMillisecond);
+
+void BM_LatchGaeTransient(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const std::vector<core::GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(150e-6, 1)}}};
+    for (auto _ : state) {
+        const auto r = core::gaeTransient(d.model, d.f1, sched, d.reference.phase0 + 0.02, 0.0,
+                                          40.0 / d.f1);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_LatchGaeTransient)->Unit(benchmark::kMillisecond);
+
+void BM_LatchPhaseSystem(benchmark::State& state) {
+    // Non-averaged phase ODE (eq. 13) — between GAE and SPICE in cost.
+    const auto& d = bench::design100();
+    core::PhaseSystem sys;
+    const auto latch = sys.addLatch(d.model, "lat");
+    const double f1 = d.f1, sa = d.syncAmp;
+    const auto sync = sys.addExternal(
+        [sa, f1](double t) { return sa * std::cos(4.0 * std::numbers::pi * f1 * t); });
+    sys.connect(latch, d.injUnknown, sync, 1.0);
+    const auto dSig = sys.addExternal(logic::dataSignal(d.reference, {1}, 1.0));
+    sys.connect(latch, d.injUnknown, dSig, 150e-6, d.signalCouplingShift());
+    for (auto _ : state) {
+        const auto r =
+            sys.simulate(f1, 0.0, 40.0 / f1, num::Vec{d.reference.phase0 + 0.02}, 64, 16);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_LatchPhaseSystem)->Unit(benchmark::kMillisecond);
+
+void BM_AdderPhaseSystemPerSlot(benchmark::State& state) {
+    const auto& osc = bench::osc1n1p();
+    static const auto design =
+        logic::designSyncLatch(osc.model(), osc.outputUnknown(), bench::kF1, 300e-6);
+    core::PhaseSystem sys;
+    const auto adder = logic::buildPhaseSerialAdder(sys, design, {0, 1}, {0, 1});
+    const num::Vec dphi0{design.reference.phase0 + 0.02, design.reference.phase0 + 0.02};
+    for (auto _ : state) {
+        const auto r = sys.simulate(design.f1, 0.0, adder.bitPeriod, dphi0, 64, 16);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_AdderPhaseSystemPerSlot)->Unit(benchmark::kMillisecond);
+
+void BM_AdderSpicePerSlot(benchmark::State& state) {
+    ckt::RingOscSpec spec;
+    ckt::RingOscSpec loaded = spec;
+    loaded.outputLoadsOhms = logic::serialAdderLatchLoads();
+    an::PssOptions popt = logic::RingOscCharacterization::defaultPssOptions();
+    popt.freqHint = 10.2e3;
+    static const auto osc = logic::RingOscCharacterization::run(loaded, popt);
+    static const auto design =
+        logic::designSyncLatch(osc.model(), osc.outputUnknown(), osc.f0(), 300e-6);
+    ckt::Netlist nl;
+    logic::SerialAdderOptions opt;
+    opt.bitPeriodCycles = 80;
+    const auto sc = logic::buildSerialAdderCircuit(nl, design, spec, {0, 1}, {0, 1}, opt);
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    num::Vec x0 = dc.x;
+    x0[static_cast<std::size_t>(nl.findNode("lat1.n1"))] += 0.4;
+    x0[static_cast<std::size_t>(nl.findNode("lat2.n1"))] -= 0.4;
+    an::TransientOptions topt;
+    topt.dt = 1.0 / (design.f1 * 200.0);
+    topt.storeEvery = 32;
+    for (auto _ : state) {
+        const auto r = an::transient(dae, x0, 0.0, sc.bitPeriod, topt);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_AdderSpicePerSlot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::banner("Speedup", "phase macromodels vs SPICE-level transient (paper Secs. 2/4)");
+    std::printf("Workloads: D-latch bit write over 40 cycles; serial adder over one %d-cycle\n",
+                80);
+    std::printf("bit slot.  Expect the GAE (scalar ODE) to be orders of magnitude faster\n");
+    std::printf("and the non-averaged phase system to sit in between.\n\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

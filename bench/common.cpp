@@ -1,0 +1,48 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace phlogon::bench {
+
+const logic::RingOscCharacterization& osc1n1p() {
+    static const logic::RingOscCharacterization osc =
+        logic::RingOscCharacterization::run(ckt::RingOscSpec{});
+    return osc;
+}
+
+const logic::RingOscCharacterization& osc2n1p() {
+    static const logic::RingOscCharacterization osc = [] {
+        ckt::RingOscSpec spec;
+        spec.nmosM = 2.0;
+        an::PssOptions popt = logic::RingOscCharacterization::defaultPssOptions();
+        popt.freqHint = 12e3;
+        return logic::RingOscCharacterization::run(spec, popt);
+    }();
+    return osc;
+}
+
+const logic::SyncLatchDesign& design100() {
+    static const logic::SyncLatchDesign d =
+        logic::designSyncLatch(osc1n1p().model(), osc1n1p().outputUnknown(), kF1, kSyncAmp);
+    return d;
+}
+
+void banner(const std::string& figure, const std::string& description) {
+    std::printf("=======================================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), description.c_str());
+    std::printf("=======================================================================\n");
+}
+
+void showChart(const viz::Chart& chart, const std::string& stem) {
+    std::printf("%s\n", viz::asciiPlot(chart).c_str());
+    viz::exportChart(chart, "bench_out", stem);
+    std::printf("[exported bench_out/%s.csv, bench_out/%s.gp]\n\n", stem.c_str(), stem.c_str());
+}
+
+void paperVsMeasured(const std::string& quantity, const std::string& paper,
+                     const std::string& measured) {
+    std::printf("  %-52s paper: %-18s measured: %s\n", quantity.c_str(), paper.c_str(),
+                measured.c_str());
+}
+
+}  // namespace phlogon::bench

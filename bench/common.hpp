@@ -1,0 +1,39 @@
+#pragma once
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary regenerates one figure (or figure pair) of the paper's
+// evaluation: it prints the figure's data as rows/series plus a terminal
+// ASCII plot, and exports CSV + gnuplot script under bench_out/.
+
+#include <string>
+
+#include "phlogon/latch.hpp"
+#include "phlogon/reference.hpp"
+#include "viz/ascii_plot.hpp"
+#include "viz/writers.hpp"
+
+namespace phlogon::bench {
+
+/// The paper's reference frequency (SYNC runs at 2*f1).
+inline constexpr double kF1 = 9.6e3;
+/// The paper's SYNC amplitude for the latch characterization figures.
+inline constexpr double kSyncAmp = 100e-6;
+
+/// Characterized default (1N1P) ring oscillator; computed once per binary.
+const logic::RingOscCharacterization& osc1n1p();
+/// Characterized 2N1P variant (Figs. 6-7).
+const logic::RingOscCharacterization& osc2n1p();
+/// SYNC latch design at the paper's operating point (100 uA, 9.6 kHz).
+const logic::SyncLatchDesign& design100();
+
+/// Print a figure banner.
+void banner(const std::string& figure, const std::string& description);
+
+/// Print an ASCII plot of the chart and export CSV/gnuplot to bench_out/.
+void showChart(const viz::Chart& chart, const std::string& stem);
+
+/// Print "paper vs measured" comparison rows (collected in EXPERIMENTS.md).
+void paperVsMeasured(const std::string& quantity, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace phlogon::bench

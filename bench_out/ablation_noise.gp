@@ -1,0 +1,9 @@
+set datafile separator ','
+set key outside
+set title 'Noise ablation — bit-loss rate vs diffusion  per SYNC amplitude'
+set xlabel 'log10(c)'
+set ylabel 'bit-loss probability'
+plot 'ablation_noise.csv' using 1:2 with linespoints title 'SYNC=50uA', \
+     'ablation_noise.csv' using 3:4 with linespoints title 'SYNC=100uA', \
+     'ablation_noise.csv' using 5:6 with linespoints title 'SYNC=200uA', \
+     'ablation_noise.csv' using 7:8 with linespoints title 'SYNC=400uA'

@@ -1,0 +1,8 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 4 — PSS of the ring oscillator (one normalized period)'
+set xlabel 't / T0 (cycles)'
+set ylabel 'node voltage [V]'
+plot 'fig04_pss.csv' using 1:2 with linespoints title 'osc.n1', \
+     'fig04_pss.csv' using 3:4 with linespoints title 'osc.n2', \
+     'fig04_pss.csv' using 5:6 with linespoints title 'osc.n3'

@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 5 — g(dphi) for SYNC amplitudes vs detuning line'
+set xlabel 'dphi (cycles)'
+set ylabel 'g / (f1-f0)/f0'
+plot 'fig05_shil_solutions.csv' using 1:2 with linespoints title 'g  A=30uA', \
+     'fig05_shil_solutions.csv' using 3:4 with linespoints title 'g  A=50uA', \
+     'fig05_shil_solutions.csv' using 5:6 with linespoints title 'g  A=70uA', \
+     'fig05_shil_solutions.csv' using 7:8 with linespoints title 'g  A=100uA', \
+     'fig05_shil_solutions.csv' using 9:10 with linespoints title 'g  A=150uA', \
+     'fig05_shil_solutions.csv' using 11:12 with linespoints title 'LHS (f1-f0)/f0'

@@ -1,0 +1,8 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 6 — PPV at n1 over one normalized period'
+set xlabel 't / T0 (cycles)'
+set ylabel 'v_n1 (1/A)'
+plot 'fig06_ppv.csv' using 1:2 with linespoints title '1N1P (TD)', \
+     'fig06_ppv.csv' using 3:4 with linespoints title '2N1P (TD)', \
+     'fig06_ppv.csv' using 5:6 with linespoints title '1N1P (FD)'

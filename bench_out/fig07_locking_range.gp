@@ -1,0 +1,9 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 7 — locking range boundaries vs SYNC amplitude'
+set xlabel 'A_SYNC (uA)'
+set ylabel '(f1 - f0)/f0'
+plot 'fig07_locking_range.csv' using 1:2 with linespoints title '1N1P low', \
+     'fig07_locking_range.csv' using 3:4 with linespoints title '1N1P high', \
+     'fig07_locking_range.csv' using 5:6 with linespoints title '2N1P low', \
+     'fig07_locking_range.csv' using 7:8 with linespoints title '2N1P high'

@@ -1,0 +1,7 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 8 — |dphi - dphi_ref| within the locking range'
+set xlabel 'f1 (kHz)'
+set ylabel 'phase error (cycles)'
+plot 'fig08_phase_error.csv' using 1:2 with linespoints title 'lock state 1', \
+     'fig08_phase_error.csv' using 3:4 with linespoints title 'lock state 0'

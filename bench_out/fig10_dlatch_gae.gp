@@ -1,0 +1,11 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 10 — g(dphi) with SYNC + D(bit=1) of growing magnitude'
+set xlabel 'dphi (cycles)'
+set ylabel 'g'
+plot 'fig10_dlatch_gae.csv' using 1:2 with linespoints title 'A_D=0uA', \
+     'fig10_dlatch_gae.csv' using 3:4 with linespoints title 'A_D=10uA', \
+     'fig10_dlatch_gae.csv' using 5:6 with linespoints title 'A_D=20uA', \
+     'fig10_dlatch_gae.csv' using 7:8 with linespoints title 'A_D=30uA', \
+     'fig10_dlatch_gae.csv' using 9:10 with linespoints title 'A_D=50uA', \
+     'fig10_dlatch_gae.csv' using 11:12 with linespoints title 'LHS'

@@ -1,0 +1,7 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 11 — stable lock phases vs A_D (D encodes 1)'
+set xlabel 'A_D (uA)'
+set ylabel 'dphi (cycles)'
+plot 'fig11_dlatch_sweep.csv' using 1:2 with linespoints title 'EN=1', \
+     'fig11_dlatch_sweep.csv' using 3:4 with linespoints title 'EN=0'

@@ -1,0 +1,9 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 12 — dphi(t) while D writes bit 1 (latch starts at 0)'
+set xlabel 't (reference cycles)'
+set ylabel 'dphi (cycles)'
+plot 'fig12_bitflip_transient.csv' using 1:2 with linespoints title 'A_D=10uA', \
+     'fig12_bitflip_transient.csv' using 3:4 with linespoints title 'A_D=30uA', \
+     'fig12_bitflip_transient.csv' using 5:6 with linespoints title 'A_D=100uA', \
+     'fig12_bitflip_transient.csv' using 7:8 with linespoints title 'A_D=150uA'

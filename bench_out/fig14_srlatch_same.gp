@@ -1,0 +1,7 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 14 (left) — stable count vs same-phase S=R magnitude'
+set xlabel 'a (x Vdd/2)'
+set ylabel '# stable states'
+plot 'fig14_srlatch_same.csv' using 1:2 with linespoints title 'w=(1 1 1)', \
+     'fig14_srlatch_same.csv' using 3:4 with linespoints title 'w=(.01 .01 1)'

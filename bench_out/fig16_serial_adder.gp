@@ -1,0 +1,7 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 16 — latch phases while adding a=b=101'
+set xlabel 't (bit slots)'
+set ylabel 'dphi (cycles)'
+plot 'fig16_serial_adder.csv' using 1:2 with linespoints title 'Q1 (master)', \
+     'fig16_serial_adder.csv' using 3:4 with linespoints title 'Q2 (slave/carry)'

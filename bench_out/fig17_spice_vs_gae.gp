@@ -1,0 +1,7 @@
+set datafile separator ','
+set key outside
+set title 'Fig. 17 — measured crossing phase vs GAE prediction'
+set xlabel 't (reference cycles)'
+set ylabel 'dphi (cycles)'
+plot 'fig17_spice_vs_gae.csv' using 1:2 with linespoints title 'circuit (zero crossings)', \
+     'fig17_spice_vs_gae.csv' using 3:4 with linespoints title 'GAE prediction'

@@ -1,0 +1,8 @@
+set datafile separator ','
+set key outside
+set title 'Figs. 19/20 — 'oscilloscope' window (REF  Q1  Q2)'
+set xlabel 't (cycles)'
+set ylabel 'V'
+plot 'fig19_20_scope.csv' using 1:2 with linespoints title 'REF', \
+     'fig19_20_scope.csv' using 3:4 with linespoints title 'Q1', \
+     'fig19_20_scope.csv' using 5:6 with linespoints title 'Q2'

@@ -1,0 +1,66 @@
+// Quickstart: characterize the paper's ring-oscillator latch end to end.
+//
+//   1. build the 3-stage ring oscillator (Fig. 3),
+//   2. find its periodic steady state by shooting (Fig. 4),
+//   3. extract the PPV macromodel (time-domain adjoint),
+//   4. derive the GAE under a SYNC injection and check SHIL (Fig. 5),
+//   5. print lock phases, locking range, and an ASCII plot of g(dphi).
+
+#include <cstdio>
+
+#include "core/gae.hpp"
+#include "core/gae_sweep.hpp"
+#include "phlogon/latch.hpp"
+#include "viz/ascii_plot.hpp"
+
+using namespace phlogon;
+
+int main() {
+    // 1-2. Ring oscillator characterization (PSS + PPV).
+    ckt::RingOscSpec spec;  // paper defaults: 3 stages, 4.7 nF, Vdd = 3 V
+    std::printf("Characterizing 3-stage ring oscillator (C = %.1f nF, Vdd = %.1f V)...\n",
+                spec.capFarads * 1e9, spec.vdd);
+    const auto osc = logic::RingOscCharacterization::run(spec);
+    std::printf("  PSS converged: f0 = %.4f kHz (period %.3f us, %d shooting iters)\n",
+                osc.f0() / 1e3, 1e6 / osc.f0(), osc.pss().shootIterations);
+    std::printf("  PPV extracted: Floquet mu = %.6f, normalization spread = %.2e\n",
+                osc.ppv().floquetMu, osc.ppv().normalizationSpread);
+
+    const core::PpvModel& model = osc.model();
+    std::printf("  output peak position dphi_peak = %.3f cycles (paper: ~0.21)\n",
+                model.dphiPeak());
+    std::printf("  PPV harmonics at n1: |V1| = %.3e, |V2| = %.3e\n",
+                model.ppvHarmonic(osc.outputUnknown(), 1),
+                model.ppvHarmonic(osc.outputUnknown(), 2));
+
+    // 3-4. SYNC latch design: SHIL lock phases and locking range.
+    const double f1 = 9.6e3;
+    const double syncAmp = 100e-6;
+    const auto design = logic::designSyncLatch(model, osc.outputUnknown(), f1, syncAmp);
+    std::printf("\nSYNC latch at f1 = %.2f kHz, A = %.0f uA:\n", f1 / 1e3, syncAmp * 1e6);
+    std::printf("  lock phases: phase(1) = %.4f, phase(0) = %.4f (separation %.4f)\n",
+                design.reference.phase1, design.reference.phase0,
+                core::phaseDistance(design.reference.phase1, design.reference.phase0));
+
+    const auto range = core::lockingRange(model, {design.sync()});
+    std::printf("  locking range: [%.4f, %.4f] kHz (width %.1f Hz)\n", range.fLow / 1e3,
+                range.fHigh / 1e3, range.width());
+
+    // 5. Plot g(dphi) vs the detuning line (the graphical eq. 5 of Fig. 5).
+    const core::Gae gae(model, f1, {design.sync()});
+    num::Vec x(gae.gridSize()), lhs(gae.gridSize());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = static_cast<double>(i) / static_cast<double>(x.size());
+        lhs[i] = gae.lhs();
+    }
+    viz::Chart chart("GAE equilibrium (paper eq. 5): RHS g(dphi) vs LHS (f1-f0)/f0",
+                     "dphi (cycles)", "");
+    chart.add("g(dphi)", x, gae.gGrid());
+    chart.add("(f1-f0)/f0", x, lhs);
+    std::printf("\n%s\n", viz::asciiPlot(chart).c_str());
+
+    std::printf("Stable equilibria:\n");
+    for (const auto& e : gae.stableEquilibria())
+        std::printf("  dphi* = %.4f (g' = %.3e)\n", e.dphi, e.gSlope);
+    return 0;
+}

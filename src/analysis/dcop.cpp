@@ -1,0 +1,110 @@
+#include "analysis/dcop.hpp"
+
+#include <cmath>
+
+#include "numeric/lu.hpp"
+
+namespace phlogon::an {
+
+namespace {
+
+/// Levenberg-style pseudo-transient continuation: solve (G + lam*I) dx = -f
+/// with lambda adapted to the residual.  Far more robust than plain Newton
+/// on sharply saturating circuits (op-amp gates pinned at a rail knee),
+/// where the open-loop gmin schedule can lose the solution path.
+bool pseudoTransient(const Dae& dae, double t, Vec& x, double absTol, int maxIter) {
+    Vec f = dae.evalF(t, x);
+    double fn = num::normInf(f);
+    double lam = 1e-2;
+    for (int it = 0; it < maxIter; ++it) {
+        if (fn <= absTol) return true;
+        Matrix j = dae.evalG(t, x);
+        for (std::size_t i = 0; i < j.rows(); ++i) j(i, i) += lam;
+        const auto lu = num::LuFactor::factor(j);
+        if (!lu) {
+            lam *= 10.0;
+            if (lam > 1e12) return false;
+            continue;
+        }
+        Vec dx = lu->solve(f);
+        Vec trial = x;
+        for (std::size_t i = 0; i < x.size(); ++i) trial[i] -= dx[i];
+        const Vec fTrial = dae.evalF(t, trial);
+        const double fnTrial = num::normInf(fTrial);
+        if (std::isfinite(fnTrial) && fnTrial < fn) {
+            x = std::move(trial);
+            f = fTrial;
+            fn = fnTrial;
+            lam = std::max(lam * 0.25, 1e-12);
+        } else {
+            lam *= 10.0;
+            if (lam > 1e14) return false;
+        }
+    }
+    return fn <= absTol;
+}
+
+}  // namespace
+
+DcopResult dcOperatingPoint(const Dae& dae, const DcopOptions& opt) {
+    DcopResult res;
+    const std::size_t n = dae.size();
+    Vec x = opt.initialGuess.empty() ? Vec(n, 0.0) : opt.initialGuess;
+    if (x.size() != n) {
+        res.message = "initial guess size mismatch";
+        return res;
+    }
+
+    const double t = opt.evalTime;
+    double gmin = opt.gminStart;
+    bool lastPass = false;
+    while (true) {
+        const double g = lastPass ? 0.0 : gmin;
+        const num::ResidualFn f = [&dae, t, g](const Vec& xv) {
+            Vec fv = dae.evalF(t, xv);
+            for (std::size_t i = 0; i < fv.size(); ++i) fv[i] += g * xv[i];
+            return fv;
+        };
+        const num::JacobianFn jac = [&dae, t, g](const Vec& xv) {
+            Matrix m = dae.evalG(t, xv);
+            for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += g;
+            return m;
+        };
+        Vec trial = x;
+        const num::NewtonResult nr = num::newtonSolve(f, jac, trial, opt.newton);
+        // Keep the trial even when Newton ran out of iterations: the damped
+        // iteration is (near-)monotone in the residual, and the partial
+        // progress is exactly what lets the next homotopy stage succeed on
+        // sharply saturating circuits.
+        x = trial;
+        if (nr.converged) {
+            if (lastPass) {
+                res.ok = true;
+                res.x = std::move(x);
+                res.message = "converged";
+                return res;
+            }
+        } else if (lastPass) {
+            // gmin schedule lost the path: fall back to pseudo-transient
+            // continuation from the best point so far.
+            if (pseudoTransient(dae, t, x, opt.newton.absTol, 600)) {
+                res.ok = true;
+                res.x = std::move(x);
+                res.message = "converged (pseudo-transient fallback)";
+                return res;
+            }
+            res.x = std::move(x);
+            res.message = "gmin=0 pass failed: " + nr.message;
+            return res;
+        }
+        // Advance the homotopy (even on failure: a smaller gmin sometimes
+        // succeeds where a larger one stalled on this circuit family).
+        if (gmin <= opt.gminEnd) {
+            lastPass = true;
+        } else {
+            gmin *= 0.1;
+        }
+    }
+}
+
+}  // namespace phlogon::an

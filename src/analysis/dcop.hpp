@@ -1,0 +1,37 @@
+#pragma once
+// DC operating point: solve f(x, t=0) = 0 with gmin homotopy.
+//
+// For oscillators the DC solution is the (unstable) equilibrium — the
+// starting point that transient warmup "kicks" off the metastable point
+// before periodic steady state is sought.
+
+#include "circuit/dae.hpp"
+#include "numeric/newton.hpp"
+
+namespace phlogon::an {
+
+using ckt::Dae;
+using num::Matrix;
+using num::Vec;
+
+struct DcopOptions {
+    num::NewtonOptions newton{.maxIter = 200, .absTol = 1e-9, .maxStep = 0.5};
+    /// gmin stepping: a conductance `gmin` from every unknown to ground is
+    /// stepped down decade by decade from start to end, warm-starting Newton.
+    double gminStart = 1e-2;
+    double gminEnd = 1e-12;
+    /// Initial guess; empty = all zeros.
+    Vec initialGuess;
+    /// Evaluation time for time-dependent sources (normally 0).
+    double evalTime = 0.0;
+};
+
+struct DcopResult {
+    bool ok = false;
+    Vec x;
+    std::string message;
+};
+
+DcopResult dcOperatingPoint(const Dae& dae, const DcopOptions& opt = {});
+
+}  // namespace phlogon::an

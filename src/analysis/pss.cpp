@@ -1,0 +1,290 @@
+#include "analysis/pss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/dcop.hpp"
+#include "analysis/trap_util.hpp"
+#include "analysis/waveform.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/lu.hpp"
+
+namespace phlogon::an {
+
+namespace {
+
+using num::LuFactor;
+using num::Matrix;
+using num::Vec;
+
+/// Pick the unknown with the largest swing over the stored trajectory,
+/// preferring node voltages over branch currents.
+int autoPhaseUnknown(const Dae& dae, const TransientResult& tr) {
+    int best = -1;
+    double bestSwing = 0.0;
+    for (std::size_t i = 0; i < dae.size(); ++i) {
+        const std::string& name = dae.netlist().unknownName(i);
+        if (name.rfind("I(", 0) == 0) continue;  // skip branch currents
+        const double swing = peakToPeak(tr.column(i));
+        if (swing > bestSwing) {
+            bestSwing = swing;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+/// Integrate `m` TRAP steps of size h from x0 (autonomous: t arbitrary),
+/// propagating the n x (n+1) sensitivity [dx/dx0 | dx/dT] when `sens` is
+/// non-null.  Fills states (m+1 entries).  Returns false on step failure.
+bool integratePeriod(const Dae& dae, const Vec& x0, double period, std::size_t m,
+                     const num::NewtonOptions& stepNewton, std::vector<Vec>& states,
+                     Matrix* sens) {
+    const std::size_t n = dae.size();
+    const double h = period / static_cast<double>(m);
+    states.assign(m + 1, Vec());
+    states[0] = x0;
+
+    Vec qk, fk;
+    Matrix ck, gk;
+    dae.eval(0.0, x0, qk, fk, &ck, &gk);
+    const std::vector<bool> alg = detail::algebraicRows(ck);
+
+    if (sens) {
+        sens->resize(n, n + 1);
+        for (std::size_t i = 0; i < n; ++i) (*sens)(i, i) = 1.0;
+    }
+
+    Vec q1, f1;
+    Matrix c1, g1;
+    for (std::size_t k = 0; k < m; ++k) {
+        const Vec& xk = states[k];
+        // TRAP residual (algebraic rows collocated at the new point):
+        //   (q(x1)-q(xk))/h + w f(x1) + (1-w) f(xk) = 0.
+        const num::ResidualFn residual = [&](const Vec& x) {
+            Vec qv, fv;
+            dae.eval(0.0, x, qv, fv, nullptr, nullptr);
+            Vec r(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                const double w = detail::newWeight(alg, i, true);
+                r[i] = (qv[i] - qk[i]) / h + w * fv[i] + (1.0 - w) * fk[i];
+            }
+            return r;
+        };
+        const num::JacobianFn jacobian = [&](const Vec& x) {
+            dae.eval(0.0, x, q1, f1, &c1, &g1);
+            Matrix j = c1;
+            j *= 1.0 / h;
+            for (std::size_t r = 0; r < n; ++r) {
+                const double w = detail::newWeight(alg, r, true);
+                for (std::size_t c = 0; c < n; ++c) j(r, c) += w * g1(r, c);
+            }
+            return j;
+        };
+        Vec x1 = xk;
+        const num::NewtonResult nr = num::newtonSolve(residual, jacobian, x1, stepNewton);
+        if (!nr.converged) return false;
+        // Refresh q/f/C/G at the converged point.
+        dae.eval(0.0, x1, q1, f1, &c1, &g1);
+
+        if (sens) {
+            // M * S1 = N * Sk + extra_T, with per-row weights w:
+            //   M = C1/h + w G1,  N = Ck/h - (1-w) Gk,
+            //   extra for the T column: (q1 - qk) / (h^2 m)   (since h = T/m).
+            Matrix mMat = c1;
+            mMat *= 1.0 / h;
+            Matrix nMat = ck;
+            nMat *= 1.0 / h;
+            for (std::size_t r = 0; r < n; ++r) {
+                const double w = detail::newWeight(alg, r, true);
+                for (std::size_t c = 0; c < n; ++c) {
+                    mMat(r, c) += w * g1(r, c);
+                    nMat(r, c) -= (1.0 - w) * gk(r, c);
+                }
+            }
+            auto lu = LuFactor::factor(mMat);
+            if (!lu) return false;
+            Matrix rhs(n, n + 1);
+            // rhs = N * sens  (+ T-column extra)
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t c = 0; c <= n; ++c) {
+                    double s = 0.0;
+                    for (std::size_t j = 0; j < n; ++j) s += nMat(r, j) * (*sens)(j, c);
+                    rhs(r, c) = s;
+                }
+            const double hm2 = 1.0 / (h * h * static_cast<double>(m));
+            for (std::size_t r = 0; r < n; ++r) rhs(r, n) += (q1[r] - qk[r]) * hm2;
+            *sens = lu->solveMatrix(rhs);
+        }
+
+        states[k + 1] = x1;
+        qk = q1;
+        fk = f1;
+        ck = c1;
+        gk = g1;
+    }
+    return true;
+}
+
+}  // namespace
+
+num::Vec PssResult::column(std::size_t idx) const {
+    num::Vec out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = xs[i][idx];
+    return out;
+}
+
+PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
+    PssResult res;
+    const std::size_t n = dae.size();
+
+    // 1. DC operating point + deterministic asymmetric kick.
+    const DcopResult dc = dcOperatingPoint(dae);
+    if (!dc.ok) {
+        res.message = "DC operating point failed: " + dc.message;
+        return res;
+    }
+    Vec x = dc.x;
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] += opt.kick * std::sin(1.0 + 2.3 * static_cast<double>(i));
+
+    // 2. Transient warmup to approach the limit cycle.
+    TransientOptions trOpt;
+    trOpt.dt = 1.0 / (opt.freqHint * static_cast<double>(opt.stepsPerCycleWarmup));
+    trOpt.newton = opt.stepNewton;
+    double warmupSpan = static_cast<double>(opt.warmupCycles) / opt.freqHint;
+    TransientResult warm;
+    PeriodEstimate pe;
+    int phaseIdx = opt.phaseUnknown;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        warm = transient(dae, x, 0.0, warmupSpan, trOpt);
+        if (!warm.ok) {
+            res.message = "warmup transient failed: " + warm.message;
+            return res;
+        }
+        if (phaseIdx < 0) phaseIdx = autoPhaseUnknown(dae, warm);
+        if (phaseIdx < 0) {
+            res.message = "no oscillating unknown found";
+            return res;
+        }
+        const Vec sig = warm.column(static_cast<std::size_t>(phaseIdx));
+        // Estimate period from the second half of the record only.
+        const std::size_t half = sig.size() / 2;
+        const Vec tTail(warm.t.begin() + static_cast<long>(half), warm.t.end());
+        const Vec sTail(sig.begin() + static_cast<long>(half), sig.end());
+        pe = estimatePeriod(tTail, sTail, mean(sTail));
+        if (pe.ok && pe.jitter < 0.05 * pe.period) break;
+        warmupSpan *= 2.0;  // not settled yet: warm up longer
+        x = warm.x.back();
+        pe.ok = false;
+    }
+    if (!pe.ok) {
+        res.message = "oscillation did not settle during warmup";
+        return res;
+    }
+    res.phaseUnknown = phaseIdx;
+
+    // 3. Seed x0 on a steep rising crossing of the phase unknown's mean level
+    //    (transversal phase condition).
+    const Vec sig = warm.column(static_cast<std::size_t>(phaseIdx));
+    const double level = mean(Vec(sig.end() - static_cast<long>(sig.size() / 2), sig.end()));
+    Vec x0 = warm.x.back();
+    {
+        // Walk backward to the last rising crossing of `level`.
+        std::size_t kc = 0;
+        bool found = false;
+        for (std::size_t i = sig.size(); i-- > 1;) {
+            if (sig[i - 1] < level && sig[i] >= level) {
+                kc = i;
+                found = true;
+                break;
+            }
+        }
+        if (found) {
+            const double a = sig[kc - 1] - level, b = sig[kc] - level;
+            const double f = (b - a) != 0.0 ? -a / (b - a) : 0.0;
+            x0.resize(n);
+            for (std::size_t j = 0; j < n; ++j)
+                x0[j] = warm.x[kc - 1][j] + f * (warm.x[kc][j] - warm.x[kc - 1][j]);
+        }
+    }
+    double period = pe.period;
+
+    // 4. Shooting Newton on (x0, T).
+    const std::size_t m = opt.shootingSteps;
+    std::vector<Vec> states;
+    Matrix sens;
+    double fNorm = 0.0;
+    bool converged = false;
+    for (int it = 0; it < opt.maxShootIter; ++it) {
+        res.shootIterations = it + 1;
+        if (!integratePeriod(dae, x0, period, m, opt.stepNewton, states, &sens)) {
+            res.message = "shooting: period integration failed";
+            return res;
+        }
+        // Residual.
+        Vec bigF(n + 1);
+        for (std::size_t i = 0; i < n; ++i) bigF[i] = states[m][i] - x0[i];
+        bigF[n] = x0[static_cast<std::size_t>(phaseIdx)] - level;
+        fNorm = num::normInf(bigF);
+        res.shootResidual = fNorm;
+        if (fNorm < opt.tol) {
+            converged = true;
+            break;
+        }
+        // Bordered Jacobian: [S_x - I, s_T; e_p^T, 0].
+        Matrix j(n + 1, n + 1);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) j(r, c) = sens(r, c) - (r == c ? 1.0 : 0.0);
+            j(r, n) = sens(r, n);
+        }
+        j(n, static_cast<std::size_t>(phaseIdx)) = 1.0;
+        auto lu = LuFactor::factor(j);
+        if (!lu) {
+            if (std::getenv("PHLOGON_DEBUG_PSS")) {
+                std::fprintf(stderr, "[pss] iter %d period=%.6e fNorm=%.3e\nJ=\n%s\n", it, period,
+                             fNorm, j.toString(3).c_str());
+            }
+            res.message = "shooting: singular bordered Jacobian";
+            return res;
+        }
+        Vec dz = lu->solve(bigF);
+        // Damp: never change T by more than 20% in one go.
+        double damp = 1.0;
+        if (std::abs(dz[n]) > 0.2 * period) damp = 0.2 * period / std::abs(dz[n]);
+        for (std::size_t i = 0; i < n; ++i) x0[i] -= damp * dz[i];
+        period -= damp * dz[n];
+        if (!(period > 0)) {
+            res.message = "shooting: period became non-positive";
+            return res;
+        }
+    }
+    if (!converged) {
+        res.message = "shooting did not converge (residual " + std::to_string(fNorm) + ")";
+        return res;
+    }
+
+    // 5. Final fine trajectory + uniform resampling.
+    if (!integratePeriod(dae, x0, period, m, opt.stepNewton, states, nullptr)) {
+        res.message = "final PSS integration failed";
+        return res;
+    }
+    res.period = period;
+    res.f0 = 1.0 / period;
+    res.xFine = states;
+    res.tFine = num::linspace(0.0, period, m + 1);
+    res.xs.assign(opt.nSamples, Vec(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        Vec col(m + 1);
+        for (std::size_t k = 0; k <= m; ++k) col[k] = states[k][i];
+        const Vec u = num::resampleUniform(res.tFine, col, 0.0, period, opt.nSamples);
+        for (std::size_t k = 0; k < opt.nSamples; ++k) res.xs[k][i] = u[k];
+    }
+    res.ok = true;
+    res.message = "ok";
+    return res;
+}
+
+}  // namespace phlogon::an

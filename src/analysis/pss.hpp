@@ -1,0 +1,67 @@
+#pragma once
+// Periodic steady state (PSS) of autonomous oscillators by shooting.
+//
+// The oscillator's limit cycle xs(t) and exact period T0 are found by Newton
+// on the boundary-value problem
+//
+//     x(T; x0) - x0 = 0,    x0[p] - level = 0       (phase condition)
+//
+// with the monodromy/sensitivity matrix propagated through the trapezoidal
+// time discretization, plus a period-sensitivity column (the step size is
+// h = T/m, so T enters every step).  A transient warmup supplies the initial
+// cycle estimate; the phase condition pins x0 on a steep rising crossing so
+// the bordered Newton system stays well conditioned.
+//
+// The circuit must be autonomous (DC sources only); time-varying sources
+// would make the "period" ill-defined.
+
+#include <string>
+
+#include "analysis/transient.hpp"
+#include "circuit/dae.hpp"
+
+namespace phlogon::an {
+
+struct PssOptions {
+    /// Rough frequency guess used only to size the warmup transient.
+    double freqHint = 10e3;
+    std::size_t warmupCycles = 60;
+    std::size_t stepsPerCycleWarmup = 150;
+    /// TRAP steps per period inside shooting (also the fine output grid).
+    std::size_t shootingSteps = 400;
+    int maxShootIter = 40;
+    /// Convergence tolerance on ||x(T)-x0||_inf (state units).
+    double tol = 1e-7;
+    /// Uniform samples of the returned steady state over one period.
+    std::size_t nSamples = 256;
+    /// Perturbation applied after the DC solve to kick the oscillator off
+    /// its unstable equilibrium.
+    double kick = 0.3;
+    /// Unknown used for the phase condition; -1 = auto (largest swing).
+    int phaseUnknown = -1;
+    num::NewtonOptions stepNewton{.maxIter = 50, .absTol = 1e-9, .maxStep = 1.0};
+};
+
+struct PssResult {
+    bool ok = false;
+    std::string message;
+    double period = 0.0;
+    double f0 = 0.0;
+    int phaseUnknown = -1;
+    double shootResidual = 0.0;
+    int shootIterations = 0;
+
+    /// Uniform samples over one period: xs[k] is the full state at
+    /// t = k * period / nSamples; xs.size() == nSamples.
+    std::vector<num::Vec> xs;
+    /// Fine shooting grid (shootingSteps + 1 states including the endpoint).
+    std::vector<num::Vec> xFine;
+    num::Vec tFine;
+
+    /// Time series of unknown `idx` on the uniform grid.
+    num::Vec column(std::size_t idx) const;
+};
+
+PssResult shootingPss(const Dae& dae, const PssOptions& opt = {});
+
+}  // namespace phlogon::an

@@ -1,0 +1,109 @@
+#include "analysis/transient.hpp"
+
+#include <cmath>
+
+#include "analysis/trap_util.hpp"
+#include "numeric/lu.hpp"
+
+namespace phlogon::an {
+
+namespace {
+
+/// One implicit step from (tk, xk) to tk+h.  Returns Newton convergence.
+/// On success xNew holds the new state.  Algebraic rows are collocated at
+/// the new time point regardless of method (see trap_util.hpp).
+bool implicitStep(const Dae& dae, IntegrationMethod method, const std::vector<bool>& alg,
+                  double tk, double h, const Vec& xk, const Vec& qk, const Vec& fk, Vec& xNew,
+                  Vec& qNew, const num::NewtonOptions& newtonOpt, std::size_t& iterCount) {
+    const double tNew = tk + h;
+    const bool trap = method == IntegrationMethod::Trapezoidal;
+
+    Vec q, f;
+    Matrix c, g;
+    const num::ResidualFn residual = [&](const Vec& x) {
+        Vec qv, fv;
+        dae.eval(tNew, x, qv, fv, nullptr, nullptr);
+        Vec r(qv.size());
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            const double w = detail::newWeight(alg, i, trap);
+            r[i] = (qv[i] - qk[i]) / h + w * fv[i] + (1.0 - w) * fk[i];
+        }
+        return r;
+    };
+    const num::JacobianFn jacobian = [&](const Vec& x) {
+        dae.eval(tNew, x, q, f, &c, &g);
+        Matrix j = c;
+        j *= 1.0 / h;
+        for (std::size_t r = 0; r < j.rows(); ++r) {
+            const double w = detail::newWeight(alg, r, trap);
+            for (std::size_t cc = 0; cc < j.cols(); ++cc) j(r, cc) += w * g(r, cc);
+        }
+        return j;
+    };
+
+    xNew = xk;  // predictor: previous value
+    const num::NewtonResult nr = num::newtonSolve(residual, jacobian, xNew, newtonOpt);
+    iterCount += static_cast<std::size_t>(nr.iterations);
+    if (!nr.converged) return false;
+    dae.eval(tNew, xNew, qNew, f, nullptr, nullptr);
+    return true;
+}
+
+}  // namespace
+
+Vec TransientResult::column(std::size_t idx) const {
+    Vec out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i][idx];
+    return out;
+}
+
+TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
+                          const TransientOptions& opt) {
+    TransientResult res;
+    if (!(opt.dt > 0)) {
+        res.message = "dt must be positive";
+        return res;
+    }
+    Vec xk = x0;
+    Vec qk = dae.evalQ(t0, xk);
+    Vec fk = dae.evalF(t0, xk);
+    const std::vector<bool> alg = detail::algebraicRows(dae.evalC(t0, xk));
+    double tk = t0;
+    res.t.push_back(tk);
+    res.x.push_back(xk);
+
+    Vec xNew, qNew;
+    std::size_t stepIndex = 0;
+    while (tk < t1 - 0.5 * opt.dt) {
+        double h = std::min(opt.dt, t1 - tk);
+        bool done = false;
+        // Retry with halved steps on Newton failure, then sub-step back to
+        // the nominal grid.
+        for (int halving = 0; halving <= opt.maxStepHalvings; ++halving) {
+            if (implicitStep(dae, opt.method, alg, tk, h, xk, qk, fk, xNew, qNew, opt.newton,
+                             res.newtonIterationsTotal)) {
+                done = true;
+                break;
+            }
+            h *= 0.5;
+        }
+        if (!done) {
+            res.message = "Newton failed at t=" + std::to_string(tk);
+            return res;
+        }
+        tk += h;
+        xk = xNew;
+        qk = qNew;
+        fk = dae.evalF(tk, xk);
+        ++stepIndex;
+        if (stepIndex % opt.storeEvery == 0 || tk >= t1 - 1e-18) {
+            res.t.push_back(tk);
+            res.x.push_back(xk);
+        }
+    }
+    res.ok = true;
+    res.message = "ok";
+    return res;
+}
+
+}  // namespace phlogon::an

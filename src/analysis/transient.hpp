@@ -1,0 +1,50 @@
+#pragma once
+// SPICE-style implicit transient analysis of the circuit DAE.
+//
+// Trapezoidal integration by default (no artificial damping of oscillations,
+// which matters when simulating oscillator phase over thousands of cycles);
+// Backward Euler is available for heavily switching circuits and is also
+// used for the first step after a discontinuity.
+
+#include <functional>
+#include <string>
+
+#include "circuit/dae.hpp"
+#include "numeric/newton.hpp"
+
+namespace phlogon::an {
+
+using ckt::Dae;
+using num::Matrix;
+using num::Vec;
+
+enum class IntegrationMethod { BackwardEuler, Trapezoidal };
+
+struct TransientOptions {
+    double dt = 0.0;  ///< fixed time step; required (> 0)
+    IntegrationMethod method = IntegrationMethod::Trapezoidal;
+    num::NewtonOptions newton{.maxIter = 50, .absTol = 1e-9, .maxStep = 1.0};
+    /// Store every `storeEvery`-th point (1 = all); the initial point and the
+    /// final point are always stored.
+    std::size_t storeEvery = 1;
+    /// On a Newton failure the step is retried with dt/2 up to this many
+    /// times (then the run aborts).
+    int maxStepHalvings = 8;
+};
+
+struct TransientResult {
+    bool ok = false;
+    std::string message;
+    Vec t;
+    std::vector<Vec> x;
+    std::size_t newtonIterationsTotal = 0;
+
+    /// Time series of one unknown.
+    Vec column(std::size_t idx) const;
+};
+
+/// Integrate the DAE from consistent initial state x0 over [t0, t1].
+TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
+                          const TransientOptions& opt);
+
+}  // namespace phlogon::an

@@ -1,0 +1,41 @@
+#include "circuit/dae.hpp"
+
+namespace phlogon::ckt {
+
+void Dae::eval(double t, const Vec& x, Vec& q, Vec& f, Matrix* c, Matrix* g) const {
+    const std::size_t n = size();
+    q.assign(n, 0.0);
+    f.assign(n, 0.0);
+    if (c) c->resize(n, n);
+    if (g) g->resize(n, n);
+    Stamps s(q, f, c, g);
+    for (const auto& dev : nl_->devices()) dev->eval(t, x, s);
+}
+
+Vec Dae::evalQ(double t, const Vec& x) const {
+    Vec q, f;
+    eval(t, x, q, f, nullptr, nullptr);
+    return q;
+}
+
+Vec Dae::evalF(double t, const Vec& x) const {
+    Vec q, f;
+    eval(t, x, q, f, nullptr, nullptr);
+    return f;
+}
+
+Matrix Dae::evalC(double t, const Vec& x) const {
+    Vec q, f;
+    Matrix c;
+    eval(t, x, q, f, &c, nullptr);
+    return c;
+}
+
+Matrix Dae::evalG(double t, const Vec& x) const {
+    Vec q, f;
+    Matrix g;
+    eval(t, x, q, f, nullptr, &g);
+    return g;
+}
+
+}  // namespace phlogon::ckt

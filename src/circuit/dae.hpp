@@ -1,0 +1,34 @@
+#pragma once
+// Evaluation view of a Netlist as the DAE of paper eq. (1):
+//
+//     d/dt q(x) + f(x, t) = 0
+//
+// with analytic Jacobians C(x) = dq/dx and G(x, t) = df/dx.  All analyses
+// (DC, transient, shooting PSS, PPV extraction) consume this interface.
+
+#include "circuit/netlist.hpp"
+
+namespace phlogon::ckt {
+
+class Dae {
+public:
+    /// The netlist must outlive the Dae.
+    explicit Dae(const Netlist& netlist) : nl_(&netlist) {}
+
+    std::size_t size() const { return nl_->size(); }
+    const Netlist& netlist() const { return *nl_; }
+
+    /// Evaluate q, f (and optionally C, G) at (t, x).  Output containers are
+    /// resized/zeroed internally.
+    void eval(double t, const Vec& x, Vec& q, Vec& f, Matrix* c, Matrix* g) const;
+
+    Vec evalQ(double t, const Vec& x) const;
+    Vec evalF(double t, const Vec& x) const;
+    Matrix evalC(double t, const Vec& x) const;
+    Matrix evalG(double t, const Vec& x) const;
+
+private:
+    const Netlist* nl_;
+};
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,164 @@
+#pragma once
+// Device interface and basic passive elements.
+//
+// Circuits are assembled in modified-nodal-analysis (MNA) form as the DAE of
+// paper eq. (1):
+//
+//     d/dt q(x) + f(x, t) = 0
+//
+// where x stacks node voltages followed by branch currents (voltage sources).
+// Each KCL row sums the currents *leaving* a node; charge contributions go to
+// q.  Time-dependent independent sources fold their waveforms into f(x, t).
+//
+// Every device stamps its contributions (and analytic Jacobians C = dq/dx,
+// G = df/dx) through the `Stamps` accumulator, which transparently drops
+// ground (index -1) rows/columns.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace phlogon::ckt {
+
+using num::Matrix;
+using num::Vec;
+
+/// Index of the ground node; stamping to it is a no-op.
+inline constexpr int kGround = -1;
+
+/// Accumulator for one evaluation of the full system.  Jacobian pointers may
+/// be null when only the residual is required (e.g. inside damping line
+/// searches).
+class Stamps {
+public:
+    Stamps(Vec& q, Vec& f, Matrix* c, Matrix* g) : q_(q), f_(f), c_(c), g_(g) {}
+
+    void addQ(int row, double v) {
+        if (row >= 0) q_[static_cast<std::size_t>(row)] += v;
+    }
+    void addF(int row, double v) {
+        if (row >= 0) f_[static_cast<std::size_t>(row)] += v;
+    }
+    void addC(int row, int col, double v) {
+        if (c_ && row >= 0 && col >= 0)
+            (*c_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+    }
+    void addG(int row, int col, double v) {
+        if (g_ && row >= 0 && col >= 0)
+            (*g_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+    }
+    bool wantsJacobians() const { return g_ != nullptr; }
+
+private:
+    Vec& q_;
+    Vec& f_;
+    Matrix* c_;
+    Matrix* g_;
+};
+
+/// Voltage of node `idx` in the unknown vector (0 V for ground).
+inline double nodeVoltage(const Vec& x, int idx) {
+    return idx >= 0 ? x[static_cast<std::size_t>(idx)] : 0.0;
+}
+
+/// Abstract circuit element.
+class Device {
+public:
+    explicit Device(std::string name) : name_(std::move(name)) {}
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    const std::string& name() const { return name_; }
+
+    /// Number of extra branch-current unknowns this device needs.
+    virtual int branchCount() const { return 0; }
+    /// Called once by the netlist with the index of the first allocated
+    /// branch unknown.
+    virtual void setBranchIndex(int /*idx*/) {}
+
+    /// Accumulate q, f and (optionally) C, G at state x, time t.
+    virtual void eval(double t, const Vec& x, Stamps& s) const = 0;
+
+private:
+    std::string name_;
+};
+
+/// Linear resistor between nodes a and b.
+class Resistor : public Device {
+public:
+    Resistor(std::string name, int a, int b, double ohms);
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    double resistance() const { return r_; }
+    void setResistance(double ohms);
+
+private:
+    int a_, b_;
+    double r_, g_;
+};
+
+/// Linear capacitor between nodes a and b.
+class Capacitor : public Device {
+public:
+    Capacitor(std::string name, int a, int b, double farads);
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    double capacitance() const { return c_; }
+
+private:
+    int a_, b_;
+    double c_;
+};
+
+/// Linear inductor between nodes a and b (flux on a branch-current unknown:
+/// d/dt(L i) = V(a) - V(b)).  Enables the LC-tank oscillators the paper
+/// lists among PHLOGON's candidate devices.
+class Inductor : public Device {
+public:
+    Inductor(std::string name, int a, int b, double henries);
+    int branchCount() const override { return 1; }
+    void setBranchIndex(int idx) override { br_ = idx; }
+    int branchIndex() const { return br_; }
+    void eval(double t, const Vec& x, Stamps& s) const override;
+
+private:
+    int a_, b_;
+    int br_ = kGround;
+    double l_;
+};
+
+/// Polynomial voltage-controlled conductance: i(v) = sum_k coeff[k] * v^(k+1)
+/// flowing from a to b.  With coeff = {-g1, 0, g3} (negative linear term,
+/// positive cubic) a parallel LC tank becomes a van der Pol oscillator — the
+/// classic analytically-tractable test case for PPV/Adler results.
+class NonlinearConductance : public Device {
+public:
+    NonlinearConductance(std::string name, int a, int b, Vec coeffs);
+    void eval(double t, const Vec& x, Stamps& s) const override;
+
+private:
+    int a_, b_;
+    Vec coeffs_;
+};
+
+/// Time-controlled ideal-ish switch: a resistor whose value is Ron when the
+/// control predicate is true and Roff otherwise.  Models the transmission
+/// gate enabling the D input in the paper's Fig. 9 (Ron = 1 kΩ,
+/// Roff = 100 GΩ).
+class TimeSwitch : public Device {
+public:
+    using ControlFn = std::function<bool(double)>;
+    TimeSwitch(std::string name, int a, int b, ControlFn on, double ron, double roff);
+    void eval(double t, const Vec& x, Stamps& s) const override;
+
+private:
+    int a_, b_;
+    ControlFn on_;
+    double ron_, roff_;
+};
+
+}  // namespace phlogon::ckt

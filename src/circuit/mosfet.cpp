@@ -1,0 +1,91 @@
+#include "circuit/mosfet.hpp"
+
+#include <cmath>
+
+namespace phlogon::ckt {
+
+namespace {
+
+struct Smooth {
+    double value;
+    double deriv;
+};
+
+/// Smooth ReLU: 0.5*(v + sqrt(v^2 + d^2)); C-infinity, ~v for v >> d, ~0 for
+/// v << -d.  Provides a small sub-threshold tail which additionally helps DC
+/// convergence.
+Smooth softRelu(double v, double d) {
+    const double s = std::sqrt(v * v + d * d);
+    return {0.5 * (v + s), 0.5 * (1.0 + v / s)};
+}
+
+/// NMOS-referenced current for vds >= 0 (callers handle the vds < 0 case by
+/// source/drain symmetry).
+MosCurrents nmosForward(const MosfetParams& p, double vgs, double vds) {
+    const Smooth s1 = softRelu(vgs - p.vt0, p.smoothing);
+    const Smooth s2 = softRelu(vgs - p.vt0 - vds, p.smoothing);
+    const double clm = 1.0 + p.lambda * vds;
+    const double k = p.kp * p.m;
+    MosCurrents out;
+    out.id = 0.5 * k * (s1.value * s1.value - s2.value * s2.value) * clm;
+    out.gm = k * (s1.value * s1.deriv - s2.value * s2.deriv) * clm;
+    out.gds = k * s2.value * s2.deriv * clm +
+              0.5 * k * (s1.value * s1.value - s2.value * s2.value) * p.lambda;
+    return out;
+}
+
+}  // namespace
+
+MosCurrents mosfetEval(const MosfetParams& p, MosPolarity pol, double vg, double vd, double vs) {
+    // Map PMOS onto the NMOS equations with all voltages negated; the
+    // resulting current is negated back.
+    const double sign = (pol == MosPolarity::Nmos) ? 1.0 : -1.0;
+    double vgs = sign * (vg - vs);
+    double vds = sign * (vd - vs);
+
+    if (vds >= 0.0) {
+        MosCurrents c = nmosForward(p, vgs, vds);
+        c.id *= sign;
+        // gm = d id/d vgs(actual) = sign * d id_n/d vgs_n * sign = gm_n; same for gds.
+        return c;
+    }
+    // Source/drain swap: operate the device with terminals exchanged.
+    const double vgd = vgs - vds;  // becomes the effective vgs
+    MosCurrents cSwap = nmosForward(p, vgd, -vds);
+    MosCurrents c;
+    // Current into the *original* drain is the negative of the swapped-device
+    // drain current.
+    c.id = -sign * cSwap.id;
+    // Chain rule back to (vgs, vds) of the unswapped device:
+    //   id = -id_swap(vgs - vds, -vds)
+    //   d id/d vgs = -gm_swap
+    //   d id/d vds = gm_swap + gds_swap
+    c.gm = -cSwap.gm;
+    c.gds = cSwap.gm + cSwap.gds;
+    return c;
+}
+
+Mosfet::Mosfet(std::string name, MosPolarity pol, int d, int g, int s, MosfetParams params)
+    : Device(std::move(name)), pol_(pol), d_(d), g_(g), s_(s), params_(params) {}
+
+void Mosfet::eval(double /*t*/, const Vec& x, Stamps& st) const {
+    const double vg = nodeVoltage(x, g_);
+    const double vd = nodeVoltage(x, d_);
+    const double vs = nodeVoltage(x, s_);
+    const MosCurrents c = mosfetEval(params_, pol_, vg, vd, vs);
+
+    // Channel current flows drain -> source inside the device: it leaves the
+    // external circuit at the drain node and re-enters at the source node.
+    st.addF(d_, c.id);
+    st.addF(s_, -c.id);
+
+    // id = id(vgs, vds) with vgs = vg - vs, vds = vd - vs.
+    st.addG(d_, g_, c.gm);
+    st.addG(d_, d_, c.gds);
+    st.addG(d_, s_, -(c.gm + c.gds));
+    st.addG(s_, g_, -c.gm);
+    st.addG(s_, d_, -c.gds);
+    st.addG(s_, s_, c.gm + c.gds);
+}
+
+}  // namespace phlogon::ckt

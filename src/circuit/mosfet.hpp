@@ -1,0 +1,50 @@
+#pragma once
+// Long-channel square-law MOSFET with smoothed region transitions.
+//
+// The paper prototypes its ring oscillators with ALD1106 (NMOS) / ALD1107
+// (PMOS) discrete long-channel parts; a square-law model with datasheet-like
+// VT0 and K reproduces the relevant behaviour (inverter switching, ring
+// oscillation near 9.6 kHz with C = 4.7 nF).  The overdrive and triode terms
+// use a smooth-ReLU so that the current and its derivatives are continuous
+// everywhere — this keeps Newton iterations well behaved in every analysis.
+
+#include "circuit/device.hpp"
+
+namespace phlogon::ckt {
+
+struct MosfetParams {
+    double vt0 = 0.7;       ///< threshold voltage magnitude [V]
+    double kp = 0.4e-3;     ///< transconductance K [A/V^2]
+    double lambda = 0.02;   ///< channel-length modulation [1/V]
+    double smoothing = 0.05;  ///< smooth-ReLU width delta [V]
+    /// Device multiplicity (parallel copies); "2N1P" inverters use m = 2 on
+    /// the NMOS to asymmetrize the stage (paper Figs. 6-7).
+    double m = 1.0;
+};
+
+enum class MosPolarity { Nmos, Pmos };
+
+/// Drain current and partial derivatives at one bias point.
+struct MosCurrents {
+    double id;    ///< current into the drain terminal
+    double gm;    ///< d id / d vgs
+    double gds;   ///< d id / d vds
+};
+
+/// Evaluate the (polarity-resolved) model equations; exposed for unit tests.
+MosCurrents mosfetEval(const MosfetParams& p, MosPolarity pol, double vg, double vd, double vs);
+
+/// Three-terminal MOSFET (bulk tied to source).
+class Mosfet : public Device {
+public:
+    Mosfet(std::string name, MosPolarity pol, int d, int g, int s, MosfetParams params = {});
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    const MosfetParams& params() const { return params_; }
+
+private:
+    MosPolarity pol_;
+    int d_, g_, s_;
+    MosfetParams params_;
+};
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,120 @@
+#include "circuit/netlist.hpp"
+
+namespace phlogon::ckt {
+
+namespace {
+bool isGroundName(const std::string& n) { return n == "0" || n == "gnd" || n == "GND"; }
+}
+
+int Netlist::allocUnknown(const std::string& name) {
+    const int idx = static_cast<int>(unknownNames_.size());
+    unknownNames_.push_back(name);
+    return idx;
+}
+
+int Netlist::node(const std::string& name) {
+    if (isGroundName(name)) return kGround;
+    const auto it = nodeIndex_.find(name);
+    if (it != nodeIndex_.end()) return it->second;
+    const int idx = allocUnknown(name);
+    nodeIndex_.emplace(name, idx);
+    return idx;
+}
+
+int Netlist::findNode(const std::string& name) const {
+    if (isGroundName(name)) return kGround;
+    return nodeIndex_.at(name);
+}
+
+bool Netlist::hasNode(const std::string& name) const {
+    return isGroundName(name) || nodeIndex_.count(name) > 0;
+}
+
+template <class T, class... Args>
+T& Netlist::emplaceDevice(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    for (int b = 0; b < ref.branchCount(); ++b) {
+        const int idx = allocUnknown("I(" + ref.name() + ")" + (b ? std::to_string(b) : ""));
+        if (b == 0) ref.setBranchIndex(idx);
+    }
+    devices_.push_back(std::move(dev));
+    return ref;
+}
+
+Resistor& Netlist::addResistor(const std::string& name, const std::string& a,
+                               const std::string& b, double ohms) {
+    // Resolve nodes in declaration order (function-argument evaluation order
+    // is unspecified, and node() allocates indices).
+    const int na = node(a);
+    const int nb = node(b);
+    return emplaceDevice<Resistor>(name, na, nb, ohms);
+}
+
+Capacitor& Netlist::addCapacitor(const std::string& name, const std::string& a,
+                                 const std::string& b, double farads) {
+    const int na = node(a);
+    const int nb = node(b);
+    return emplaceDevice<Capacitor>(name, na, nb, farads);
+}
+
+CurrentSource& Netlist::addCurrentSource(const std::string& name, const std::string& p,
+                                         const std::string& n, Waveform w) {
+    const int np = node(p);
+    const int nn = node(n);
+    return emplaceDevice<CurrentSource>(name, np, nn, std::move(w));
+}
+
+VoltageSource& Netlist::addVoltageSource(const std::string& name, const std::string& p,
+                                         const std::string& n, Waveform w) {
+    const int np = node(p);
+    const int nn = node(n);
+    return emplaceDevice<VoltageSource>(name, np, nn, std::move(w));
+}
+
+Mosfet& Netlist::addMosfet(const std::string& name, MosPolarity pol, const std::string& d,
+                           const std::string& g, const std::string& s, MosfetParams params) {
+    const int nd = node(d);
+    const int ng = node(g);
+    const int ns = node(s);
+    return emplaceDevice<Mosfet>(name, pol, nd, ng, ns, params);
+}
+
+Opamp& Netlist::addOpamp(const std::string& name, const std::string& inP, const std::string& inN,
+                         const std::string& out, OpampParams params) {
+    const int np = node(inP);
+    const int nn = node(inN);
+    const int no = node(out);
+    return emplaceDevice<Opamp>(name, np, nn, no, params);
+}
+
+TimeSwitch& Netlist::addSwitch(const std::string& name, const std::string& a,
+                               const std::string& b, TimeSwitch::ControlFn on, double ron,
+                               double roff) {
+    const int na = node(a);
+    const int nb = node(b);
+    return emplaceDevice<TimeSwitch>(name, na, nb, std::move(on), ron, roff);
+}
+
+Inductor& Netlist::addInductor(const std::string& name, const std::string& a,
+                               const std::string& b, double henries) {
+    const int na = node(a);
+    const int nb = node(b);
+    return emplaceDevice<Inductor>(name, na, nb, henries);
+}
+
+NonlinearConductance& Netlist::addNonlinearConductance(const std::string& name,
+                                                       const std::string& a,
+                                                       const std::string& b, num::Vec coeffs) {
+    const int na = node(a);
+    const int nb = node(b);
+    return emplaceDevice<NonlinearConductance>(name, na, nb, std::move(coeffs));
+}
+
+Device* Netlist::findDevice(const std::string& name) const {
+    for (const auto& d : devices_)
+        if (d->name() == name) return d.get();
+    return nullptr;
+}
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,74 @@
+#pragma once
+// Netlist: named nodes, device storage, unknown allocation.
+//
+// Unknowns are allocated in creation order and shared between node voltages
+// and branch currents (MNA).  Ground is the reserved names "0" / "gnd" and
+// maps to kGround (never an unknown).
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/device.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/sources.hpp"
+
+namespace phlogon::ckt {
+
+class Netlist {
+public:
+    Netlist() = default;
+    Netlist(const Netlist&) = delete;
+    Netlist& operator=(const Netlist&) = delete;
+    Netlist(Netlist&&) = default;
+    Netlist& operator=(Netlist&&) = default;
+
+    /// Create-or-get a named node; returns its unknown index (kGround for
+    /// "0"/"gnd").
+    int node(const std::string& name);
+    /// Look up an existing node; throws std::out_of_range when absent.
+    int findNode(const std::string& name) const;
+    bool hasNode(const std::string& name) const;
+
+    /// Total number of unknowns (node voltages + branch currents).
+    std::size_t size() const { return unknownNames_.size(); }
+    const std::string& unknownName(std::size_t i) const { return unknownNames_.at(i); }
+    const std::vector<std::string>& unknownNames() const { return unknownNames_; }
+
+    // ---- typed device factories (node arguments are names) ----------------
+    Resistor& addResistor(const std::string& name, const std::string& a, const std::string& b,
+                          double ohms);
+    Capacitor& addCapacitor(const std::string& name, const std::string& a, const std::string& b,
+                            double farads);
+    CurrentSource& addCurrentSource(const std::string& name, const std::string& p,
+                                    const std::string& n, Waveform w);
+    VoltageSource& addVoltageSource(const std::string& name, const std::string& p,
+                                    const std::string& n, Waveform w);
+    Mosfet& addMosfet(const std::string& name, MosPolarity pol, const std::string& d,
+                      const std::string& g, const std::string& s, MosfetParams params = {});
+    Opamp& addOpamp(const std::string& name, const std::string& inP, const std::string& inN,
+                    const std::string& out, OpampParams params = {});
+    TimeSwitch& addSwitch(const std::string& name, const std::string& a, const std::string& b,
+                          TimeSwitch::ControlFn on, double ron = 1e3, double roff = 1e11);
+    Inductor& addInductor(const std::string& name, const std::string& a, const std::string& b,
+                          double henries);
+    NonlinearConductance& addNonlinearConductance(const std::string& name, const std::string& a,
+                                                  const std::string& b, num::Vec coeffs);
+
+    const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+    Device* findDevice(const std::string& name) const;
+
+private:
+    template <class T, class... Args>
+    T& emplaceDevice(Args&&... args);
+    int allocUnknown(const std::string& name);
+
+    std::map<std::string, int> nodeIndex_;
+    std::vector<std::string> unknownNames_;
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace phlogon::ckt

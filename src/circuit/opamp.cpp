@@ -1,0 +1,38 @@
+#include "circuit/opamp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace phlogon::ckt {
+
+Opamp::Opamp(std::string name, int inP, int inN, int out, OpampParams params)
+    : Device(std::move(name)), inP_(inP), inN_(inN), out_(out), params_(params) {
+    if (!(params.vMax > params.vMin)) throw std::invalid_argument("Opamp: vMax <= vMin");
+    if (!(params.rout > 0)) throw std::invalid_argument("Opamp: non-positive rout");
+}
+
+double Opamp::clippedOutput(const OpampParams& p, double vd) {
+    const double mid = 0.5 * (p.vMax + p.vMin);
+    const double half = 0.5 * (p.vMax - p.vMin);
+    return mid + half * std::tanh(p.gain * vd / half) + p.railSlope * vd;
+}
+
+void Opamp::eval(double /*t*/, const Vec& x, Stamps& s) const {
+    const double vd = nodeVoltage(x, inP_) - nodeVoltage(x, inN_);
+    const double half = 0.5 * (params_.vMax - params_.vMin);
+    const double th = std::tanh(params_.gain * vd / half);
+    const double e =
+        0.5 * (params_.vMax + params_.vMin) + half * th + params_.railSlope * vd;
+    const double dEdVd = params_.gain * (1.0 - th * th) + params_.railSlope;
+
+    const double gOut = 1.0 / params_.rout;
+    const double vout = nodeVoltage(x, out_);
+    // Output stage: current (vout - E)/Rout leaves the out node into the
+    // internal source.
+    s.addF(out_, (vout - e) * gOut);
+    s.addG(out_, out_, gOut);
+    s.addG(out_, inP_, -dEdVd * gOut);
+    s.addG(out_, inN_, dEdVd * gOut);
+}
+
+}  // namespace phlogon::ckt

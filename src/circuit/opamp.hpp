@@ -1,0 +1,44 @@
+#pragma once
+// Behavioural operational amplifier.
+//
+// The paper's breadboard implements majority and NOT gates with "op-amps
+// with resistive feedbacks".  Only three properties matter for those gates:
+// large differential gain, supply clipping and a finite output impedance
+// (the gates drive oscillator injection nodes through it).  The model is a
+// clipped voltage-controlled source behind Rout, with a tanh saturation so
+// all derivatives stay continuous.
+
+#include "circuit/device.hpp"
+
+namespace phlogon::ckt {
+
+struct OpampParams {
+    double gain = 2e3;   ///< open-loop differential gain (modest: keeps the
+                         ///< saturation knee numerically tractable while the
+                         ///< closed-loop summing error stays ~0.1%)
+    double vMin = 0.0;   ///< negative supply rail [V]
+    double vMax = 3.0;   ///< positive supply rail [V]
+    double rout = 100.0; ///< output resistance [ohm]
+    /// Small residual output slope past the rails [V/V].  Physically: supply
+    /// leakage; numerically: keeps the Jacobian nonsingular when the stage
+    /// saturates, which DC homotopy needs on cascaded saturated gates.
+    double railSlope = 1e-3;
+};
+
+/// Op-amp with terminals (inP, inN, out).  Inputs draw no current.
+class Opamp : public Device {
+public:
+    Opamp(std::string name, int inP, int inN, int out, OpampParams params = {});
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    const OpampParams& params() const { return params_; }
+
+    /// Internal (pre-Rout) output voltage at differential input vd; exposed
+    /// for unit tests.
+    static double clippedOutput(const OpampParams& p, double vd);
+
+private:
+    int inP_, inN_, out_;
+    OpampParams params_;
+};
+
+}  // namespace phlogon::ckt

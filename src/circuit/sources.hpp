@@ -1,0 +1,81 @@
+#pragma once
+// Independent sources and their waveforms.
+//
+// Sinusoidal current sources implement the paper's SYNC (eq. following
+// Fig. 3: I_SYNC = A cos(2π·2f1·t)) and logic inputs D/S/R (eq. 10).  The
+// phase-flip of a logic input over time is expressed with a
+// piecewise-constant phase schedule.
+
+#include <functional>
+#include <vector>
+
+#include "circuit/device.hpp"
+
+namespace phlogon::ckt {
+
+/// Time-dependent scalar waveform.
+class Waveform {
+public:
+    using Fn = std::function<double(double)>;
+
+    /// Constant value.
+    static Waveform dc(double value);
+    /// offset + amp * cos(2π f t − 2π phaseCycles).
+    static Waveform cosine(double amp, double freqHz, double phaseCycles = 0.0,
+                           double offset = 0.0);
+    /// Cosine whose phase (in cycles) and amplitude follow piecewise-constant
+    /// schedules: value(t) = amp(t) * cos(2π f t − 2π phase(t)) + offset.
+    /// `phaseAt`/`ampAt` receive t and return the scheduled value; this is
+    /// how phase-encoded logic inputs flip between 0 and 0.5 cycles.
+    static Waveform scheduledCosine(Fn ampAt, double freqHz, Fn phaseAt, double offset = 0.0);
+    /// Arbitrary user function.
+    static Waveform custom(Fn fn);
+    /// Piecewise-linear (t, v) pairs; constant extrapolation outside.
+    static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+    double operator()(double t) const { return fn_(t); }
+
+private:
+    explicit Waveform(Fn fn) : fn_(std::move(fn)) {}
+    Fn fn_;
+};
+
+/// Step function helper: returns a schedule that is `before` for t < tStep
+/// and `after` afterwards.
+Waveform::Fn stepSchedule(double before, double after, double tStep);
+/// Piecewise-constant schedule from breakpoints: value is values[i] on
+/// [times[i], times[i+1]); values.size() == times.size(), times ascending,
+/// values[0] also used for t < times[0].
+Waveform::Fn piecewiseConstant(std::vector<double> times, std::vector<double> values);
+
+/// Independent current source.  SPICE convention: a positive value drives
+/// current from node `p` through the source into node `n` — i.e. it is
+/// extracted from `p`'s KCL and injected into `n`'s.
+class CurrentSource : public Device {
+public:
+    CurrentSource(std::string name, int p, int n, Waveform w);
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    double value(double t) const { return w_(t); }
+
+private:
+    int p_, n_;
+    Waveform w_;
+};
+
+/// Independent voltage source with a branch-current unknown.
+class VoltageSource : public Device {
+public:
+    VoltageSource(std::string name, int p, int n, Waveform w);
+    int branchCount() const override { return 1; }
+    void setBranchIndex(int idx) override { br_ = idx; }
+    int branchIndex() const { return br_; }
+    void eval(double t, const Vec& x, Stamps& s) const override;
+    double value(double t) const { return w_(t); }
+
+private:
+    int p_, n_;
+    int br_ = kGround;
+    Waveform w_;
+};
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,208 @@
+#include "circuit/spice_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace phlogon::ckt {
+
+namespace {
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+/// Tokenize a card; '(' and ')' become their own tokens so SIN(...) and
+/// POLY(...) parse uniformly, and "k=v" splits at '='.
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            out.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (char c : line) {
+        if (c == ';') break;  // trailing comment
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            flush();
+        } else if (c == '(' || c == ')' || c == '=') {
+            flush();
+            out.emplace_back(1, c);
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return out;
+}
+
+}  // namespace
+
+double parseSpiceValue(const std::string& token) {
+    if (token.empty()) throw std::invalid_argument("empty value");
+    const std::string t = lower(token);
+    std::size_t pos = 0;
+    double v;
+    try {
+        v = std::stod(t, &pos);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("bad value '" + token + "'");
+    }
+    const std::string suffix = t.substr(pos);
+    if (suffix.empty()) return v;
+    if (suffix == "f") return v * 1e-15;
+    if (suffix == "p") return v * 1e-12;
+    if (suffix == "n") return v * 1e-9;
+    if (suffix == "u") return v * 1e-6;
+    if (suffix == "m") return v * 1e-3;
+    if (suffix == "k") return v * 1e3;
+    if (suffix == "meg") return v * 1e6;
+    if (suffix == "g") return v * 1e9;
+    if (suffix == "t") return v * 1e12;
+    // Unit tails like "4.7nF", "10kohm", "3V" — accept a known prefix
+    // followed by letters.
+    for (const auto& [p, scale] :
+         std::initializer_list<std::pair<const char*, double>>{{"meg", 1e6},
+                                                               {"f", 1e-15},
+                                                               {"p", 1e-12},
+                                                               {"n", 1e-9},
+                                                               {"u", 1e-6},
+                                                               {"m", 1e-3},
+                                                               {"k", 1e3},
+                                                               {"g", 1e9},
+                                                               {"t", 1e12}}) {
+        if (suffix.rfind(p, 0) == 0) return v * scale;
+    }
+    // Pure unit tail ("V", "a", "hz"): value as-is.
+    if (std::all_of(suffix.begin(), suffix.end(),
+                    [](unsigned char c) { return std::isalpha(c); }))
+        return v;
+    throw std::invalid_argument("bad value suffix '" + token + "'");
+}
+
+void parseSpiceDeck(const std::string& deck, Netlist& nl) {
+    std::istringstream in(deck);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip leading whitespace; skip comments/blank lines.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos) continue;
+        if (line[first] == '*') continue;
+        const std::vector<std::string> tok = tokenize(line.substr(first));
+        if (tok.empty()) continue;
+        const std::string head = lower(tok[0]);
+        if (head == ".end") break;
+        if (head[0] == '.')
+            throw SpiceParseError(lineNo, "unsupported directive '" + tok[0] + "'");
+
+        const char kind = head[0];
+        auto need = [&](std::size_t n, const char* what) {
+            if (tok.size() < n) throw SpiceParseError(lineNo, std::string("expected ") + what);
+        };
+        try {
+            switch (kind) {
+                case 'r': {
+                    need(4, "Rname n1 n2 value");
+                    nl.addResistor(tok[0], tok[1], tok[2], parseSpiceValue(tok[3]));
+                    break;
+                }
+                case 'c': {
+                    need(4, "Cname n1 n2 value");
+                    nl.addCapacitor(tok[0], tok[1], tok[2], parseSpiceValue(tok[3]));
+                    break;
+                }
+                case 'l': {
+                    need(4, "Lname n1 n2 value");
+                    nl.addInductor(tok[0], tok[1], tok[2], parseSpiceValue(tok[3]));
+                    break;
+                }
+                case 'v':
+                case 'i': {
+                    need(4, "source: name n+ n- spec");
+                    Waveform w = Waveform::dc(0.0);
+                    const std::string spec = lower(tok[3]);
+                    if (spec == "dc") {
+                        need(5, "DC value");
+                        w = Waveform::dc(parseSpiceValue(tok[4]));
+                    } else if (spec == "sin") {
+                        // SIN ( offset amp freq [phase_cycles] )
+                        if (tok.size() < 8 || tok[4] != "(")
+                            throw SpiceParseError(lineNo, "SIN(offset amp freq [phase])");
+                        const double off = parseSpiceValue(tok[5]);
+                        const double amp = parseSpiceValue(tok[6]);
+                        const double freq = parseSpiceValue(tok[7]);
+                        double phase = 0.0;
+                        if (tok.size() > 8 && tok[8] != ")") phase = parseSpiceValue(tok[8]);
+                        w = Waveform::cosine(amp, freq, phase, off);
+                    } else {
+                        // Bare value: DC.
+                        w = Waveform::dc(parseSpiceValue(tok[3]));
+                    }
+                    if (kind == 'v')
+                        nl.addVoltageSource(tok[0], tok[1], tok[2], std::move(w));
+                    else
+                        nl.addCurrentSource(tok[0], tok[1], tok[2], std::move(w));
+                    break;
+                }
+                case 'm': {
+                    need(5, "Mname d g s NMOS|PMOS [params]");
+                    const std::string model = lower(tok[4]);
+                    MosPolarity pol;
+                    if (model == "nmos")
+                        pol = MosPolarity::Nmos;
+                    else if (model == "pmos")
+                        pol = MosPolarity::Pmos;
+                    else
+                        throw SpiceParseError(lineNo, "unknown MOS model '" + tok[4] + "'");
+                    MosfetParams p;
+                    for (std::size_t i = 5; i < tok.size(); i += 3) {
+                        if (i + 2 >= tok.size() || tok[i + 1] != "=")
+                            throw SpiceParseError(lineNo,
+                                                  "expected key=value, got '" + tok[i] + "'");
+                        const std::string key = lower(tok[i]);
+                        const double val = parseSpiceValue(tok[i + 2]);
+                        if (key == "kp")
+                            p.kp = val;
+                        else if (key == "vt0")
+                            p.vt0 = val;
+                        else if (key == "lambda")
+                            p.lambda = val;
+                        else if (key == "m")
+                            p.m = val;
+                        else
+                            throw SpiceParseError(lineNo, "unknown MOS param '" + tok[i] + "'");
+                    }
+                    nl.addMosfet(tok[0], pol, tok[1], tok[2], tok[3], p);
+                    break;
+                }
+                case 'g': {
+                    // Gname n1 n2 POLY ( c1 c2 ... )  — i = c1 v + c2 v^2 + ...
+                    need(5, "Gname n1 n2 POLY(c1 ...)");
+                    if (lower(tok[3]) != "poly" || tok.size() < 6 || tok[4] != "(")
+                        throw SpiceParseError(lineNo, "expected POLY(...)");
+                    num::Vec coeffs;
+                    for (std::size_t i = 5; i < tok.size() && tok[i] != ")"; ++i)
+                        coeffs.push_back(parseSpiceValue(tok[i]));
+                    nl.addNonlinearConductance(tok[0], tok[1], tok[2], std::move(coeffs));
+                    break;
+                }
+                default:
+                    throw SpiceParseError(lineNo, "unsupported card '" + tok[0] + "'");
+            }
+        } catch (const SpiceParseError&) {
+            throw;
+        } catch (const std::exception& e) {
+            throw SpiceParseError(lineNo, e.what());
+        }
+    }
+}
+
+}  // namespace phlogon::ckt

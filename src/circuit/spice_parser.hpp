@@ -1,0 +1,46 @@
+#pragma once
+// Minimal SPICE-deck front end.
+//
+// Lets users describe oscillators in the familiar card format instead of the
+// C++ builder API:
+//
+//     * 3-stage ring oscillator cell
+//     Vdd vdd 0 DC 3.0
+//     M1  n1 n3 vdd PMOS kp=0.238m vt0=0.82
+//     M2  n1 n3 0   NMOS kp=0.381m vt0=0.70
+//     C1  n1 0 4.7n
+//     Isync 0 n1 SIN(0 100u 19.2k)
+//     .end
+//
+// Supported cards: R, C, L, V, I (DC value or SIN(offset amp freq
+// [phase_cycles])), M (d g s NMOS|PMOS with kp=/vt0=/lambda=/m=), G (POLY
+// voltage-controlled conductance), comments (*, ;), .end.  Values accept the
+// usual suffixes f p n u m k meg g t.  Node "0"/"gnd" is ground.
+//
+// Errors carry the offending line number.
+
+#include <stdexcept>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace phlogon::ckt {
+
+class SpiceParseError : public std::runtime_error {
+public:
+    SpiceParseError(std::size_t line, const std::string& what)
+        : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+    std::size_t line() const { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Parse a deck into `nl` (devices are appended).  Throws SpiceParseError.
+void parseSpiceDeck(const std::string& deck, Netlist& nl);
+
+/// Parse one SPICE value literal ("4.7n", "10k", "1meg", "0.5").  Throws
+/// std::invalid_argument on garbage.
+double parseSpiceValue(const std::string& token);
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,79 @@
+#include "circuit/subckt.hpp"
+
+#include <stdexcept>
+
+namespace phlogon::ckt {
+
+void buildCmosInverter(Netlist& nl, const std::string& prefix, const std::string& in,
+                       const std::string& out, const std::string& vdd, const MosfetParams& nmos,
+                       const MosfetParams& pmos, double nmosM) {
+    MosfetParams np = nmos;
+    np.m = nmosM;
+    nl.addMosfet(prefix + ".mp", MosPolarity::Pmos, out, in, vdd, pmos);
+    nl.addMosfet(prefix + ".mn", MosPolarity::Nmos, out, in, "0", np);
+}
+
+RingOscNodes buildRingOscillator(Netlist& nl, const std::string& prefix, const RingOscSpec& spec) {
+    if (spec.stages < 3 || spec.stages % 2 == 0)
+        throw std::invalid_argument("buildRingOscillator: stages must be odd and >= 3");
+    RingOscNodes nodes;
+    nodes.vdd = spec.vddNode.empty() ? addSupply(nl, prefix + ".vdd", spec.vdd) : spec.vddNode;
+    for (int i = 1; i <= spec.stages; ++i)
+        nodes.stageOut.push_back(prefix + ".n" + std::to_string(i));
+    for (int i = 0; i < spec.stages; ++i) {
+        // Inverter i drives stageOut[i] from the previous stage's output.
+        const std::string& in = nodes.stageOut[(i + spec.stages - 1) % spec.stages];
+        const std::string& out = nodes.stageOut[i];
+        buildCmosInverter(nl, prefix + ".inv" + std::to_string(i + 1), in, out, nodes.vdd,
+                          spec.nmos, spec.pmos, spec.nmosM);
+        nl.addCapacitor(prefix + ".c" + std::to_string(i + 1), out, "0", spec.capFarads);
+    }
+    if (!spec.outputLoadsOhms.empty()) {
+        const std::string vmid = addSupply(nl, prefix + ".vmid", spec.vdd / 2.0);
+        for (std::size_t i = 0; i < spec.outputLoadsOhms.size(); ++i)
+            nl.addResistor(prefix + ".load" + std::to_string(i + 1), nodes.out(), vmid,
+                           spec.outputLoadsOhms[i]);
+    }
+    return nodes;
+}
+
+CurrentSource& addCurrentInjection(Netlist& nl, const std::string& name,
+                                   const std::string& nodeName, Waveform w, double routOhms) {
+    if (routOhms > 0.0) nl.addResistor(name + ".rout", nodeName, "0", routOhms);
+    // SPICE convention: current flows p -> (through source) -> n, so with
+    // p = ground the waveform value is injected INTO `nodeName`.
+    return nl.addCurrentSource(name, "0", nodeName, std::move(w));
+}
+
+void buildInvertingSummer(Netlist& nl, const std::string& prefix,
+                          const std::vector<SummerInput>& inputs, const std::string& out,
+                          const std::string& biasNode, double rf, OpampParams opamp) {
+    if (inputs.empty()) throw std::invalid_argument("buildInvertingSummer: no inputs");
+    const std::string vn = prefix + ".vn";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (!(inputs[i].weight > 0))
+            throw std::invalid_argument("buildInvertingSummer: weights must be positive");
+        nl.addResistor(prefix + ".rin" + std::to_string(i + 1), inputs[i].node, vn,
+                       rf / inputs[i].weight);
+    }
+    nl.addResistor(prefix + ".rf", out, vn, rf);
+    nl.addOpamp(prefix + ".op", biasNode, vn, out, opamp);
+}
+
+std::string buildVanDerPolOscillator(Netlist& nl, const std::string& prefix,
+                                     const VanDerPolSpec& spec) {
+    const std::string out = prefix + ".out";
+    nl.addInductor(prefix + ".l", out, "0", spec.inductance);
+    nl.addCapacitor(prefix + ".c", out, "0", spec.capacitance);
+    // Describing-function amplitude: a1 + (3/4) a3 A^2 = 0.
+    const double a3 = 4.0 * spec.gNeg / (3.0 * spec.amplitude * spec.amplitude);
+    nl.addNonlinearConductance(prefix + ".gm", out, "0", num::Vec{-spec.gNeg, 0.0, a3});
+    return out;
+}
+
+std::string addSupply(Netlist& nl, const std::string& name, double volts) {
+    if (!nl.hasNode(name)) nl.addVoltageSource("V(" + name + ")", name, "0", Waveform::dc(volts));
+    return name;
+}
+
+}  // namespace phlogon::ckt

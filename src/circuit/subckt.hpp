@@ -1,0 +1,106 @@
+#pragma once
+// Subcircuit builders: CMOS inverters, ring oscillators (paper Fig. 3),
+// op-amp summing stages (the resistive-feedback majority/NOT gates of the
+// breadboard build) and injection helpers.
+//
+// Builders instantiate devices into an existing Netlist under a name prefix
+// and return the names of their interface nodes.
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace phlogon::ckt {
+
+/// Parameters of a ring-oscillator latch core.  Defaults follow the paper's
+/// prototype: 3 stages, C = 4.7 nF per stage, Vdd = 3 V, ALD1106/7-like
+/// square-law devices sized to oscillate near 9.6 kHz.
+struct RingOscSpec {
+    int stages = 3;
+    double capFarads = 4.7e-9;
+    double vdd = 3.0;
+    /// ALD1106-like NMOS and ALD1107-like PMOS.  The devices are deliberately
+    /// NOT matched (the p-channel part is weaker, as in reality): a perfectly
+    /// symmetric inverter would give the ring half-wave symmetry, zeroing the
+    /// PPV's even harmonics and with them the SHIL locking range entirely —
+    /// the effect the paper's Fig. 6/7 exploits in reverse by asymmetrizing
+    /// the inverter further (2N1P).
+    MosfetParams nmos{.vt0 = 0.70, .kp = 0.381e-3, .lambda = 0.02, .smoothing = 0.05, .m = 1.0};
+    MosfetParams pmos{.vt0 = 0.82, .kp = 0.238e-3, .lambda = 0.02, .smoothing = 0.05, .m = 1.0};
+    /// NMOS multiplicity per inverter: 1 -> "1N1P", 2 -> "2N1P" (the
+    /// asymmetrized variant of Figs. 6-7 with the stronger PPV 2nd harmonic).
+    double nmosM = 1.0;
+    /// Name of an existing supply node; empty -> the builder creates
+    /// "<prefix>.vdd" with its own DC source.
+    std::string vddNode;
+    /// Resistive loads hung on the output node n1, returned to a Vdd/2
+    /// supply ("<prefix>.vmid", created on demand).  Characterizing the
+    /// oscillator WITH the loads its system will attach (gate inputs, write
+    /// resistors) keeps the macromodel's f0/PPV faithful to the in-circuit
+    /// latch — unloaded models can end up outside the loaded oscillator's
+    /// locking range.
+    std::vector<double> outputLoadsOhms;
+};
+
+struct RingOscNodes {
+    std::vector<std::string> stageOut;  ///< n1..nK; n1 is the observed output
+    std::string vdd;
+    std::string out() const { return stageOut.front(); }
+};
+
+/// CMOS inverter: PMOS pull-up, NMOS pull-down (optionally m parallel NMOS).
+void buildCmosInverter(Netlist& nl, const std::string& prefix, const std::string& in,
+                       const std::string& out, const std::string& vdd, const MosfetParams& nmos,
+                       const MosfetParams& pmos, double nmosM = 1.0);
+
+/// K-stage ring oscillator with per-stage load capacitors (paper Fig. 3).
+RingOscNodes buildRingOscillator(Netlist& nl, const std::string& prefix, const RingOscSpec& spec);
+
+/// Inject waveform `w` INTO node `nodeName` (positive values add current into
+/// the node's KCL), optionally through a finite source output resistance to
+/// ground (0 = ideal source).  Models SYNC and the D/S/R logic inputs.
+CurrentSource& addCurrentInjection(Netlist& nl, const std::string& name,
+                                   const std::string& nodeName, Waveform w, double routOhms = 0.0);
+
+/// One weighted input of a summing stage.
+struct SummerInput {
+    std::string node;
+    double weight = 1.0;
+};
+
+/// Op-amp inverting summer biased at `biasNode` (typically Vdd/2):
+///
+///     V(out) = V_bias - sum_i w_i * (V(in_i) - V_bias)        (until clipping)
+///
+/// In phase logic an inversion is a NOT (180 deg shift), so this single stage
+/// realizes NOT(weighted-majority) of phase-encoded inputs; cascade a
+/// unit-weight stage to recover the non-inverted majority.
+void buildInvertingSummer(Netlist& nl, const std::string& prefix,
+                          const std::vector<SummerInput>& inputs, const std::string& out,
+                          const std::string& biasNode, double rf = 100e3,
+                          OpampParams opamp = {});
+
+/// DC supply helper: creates (or reuses) node `name` held at `volts`.
+std::string addSupply(Netlist& nl, const std::string& name, double volts);
+
+/// Parallel-LC van der Pol oscillator: tank L || C || cubic negative
+/// conductance i(v) = -gNeg*v + (4*gNeg/(3*A^2))*v^3, which oscillates near
+/// f0 = 1/(2*pi*sqrt(LC)) with amplitude ~A.  The classic near-sinusoidal
+/// oscillator whose PPV is known in closed form — used to validate the
+/// extraction machinery analytically, and a PHLOGON latch candidate in its
+/// own right.
+struct VanDerPolSpec {
+    double inductance = 25.33e-3;  ///< ~10 kHz with 10 nF
+    double capacitance = 10e-9;
+    double gNeg = 20e-6;     ///< negative-conductance magnitude [S] (weakly
+                             ///< nonlinear: mu = g/(C w0) ~ 0.3, so the
+                             ///< closed-form sinusoidal results apply)
+    double amplitude = 1.0;  ///< target oscillation amplitude [V]
+};
+
+/// Returns the tank node name ("<prefix>.out").
+std::string buildVanDerPolOscillator(Netlist& nl, const std::string& prefix,
+                                     const VanDerPolSpec& spec = {});
+
+}  // namespace phlogon::ckt

@@ -1,0 +1,76 @@
+#include "core/gae_transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/gae_sweep.hpp"
+
+namespace phlogon::core {
+
+double GaeTransientResult::at(double tq) const {
+    if (t.empty()) return 0.0;
+    if (tq <= t.front()) return dphi.front();
+    if (tq >= t.back()) return dphi.back();
+    const auto it = std::upper_bound(t.begin(), t.end(), tq);
+    const std::size_t i = static_cast<std::size_t>(it - t.begin());
+    const double dt = t[i] - t[i - 1];
+    const double f = dt > 0 ? (tq - t[i - 1]) / dt : 0.0;
+    return dphi[i - 1] + f * (dphi[i] - dphi[i - 1]);
+}
+
+GaeTransientResult gaeTransient(const PpvModel& model, double f1,
+                                const std::vector<GaeSegment>& schedule, double dphi0, double t0,
+                                double t1, const num::OdeOptions& opt, std::size_t gridSize) {
+    GaeTransientResult res;
+    if (schedule.empty()) throw std::invalid_argument("gaeTransient: empty schedule");
+    for (std::size_t i = 1; i < schedule.size(); ++i)
+        if (schedule[i].tStart < schedule[i - 1].tStart)
+            throw std::invalid_argument("gaeTransient: schedule not sorted");
+
+    double tCur = t0;
+    double phiCur = dphi0;
+    res.t.push_back(tCur);
+    res.dphi.push_back(phiCur);
+
+    for (std::size_t s = 0; s < schedule.size(); ++s) {
+        const double segEnd = (s + 1 < schedule.size()) ? std::min(schedule[s + 1].tStart, t1) : t1;
+        if (segEnd <= tCur) continue;
+        if (schedule[s].tStart > tCur + 1e-18 && s == 0)
+            throw std::invalid_argument("gaeTransient: first segment starts after t0");
+
+        const Gae gae(model, f1, schedule[s].injections, gridSize);
+        const num::OdeRhs1 rhs = [&gae](double /*t*/, double phi) { return gae.rhs(phi); };
+        const num::OdeSolution1 sol = num::rkf45Scalar(rhs, phiCur, tCur, segEnd, opt);
+        if (!sol.ok) return res;  // res.ok stays false
+        for (std::size_t i = 1; i < sol.t.size(); ++i) {
+            res.t.push_back(sol.t[i]);
+            res.dphi.push_back(sol.y[i]);
+        }
+        tCur = segEnd;
+        phiCur = res.dphi.back();
+        if (tCur >= t1) break;
+    }
+    res.ok = true;
+    return res;
+}
+
+double settleTime(const GaeTransientResult& r, double target, double tol) {
+    if (r.t.empty()) return 0.0;
+    double tSettle = r.t.back();
+    bool inside = false;
+    for (std::size_t i = 0; i < r.t.size(); ++i) {
+        const double err = phaseDistance(r.dphi[i], target);
+        if (err <= tol) {
+            if (!inside) {
+                tSettle = r.t[i];
+                inside = true;
+            }
+        } else {
+            inside = false;
+        }
+    }
+    return inside ? tSettle : r.t.back();
+}
+
+}  // namespace phlogon::core

@@ -1,0 +1,42 @@
+#pragma once
+// Transient solution of the GAE (paper Fig. 12): the scalar phase ODE
+// d(dphi)/dt = -(f1-f0) + f0*g(dphi) integrated through a schedule of
+// injection sets (logic inputs flip phase / switch on and off as piecewise
+// events, and g changes with them).
+
+#include <vector>
+
+#include "core/gae.hpp"
+#include "numeric/ode.hpp"
+
+namespace phlogon::core {
+
+/// Injection set active from tStart until the next segment begins.
+struct GaeSegment {
+    double tStart = 0.0;
+    std::vector<Injection> injections;
+};
+
+struct GaeTransientResult {
+    bool ok = false;
+    Vec t;
+    Vec dphi;  ///< unwrapped phase difference in cycles
+
+    /// dphi at time tq (linear interpolation).
+    double at(double tq) const;
+    /// Final value.
+    double final() const { return dphi.empty() ? 0.0 : dphi.back(); }
+};
+
+/// Integrate from (t0, dphi0) to t1.  `schedule` must be sorted by tStart;
+/// the first segment should start at or before t0.
+GaeTransientResult gaeTransient(const PpvModel& model, double f1,
+                                const std::vector<GaeSegment>& schedule, double dphi0, double t0,
+                                double t1, const num::OdeOptions& opt = {},
+                                std::size_t gridSize = 1024);
+
+/// Time at which the trajectory first settles within `tol` cycles of
+/// `target` and stays there; returns t1-end if it never settles.
+double settleTime(const GaeTransientResult& r, double target, double tol = 0.02);
+
+}  // namespace phlogon::core

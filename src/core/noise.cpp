@@ -1,0 +1,102 @@
+#include "core/noise.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "core/gae_sweep.hpp"
+#include "numeric/interp.hpp"
+
+namespace phlogon::core {
+
+double phaseDiffusion(const PpvModel& model, const std::vector<NoiseSource>& sources) {
+    if (!model.valid()) throw std::invalid_argument("phaseDiffusion: invalid model");
+    const std::size_t n = model.sampleCount();
+    double acc = 0.0;
+    for (const NoiseSource& s : sources) {
+        if (s.unknownIndex >= model.size())
+            throw std::invalid_argument("phaseDiffusion: source index out of range");
+        const Vec& v = model.ppvSamples(s.unknownIndex);
+        double sum = 0.0;
+        for (double vi : v) sum += vi * vi;
+        // One-sided PSD convention: var growth rate = S * <v^2>.
+        acc += s.psd * sum / static_cast<double>(n);
+    }
+    return acc;
+}
+
+double resistorCurrentPsd(double ohms, double temperatureK) {
+    constexpr double kB = 1.380649e-23;
+    if (!(ohms > 0)) throw std::invalid_argument("resistorCurrentPsd: non-positive R");
+    return 4.0 * kB * temperatureK / ohms;
+}
+
+StochasticGaeResult stochasticGaeTransient(const Gae& gae, double cSeconds, double dphi0,
+                                           double t0, double t1,
+                                           const StochasticGaeOptions& opt) {
+    StochasticGaeResult res;
+    if (!(t1 > t0)) return res;
+    const double f0 = gae.f0();
+    const double dt = opt.dt > 0 ? opt.dt : 1.0 / (20.0 * f0);
+    // Noise term in cycles: alpha diffuses with c [s]; dphi = f0 * alpha.
+    const double sigma = f0 * std::sqrt(std::max(cSeconds, 0.0));
+
+    std::mt19937_64 rng(opt.seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+
+    const std::size_t nSteps =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil((t1 - t0) / dt)));
+    const double h = (t1 - t0) / static_cast<double>(nSteps);
+    const double sqrtH = std::sqrt(h);
+    double phi = dphi0;
+    res.t.reserve(nSteps / opt.storeEvery + 2);
+    res.dphi.reserve(nSteps / opt.storeEvery + 2);
+    res.t.push_back(t0);
+    res.dphi.push_back(phi);
+    for (std::size_t k = 0; k < nSteps; ++k) {
+        phi += gae.rhs(phi) * h + sigma * sqrtH * gauss(rng);
+        if ((k + 1) % opt.storeEvery == 0 || k + 1 == nSteps) {
+            res.t.push_back(t0 + h * static_cast<double>(k + 1));
+            res.dphi.push_back(phi);
+        }
+    }
+    res.ok = true;
+    return res;
+}
+
+HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dphi0,
+                                     double holdTime, std::size_t trials,
+                                     const StochasticGaeOptions& opt) {
+    HoldErrorResult out;
+    const auto stable = gae.stableEquilibria();
+    if (stable.empty()) throw std::invalid_argument("holdErrorProbability: no stable lock");
+    // Start at the stable phase nearest dphi0.
+    double start = stable[0].dphi;
+    for (const auto& e : stable)
+        if (phaseDistance(e.dphi, dphi0) < phaseDistance(start, dphi0)) start = e.dphi;
+
+    StochasticGaeOptions o = opt;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        o.seed = opt.seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+        o.storeEvery = 1u << 20;  // end point only
+        const StochasticGaeResult r = stochasticGaeTransient(gae, cSeconds, start, 0.0,
+                                                             holdTime, o);
+        if (!r.ok) continue;
+        ++out.trials;
+        // Decode: nearest stable phase to the (wrapped) end point.
+        const double end = r.dphi.back();
+        double best = 1e9;
+        double bestPhase = start;
+        for (const auto& e : stable) {
+            const double dist = phaseDistance(e.dphi, end);
+            if (dist < best) {
+                best = dist;
+                bestPhase = e.dphi;
+            }
+        }
+        if (phaseDistance(bestPhase, start) > 1e-9) ++out.errors;
+    }
+    return out;
+}
+
+}  // namespace phlogon::core

@@ -1,0 +1,76 @@
+#pragma once
+// Phase noise and noise-immunity analysis.
+//
+// The PPV formalism used throughout this tool chain originates in phase
+// noise theory (Demir et al. 2000): white noise currents b(t) injected into
+// the oscillator diffuse its phase,
+//
+//     d(alpha)/dt = v^T(t + alpha) b(t)
+//     var(alpha(t)) -> c * t,     c = (1/T0) \int_0^{T0} sum_j v_j^2(t) S_j dt,
+//
+// with S_j the (one-sided) current PSD at unknown j.  The same machinery
+// quantifies the paper's headline claim — phase-encoded logic has superior
+// noise immunity — by Monte-Carlo simulation of the *stochastic* GAE:
+//
+//     d(dphi) = [-(f1 - f0) + f0 g(dphi)] dt + f0 sqrt(c) dW.
+//
+// A stored bit is lost when noise drives dphi across the GAE's unstable
+// equilibrium (Kramers escape over the SHIL barrier); the escape rate drops
+// exponentially with SYNC amplitude, making the latch's noise immunity a
+// design knob these tools can sweep.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gae.hpp"
+#include "core/ppv_model.hpp"
+
+namespace phlogon::core {
+
+/// White current-noise source attached to one unknown's KCL.
+struct NoiseSource {
+    std::size_t unknownIndex = 0;
+    double psd = 0.0;  ///< current PSD S_j [A^2/Hz]
+};
+
+/// Phase diffusion constant c [s^2/s = s]: var(alpha(t)) = c * t with alpha
+/// in seconds.  Multiply by f0^2 for cycles^2 per second.
+double phaseDiffusion(const PpvModel& model, const std::vector<NoiseSource>& sources);
+
+/// Thermal-noise helper: PSD of a resistor's current noise, 4kT/R.
+double resistorCurrentPsd(double ohms, double temperatureK = 300.0);
+
+struct StochasticGaeOptions {
+    double dt = 0.0;        ///< Euler-Maruyama step; 0 = (20 f0)^-1
+    std::uint64_t seed = 1;
+    std::size_t storeEvery = 8;
+};
+
+struct StochasticGaeResult {
+    bool ok = false;
+    Vec t;
+    Vec dphi;
+};
+
+/// One sample path of the stochastic GAE with diffusion constant
+/// `cSeconds` (as returned by phaseDiffusion).
+StochasticGaeResult stochasticGaeTransient(const Gae& gae, double cSeconds, double dphi0,
+                                           double t0, double t1,
+                                           const StochasticGaeOptions& opt = {});
+
+struct HoldErrorResult {
+    std::size_t trials = 0;
+    std::size_t errors = 0;  ///< paths that ended in the wrong basin
+    double errorRate() const {
+        return trials ? static_cast<double>(errors) / static_cast<double>(trials) : 0.0;
+    }
+};
+
+/// Monte-Carlo bit-retention experiment: start `trials` paths at the stable
+/// phase nearest `dphi0`, integrate for `holdTime` under noise, and count
+/// paths that decode to a different stable phase at the end.
+HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dphi0,
+                                     double holdTime, std::size_t trials,
+                                     const StochasticGaeOptions& opt = {});
+
+}  // namespace phlogon::core

@@ -1,0 +1,181 @@
+#include "core/phase_system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/interp.hpp"
+
+namespace phlogon::core {
+
+PhaseSystem::SignalId PhaseSystem::addExternal(std::function<double(double)> fn,
+                                               std::string label) {
+    Signal s;
+    s.kind = SignalKind::External;
+    s.external = std::move(fn);
+    s.label = std::move(label);
+    signals_.push_back(std::move(s));
+    return static_cast<SignalId>(signals_.size()) - 1;
+}
+
+PhaseSystem::LatchId PhaseSystem::addLatch(PpvModel model, std::string label) {
+    if (!model.valid()) throw std::invalid_argument("PhaseSystem::addLatch: invalid model");
+    Latch l;
+    l.model = std::move(model);
+    l.label = std::move(label);
+    const LatchId id = static_cast<LatchId>(latches_.size());
+
+    Signal s;
+    s.kind = SignalKind::LatchOutput;
+    s.latch = id;
+    s.label = l.label + ".out";
+    signals_.push_back(std::move(s));
+    l.outputSignal = static_cast<SignalId>(signals_.size()) - 1;
+
+    latches_.push_back(std::move(l));
+    connections_.emplace_back();
+    return id;
+}
+
+PhaseSystem::SignalId PhaseSystem::latchOutput(LatchId latch) {
+    return latches_.at(latch).outputSignal;
+}
+
+PhaseSystem::SignalId PhaseSystem::addGate(std::vector<std::pair<SignalId, double>> inputs,
+                                           bool invert, double clip, std::string label) {
+    const SignalId self = static_cast<SignalId>(signals_.size());
+    for (const auto& [id, w] : inputs) {
+        (void)w;
+        if (id < 0 || id >= self)
+            throw std::invalid_argument("PhaseSystem::addGate: input signal id out of range");
+    }
+    Signal s;
+    s.kind = SignalKind::Gate;
+    s.inputs = std::move(inputs);
+    s.invert = invert;
+    s.clip = clip;
+    s.label = std::move(label);
+    signals_.push_back(std::move(s));
+    return self;
+}
+
+PhaseSystem::SignalId PhaseSystem::addPlaceholder(std::string label) {
+    Signal s;
+    s.kind = SignalKind::Placeholder;
+    s.label = std::move(label);
+    signals_.push_back(std::move(s));
+    return static_cast<SignalId>(signals_.size()) - 1;
+}
+
+bool PhaseSystem::dependsOn(SignalId id, SignalId of) const {
+    if (id == of) return true;
+    const Signal& s = signals_[static_cast<std::size_t>(id)];
+    switch (s.kind) {
+        case SignalKind::Gate:
+            for (const auto& [in, w] : s.inputs) {
+                (void)w;
+                if (dependsOn(in, of)) return true;
+            }
+            return false;
+        case SignalKind::Placeholder:
+            return s.target >= 0 && dependsOn(s.target, of);
+        default:
+            return false;  // externals and latch outputs break combinational paths
+    }
+}
+
+void PhaseSystem::bindPlaceholder(SignalId placeholder, SignalId target) {
+    if (placeholder < 0 || placeholder >= static_cast<SignalId>(signals_.size()) ||
+        signals_[static_cast<std::size_t>(placeholder)].kind != SignalKind::Placeholder)
+        throw std::invalid_argument("bindPlaceholder: not a placeholder");
+    if (target < 0 || target >= static_cast<SignalId>(signals_.size()))
+        throw std::invalid_argument("bindPlaceholder: bad target");
+    if (dependsOn(target, placeholder))
+        throw std::invalid_argument("bindPlaceholder: would create a combinational loop");
+    signals_[static_cast<std::size_t>(placeholder)].target = target;
+}
+
+void PhaseSystem::connect(LatchId latch, std::size_t unknownIndex, SignalId sig, double gain,
+                          double delayCycles) {
+    if (sig < 0 || sig >= static_cast<SignalId>(signals_.size()))
+        throw std::invalid_argument("PhaseSystem::connect: bad signal id");
+    if (unknownIndex >= latches_.at(latch).model.size())
+        throw std::invalid_argument("PhaseSystem::connect: unknown index out of range");
+    connections_[static_cast<std::size_t>(latch)].push_back({unknownIndex, sig, gain, delayCycles});
+}
+
+double PhaseSystem::evalSignal(SignalId id, double t, double f1, const num::Vec& dphi) const {
+    const Signal& s = signals_[static_cast<std::size_t>(id)];
+    switch (s.kind) {
+        case SignalKind::External:
+            return s.external(t);
+        case SignalKind::LatchOutput: {
+            // Unit-amplitude fundamental of the oscillator output: the
+            // phase-logic value the latch presents to gates.  (Harmonics of
+            // the raw waveform are deliberately dropped; at circuit level
+            // they produce small lock-phase offsets, at macromodel level the
+            // fundamental is the clean abstraction.)
+            const PpvModel& m = latches_[static_cast<std::size_t>(s.latch)].model;
+            const double theta = f1 * t + dphi[static_cast<std::size_t>(s.latch)];
+            return std::cos(2.0 * std::numbers::pi * (theta - m.dphiPeak()));
+        }
+        case SignalKind::Gate: {
+            double sum = 0.0;
+            for (const auto& [in, w] : s.inputs) sum += w * evalSignal(in, t, f1, dphi);
+            if (s.invert) sum = -sum;
+            if (s.clip > 0.0) sum = s.clip * std::tanh(sum / s.clip);
+            return sum;
+        }
+        case SignalKind::Placeholder:
+            if (s.target < 0)
+                throw std::logic_error("PhaseSystem: unbound placeholder '" + s.label + "'");
+            return evalSignal(s.target, t, f1, dphi);
+    }
+    return 0.0;
+}
+
+PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const num::Vec& dphi0,
+                                          std::size_t stepsPerCycle, std::size_t storeEvery) const {
+    Result res;
+    const std::size_t k = latches_.size();
+    if (dphi0.size() != k)
+        throw std::invalid_argument("PhaseSystem::simulate: dphi0 size mismatch");
+    if (!(f1 > 0) || !(t1 > t0)) throw std::invalid_argument("PhaseSystem::simulate: bad span");
+
+    const num::OdeRhs rhs = [&](double t, const num::Vec& y) {
+        num::Vec dy(k);
+        for (std::size_t i = 0; i < k; ++i) {
+            const PpvModel& m = latches_[i].model;
+            const double theta = f1 * t + y[i];
+            double proj = 0.0;
+            for (const Connection& c : connections_[i]) {
+                const double tSig = t - c.delayCycles / f1;
+                proj += m.ppvAt(c.unknownIndex, theta) * c.gain * evalSignal(c.signal, tSig, f1, y);
+            }
+            dy[i] = (m.f0() - f1) + m.f0() * proj;
+        }
+        return dy;
+    };
+
+    const std::size_t nSteps =
+        static_cast<std::size_t>(std::ceil((t1 - t0) * f1 * static_cast<double>(stepsPerCycle)));
+    const num::OdeSolution sol = num::rk4(rhs, dphi0, t0, t1, std::max<std::size_t>(nSteps, 1));
+    if (!sol.ok) return res;
+
+    res.dphi.assign(k, num::Vec());
+    res.vout.assign(k, num::Vec());
+    for (std::size_t p = 0; p < sol.t.size(); ++p) {
+        if (p % storeEvery != 0 && p + 1 != sol.t.size()) continue;
+        res.t.push_back(sol.t[p]);
+        for (std::size_t i = 0; i < k; ++i) {
+            const PpvModel& m = latches_[i].model;
+            res.dphi[i].push_back(sol.y[p][i]);
+            res.vout[i].push_back(
+                m.xsAt(m.outputUnknown(), f1 * sol.t[p] + sol.y[p][i]));
+        }
+    }
+    res.ok = true;
+    return res;
+}
+
+}  // namespace phlogon::core

@@ -1,0 +1,128 @@
+#pragma once
+// Full-system transient simulation with phase macromodels (paper Sec. 4.3).
+//
+// Each oscillator latch is replaced by its PPV macromodel: its entire state
+// collapses to one scalar dphi_i governed by the non-averaged phase ODE
+// (paper eq. 13)
+//
+//     d(dphi_i)/dt = (f0_i - f1) + f0_i * v_i(theta_i(t))^T b_i(t),
+//     theta_i(t)   = f1 * t + dphi_i(t)            (cycles),
+//
+// while the memoryless interconnect (op-amp majority/NOT gates, SYNC and
+// input sources) is evaluated algebraically each step — the reduced system
+// of eq. (14).  Latch output waveforms are reconstructed from xs1(theta_i).
+//
+// Signals form a DAG built in creation order: externals (functions of t),
+// latch outputs (normalized oscillator waveforms) and gates (weighted sums
+// with optional inversion and soft clipping — the signal-domain equivalent
+// of the breadboard's resistive-feedback op-amp gates).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/ppv_model.hpp"
+#include "numeric/ode.hpp"
+
+namespace phlogon::core {
+
+class PhaseSystem {
+public:
+    using SignalId = int;
+    using LatchId = int;
+
+    /// External scalar signal of time (REF, SYNC tones, phase-encoded data
+    /// inputs...).
+    SignalId addExternal(std::function<double(double)> fn, std::string label = {});
+
+    /// Oscillator latch; returns its id.  The latch's output signal is its
+    /// normalized steady-state output (xs_out(theta) - mean)/amplitude,
+    /// a unit-swing waveform suitable for gate weighting.
+    LatchId addLatch(PpvModel model, std::string label = {});
+    SignalId latchOutput(LatchId latch);
+
+    /// Weighted sum of signals, optionally inverted (a NOT in phase logic)
+    /// and soft-clipped at +-clip (0 disables clipping).
+    SignalId addGate(std::vector<std::pair<SignalId, double>> inputs, bool invert = false,
+                     double clip = 0.0, std::string label = {});
+
+    /// Forward reference: a signal whose target is bound later.  Needed for
+    /// feedback topologies (e.g. the serial adder's cout feeds the carry
+    /// flip-flop whose output feeds cout).  Every cycle must pass through a
+    /// latch; purely combinational loops are rejected at bind time.
+    SignalId addPlaceholder(std::string label = {});
+    void bindPlaceholder(SignalId placeholder, SignalId target);
+
+    /// Inject current  gain * signal(t - delayCycles/f1)  [amperes] into
+    /// unknown `unknownIndex` of `latch`'s macromodel.  `delayCycles`
+    /// implements the coupling phase shift a designer would realize with an
+    /// inverter / phase network between a gate output and the oscillator
+    /// injection node (see SyncLatchDesign::signalCouplingShift()).
+    void connect(LatchId latch, std::size_t unknownIndex, SignalId sig, double gain,
+                 double delayCycles = 0.0);
+
+    /// Evaluate a signal at time t given latch phases (post-processing /
+    /// decoding of gate outputs).
+    double signalValue(SignalId id, double t, double f1, const num::Vec& dphi) const {
+        return evalSignal(id, t, f1, dphi);
+    }
+
+    std::size_t latchCount() const { return latches_.size(); }
+    const PpvModel& latchModel(LatchId latch) const { return latches_.at(latch).model; }
+    const std::string& latchLabel(LatchId latch) const { return latches_.at(latch).label; }
+
+    struct Result {
+        bool ok = false;
+        num::Vec t;
+        /// dphi[i] is the (unwrapped, cycles) phase trajectory of latch i.
+        std::vector<num::Vec> dphi;
+        /// Reconstructed output voltage of latch i at stored point k.
+        std::vector<num::Vec> vout;
+    };
+
+    /// Integrate all latch phases over [t0, t1] with fixed-step RK4
+    /// (`stepsPerCycle` steps per reference cycle resolves the fast-varying
+    /// eq.-13 right-hand side).
+    Result simulate(double f1, double t0, double t1, const num::Vec& dphi0,
+                    std::size_t stepsPerCycle = 64, std::size_t storeEvery = 1) const;
+
+private:
+    struct Latch {
+        PpvModel model;
+        std::string label;
+        SignalId outputSignal = -1;
+    };
+    struct Connection {
+        std::size_t unknownIndex;
+        SignalId signal;
+        double gain;
+        double delayCycles;
+    };
+    enum class SignalKind { External, LatchOutput, Gate, Placeholder };
+    struct Signal {
+        SignalKind kind;
+        std::string label;
+        std::function<double(double)> external;           // External
+        LatchId latch = -1;                               // LatchOutput
+        std::vector<std::pair<SignalId, double>> inputs;  // Gate
+        bool invert = false;
+        double clip = 0.0;
+        SignalId target = -1;  // Placeholder
+    };
+
+    /// True when `id` combinationally depends on `of` (latch outputs break
+    /// the dependency).
+    bool dependsOn(SignalId id, SignalId of) const;
+
+    /// Recursively evaluate one signal at time t.  Latch phases dphi are the
+    /// slow state; a latch output at (possibly delayed) time t' uses
+    /// theta = f1*t' + dphi (dphi treated as constant over a delay of a
+    /// fraction of a cycle).
+    double evalSignal(SignalId id, double t, double f1, const num::Vec& dphi) const;
+
+    std::vector<Latch> latches_;
+    std::vector<std::vector<Connection>> connections_;  // per latch
+    std::vector<Signal> signals_;
+};
+
+}  // namespace phlogon::core

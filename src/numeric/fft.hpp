@@ -1,0 +1,37 @@
+#pragma once
+// Discrete Fourier transforms for periodic-waveform analysis: PSS spectra,
+// PPV harmonic content (Fig. 6) and the cyclic correlation that evaluates the
+// GAE nonlinearity g(Δφ).
+
+#include <complex>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace phlogon::num {
+
+using Cplx = std::complex<double>;
+using CVec = std::vector<Cplx>;
+
+/// In-place forward FFT.  Power-of-two sizes use iterative radix-2; other
+/// sizes fall back to a direct O(N^2) DFT (grids here are small, <= a few k).
+void fft(CVec& a);
+/// In-place inverse FFT (includes the 1/N scale).
+void ifft(CVec& a);
+
+/// Forward DFT of a real signal; returns full complex spectrum of length N.
+CVec dftReal(const Vec& x);
+
+/// Fourier coefficients c_k of a real 1-periodic signal sampled uniformly
+/// (x[i] = f(i/N)), for k = 0..maxHarm, with the convention
+///   f(t) ≈ c_0 + sum_k 2*Re(c_k * exp(j*2*pi*k*t)).
+CVec fourierCoefficients(const Vec& samples, std::size_t maxHarm);
+
+/// Magnitude of harmonic k under the convention above (2*|c_k| for k>0).
+double harmonicMagnitude(const CVec& coeffs, std::size_t k);
+
+/// Cyclic cross-correlation r[m] = (1/N) * sum_i a[(i+m) mod N] * b[i].
+/// This is exactly the GAE average  g(Δφ) = ∫ v(ψ+Δφ)·b(ψ) dψ  on a grid.
+Vec cyclicCorrelation(const Vec& a, const Vec& b);
+
+}  // namespace phlogon::num

@@ -1,0 +1,57 @@
+#pragma once
+// Interpolation of periodic waveforms.  PSS solutions and PPVs are stored as
+// uniform samples over one period; the GAE and phase-domain co-simulation
+// need to evaluate them at arbitrary (wrapped) phases.
+
+#include <cstddef>
+
+#include "numeric/matrix.hpp"
+
+namespace phlogon::num {
+
+/// Wrap t into [0, 1).
+double wrap01(double t);
+
+/// Piecewise-linear interpolation of a 1-periodic signal given uniform
+/// samples x[i] = f(i/N).
+class PeriodicLinear {
+public:
+    PeriodicLinear() = default;
+    explicit PeriodicLinear(Vec samples) : x_(std::move(samples)) {}
+
+    std::size_t size() const { return x_.size(); }
+    const Vec& samples() const { return x_; }
+
+    double operator()(double t) const;
+
+private:
+    Vec x_;
+};
+
+/// Cubic spline interpolation of a 1-periodic signal (periodic boundary
+/// conditions), C2-smooth.  Smoothness matters for the GAE right-hand side:
+/// the ODE integrator and the equilibrium root finder both differentiate it
+/// numerically.
+class PeriodicCubicSpline {
+public:
+    PeriodicCubicSpline() = default;
+    explicit PeriodicCubicSpline(Vec samples);
+
+    std::size_t size() const { return x_.size(); }
+    const Vec& samples() const { return x_; }
+
+    double operator()(double t) const;
+    /// Derivative with respect to t (per unit period).
+    double derivative(double t) const;
+
+private:
+    Vec x_;
+    Vec m_;  ///< second derivatives at the knots
+};
+
+/// Resample a (possibly non-uniform) time series onto `n` uniform points over
+/// [t0, t0+period), linearly interpolating.  Used to normalize shooting/PSS
+/// output onto the 1-periodic grid of eq. (6).
+Vec resampleUniform(const Vec& t, const Vec& x, double t0, double period, std::size_t n);
+
+}  // namespace phlogon::num

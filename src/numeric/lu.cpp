@@ -1,0 +1,185 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace phlogon::num {
+
+std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
+    if (a.rows() != a.cols() || a.rows() == 0) return std::nullopt;
+    const std::size_t n = a.rows();
+    LuFactor f;
+    f.lu_ = a;
+    f.perm_.resize(n);
+    std::iota(f.perm_.begin(), f.perm_.end(), std::size_t{0});
+    const double tol = pivotTol * std::max(a.normMax(), 1e-300);
+
+    Matrix& lu = f.lu_;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Pivot search in column k.
+        std::size_t p = k;
+        double best = std::abs(lu(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(lu(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best < tol) return std::nullopt;
+        if (p != k) {
+            for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(p, j));
+            std::swap(f.perm_[k], f.perm_[p]);
+            f.permSign_ = -f.permSign_;
+        }
+        const double inv = 1.0 / lu(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double m = lu(i, k) * inv;
+            lu(i, k) = m;
+            if (m == 0.0) continue;
+            for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
+        }
+    }
+    return f;
+}
+
+Vec LuFactor::solve(const Vec& b) const {
+    const std::size_t n = size();
+    assert(b.size() == n);
+    Vec y(n);
+    // Forward substitution with permutation: L y = P b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[perm_[i]];
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
+        y[i] = s;
+    }
+    // Back substitution: U x = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * y[j];
+        y[ii] = s / lu_(ii, ii);
+    }
+    return y;
+}
+
+Vec LuFactor::solveTransposed(const Vec& b) const {
+    // A = P^T L U  =>  A^T = U^T L^T P.  Solve U^T z = b, L^T w = z, x = P^T w.
+    const std::size_t n = size();
+    assert(b.size() == n);
+    Vec z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * z[j];
+        z[i] = s / lu_(i, i);
+    }
+    Vec w(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = z[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * w[j];
+        w[ii] = s;
+    }
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+    return x;
+}
+
+Matrix LuFactor::solveMatrix(const Matrix& b) const {
+    assert(b.rows() == size());
+    Matrix x(b.rows(), b.cols());
+    Vec col(b.rows());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+        const Vec sol = solve(col);
+        for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+    }
+    return x;
+}
+
+double LuFactor::determinant() const {
+    double d = permSign_;
+    for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+    return d;
+}
+
+double LuFactor::rcondEstimate() const {
+    double mn = std::abs(lu_(0, 0)), mx = mn;
+    for (std::size_t i = 1; i < size(); ++i) {
+        const double p = std::abs(lu_(i, i));
+        mn = std::min(mn, p);
+        mx = std::max(mx, p);
+    }
+    return mx > 0 ? mn / mx : 0.0;
+}
+
+std::optional<Vec> solveLinear(const Matrix& a, const Vec& b) {
+    auto f = LuFactor::factor(a);
+    if (!f) return std::nullopt;
+    return f->solve(b);
+}
+
+std::optional<Matrix> inverse(const Matrix& a) {
+    auto f = LuFactor::factor(a);
+    if (!f) return std::nullopt;
+    return f->solveMatrix(Matrix::identity(a.rows()));
+}
+
+std::optional<std::pair<double, Vec>> inverseIteration(const Matrix& a, double shift, int maxIter,
+                                                       double tol) {
+    const std::size_t n = a.rows();
+    if (n == 0 || a.cols() != n) return std::nullopt;
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= shift;
+    auto f = LuFactor::factor(shifted);
+    // If (A - shift I) is exactly singular, nudge the shift slightly.
+    if (!f) {
+        const double eps = 1e-10 * std::max(1.0, a.normMax());
+        for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= eps;
+        f = LuFactor::factor(shifted);
+        if (!f) return std::nullopt;
+    }
+    Vec v(n, 1.0);
+    v[0] = 1.5;  // break symmetry
+    double lambda = shift;
+    for (int it = 0; it < maxIter; ++it) {
+        Vec w = f->solve(v);
+        const double nw = norm2(w);
+        if (!(nw > 0) || !std::isfinite(nw)) return std::nullopt;
+        w *= 1.0 / nw;
+        // Rayleigh quotient for the eigenvalue of A.
+        const Vec aw = a * w;
+        const double newLambda = dot(w, aw);
+        const Vec diff = w - v;
+        const Vec sum = w + v;
+        const double delta = std::min(norm2(diff), norm2(sum));  // sign-insensitive
+        v = w;
+        if (delta < tol && std::abs(newLambda - lambda) < tol * std::max(1.0, std::abs(newLambda))) {
+            return std::make_pair(newLambda, v);
+        }
+        lambda = newLambda;
+    }
+    return std::make_pair(lambda, v);
+}
+
+std::optional<std::pair<double, Vec>> powerIteration(const Matrix& a, int maxIter, double tol) {
+    const std::size_t n = a.rows();
+    if (n == 0 || a.cols() != n) return std::nullopt;
+    Vec v(n, 1.0);
+    v[0] = 1.37;
+    double nv = norm2(v);
+    v *= 1.0 / nv;
+    double lambda = 0.0;
+    for (int it = 0; it < maxIter; ++it) {
+        Vec w = a * v;
+        const double nw = norm2(w);
+        if (!(nw > 0) || !std::isfinite(nw)) return std::nullopt;
+        w *= 1.0 / nw;
+        const double newLambda = dot(w, a * w);
+        const double delta = std::min(norm2(w - v), norm2(w + v));
+        v = w;
+        if (delta < tol) return std::make_pair(newLambda, v);
+        lambda = newLambda;
+    }
+    return std::make_pair(lambda, v);
+}
+
+}  // namespace phlogon::num

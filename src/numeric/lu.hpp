@@ -1,0 +1,61 @@
+#pragma once
+// LU factorization with partial pivoting, the workhorse linear solver behind
+// Newton iterations, transient steps and the shooting/PPV sensitivity chains.
+
+#include <optional>
+
+#include "numeric/matrix.hpp"
+
+namespace phlogon::num {
+
+/// Partial-pivoted LU factorization of a square matrix.
+///
+/// Stores L and U packed in a single matrix plus the row-permutation.  A
+/// factorization is immutable after construction; `solve` can be called any
+/// number of times (this matters for the PPV backward-adjoint iteration where
+/// the same step Jacobians are reused every period).
+class LuFactor {
+public:
+    /// Factor `a`; returns std::nullopt when the matrix is numerically
+    /// singular (pivot below `pivotTol * normMax`).
+    static std::optional<LuFactor> factor(const Matrix& a, double pivotTol = 1e-14);
+
+    std::size_t size() const { return lu_.rows(); }
+
+    /// Solve A x = b.
+    Vec solve(const Vec& b) const;
+    /// Solve A^T x = b (needed by adjoint/PPV computations).
+    Vec solveTransposed(const Vec& b) const;
+    /// Solve A X = B column-by-column.
+    Matrix solveMatrix(const Matrix& b) const;
+
+    /// Determinant of A (with pivot sign).
+    double determinant() const;
+
+    /// Cheap reciprocal-condition estimate: min|pivot| / max|pivot|.
+    double rcondEstimate() const;
+
+private:
+    LuFactor() = default;
+    Matrix lu_;
+    std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+    int permSign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b; nullopt when singular.
+std::optional<Vec> solveLinear(const Matrix& a, const Vec& b);
+
+/// One-shot inverse (used only on small matrices, e.g. monodromy analysis).
+std::optional<Matrix> inverse(const Matrix& a);
+
+/// Eigen-pair of the eigenvalue of `a` closest to `shift`, by inverse
+/// iteration.  Returns (eigenvalue, eigenvector) or nullopt on breakdown.
+/// Used to pull the Floquet eigenvalue ~1 out of the monodromy matrix.
+std::optional<std::pair<double, Vec>> inverseIteration(const Matrix& a, double shift,
+                                                       int maxIter = 200, double tol = 1e-12);
+
+/// Dominant eigen-pair by power iteration (real dominant eigenvalue assumed).
+std::optional<std::pair<double, Vec>> powerIteration(const Matrix& a, int maxIter = 2000,
+                                                     double tol = 1e-12);
+
+}  // namespace phlogon::num

@@ -1,0 +1,97 @@
+#include "numeric/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phlogon::num {
+
+NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
+                         const NewtonOptions& opt) {
+    NewtonResult res;
+    Vec fx = f(x);
+    double fn = normInf(fx);
+    for (int it = 0; it < opt.maxIter; ++it) {
+        res.iterations = it + 1;
+        if (fn <= opt.absTol) {
+            res.converged = true;
+            res.residualNorm = fn;
+            res.message = "converged on residual";
+            return res;
+        }
+        const Matrix j = jac(x);
+        auto lu = LuFactor::factor(j);
+        if (!lu) {
+            res.residualNorm = fn;
+            res.message = "singular Jacobian";
+            return res;
+        }
+        Vec dx = lu->solve(fx);
+        for (double& d : dx) d = -d;
+        if (opt.maxStep > 0.0) {
+            const double dn = normInf(dx);
+            if (dn > opt.maxStep) dx *= opt.maxStep / dn;
+        }
+
+        // Damped update: halve until the residual shrinks (or give up damping
+        // and accept the full step; Newton sometimes needs to climb a ridge).
+        double lambda = 1.0;
+        Vec xTrial = x;
+        Vec fTrial;
+        double fnTrial = 0.0;
+        bool accepted = false;
+        for (int d = 0; d <= opt.maxDampings; ++d) {
+            xTrial = x;
+            axpy(lambda, dx, xTrial);
+            fTrial = f(xTrial);
+            fnTrial = normInf(fTrial);
+            if (std::isfinite(fnTrial) && (fnTrial < fn || opt.maxDampings == 0)) {
+                accepted = true;
+                break;
+            }
+            lambda *= 0.5;
+        }
+        if (!accepted) {
+            // Accept the most-damped step anyway if finite; otherwise fail.
+            if (!std::isfinite(fnTrial)) {
+                res.residualNorm = fn;
+                res.message = "residual became non-finite";
+                return res;
+            }
+        }
+
+        const double stepNorm = lambda * normInf(dx);
+        x = xTrial;
+        fx = std::move(fTrial);
+        fn = fnTrial;
+
+        if (stepNorm <= opt.stepTol * (normInf(x) + 1.0) && fn <= std::sqrt(opt.absTol)) {
+            res.converged = true;
+            res.residualNorm = fn;
+            res.message = "converged on step size";
+            return res;
+        }
+    }
+    res.converged = fn <= opt.absTol;
+    res.residualNorm = fn;
+    res.message = res.converged ? "converged on residual" : "max iterations reached";
+    return res;
+}
+
+Matrix fdJacobian(const ResidualFn& f, const Vec& x, double relStep) {
+    const std::size_t n = x.size();
+    const Vec f0 = f(x);
+    Matrix j(f0.size(), n);
+    Vec xp = x;
+    for (std::size_t c = 0; c < n; ++c) {
+        const double h = relStep * (std::abs(x[c]) + 1.0);
+        xp[c] = x[c] + h;
+        const Vec fp = f(xp);
+        xp[c] = x[c] - h;
+        const Vec fm = f(xp);
+        xp[c] = x[c];
+        for (std::size_t r = 0; r < f0.size(); ++r) j(r, c) = (fp[r] - fm[r]) / (2.0 * h);
+    }
+    return j;
+}
+
+}  // namespace phlogon::num

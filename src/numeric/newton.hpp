@@ -1,0 +1,50 @@
+#pragma once
+// Damped Newton-Raphson for nonlinear algebraic systems F(x) = 0.
+//
+// Used for DC operating points, implicit transient steps and PSS shooting.
+// The caller supplies residual and Jacobian callbacks; the solver owns the
+// damping / convergence policy.
+
+#include <functional>
+#include <string>
+
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+
+namespace phlogon::num {
+
+struct NewtonOptions {
+    int maxIter = 60;
+    double absTol = 1e-10;   ///< on the residual infinity-norm
+    double stepTol = 1e-12;  ///< on the update infinity-norm (relative to |x|+1)
+    /// Line-search damping: halve the step until the residual norm decreases,
+    /// at most this many times per iteration.  0 disables damping.
+    int maxDampings = 8;
+    /// Optional per-unknown step clamp (e.g. limit voltage updates to ~1 V to
+    /// keep exponential/quadratic device models from overflowing).  <=0
+    /// disables clamping.
+    double maxStep = 0.0;
+};
+
+struct NewtonResult {
+    bool converged = false;
+    int iterations = 0;
+    double residualNorm = 0.0;
+    std::string message;
+};
+
+/// Callback evaluating the residual F(x).
+using ResidualFn = std::function<Vec(const Vec&)>;
+/// Callback evaluating the Jacobian dF/dx.
+using JacobianFn = std::function<Matrix(const Vec&)>;
+
+/// Solve F(x) = 0 starting from `x` (updated in place).
+NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
+                         const NewtonOptions& opt = {});
+
+/// Finite-difference Jacobian of `f` at `x` (central differences); used in
+/// tests to validate analytic device stamps and in the shooting solver for
+/// the period-sensitivity column.
+Matrix fdJacobian(const ResidualFn& f, const Vec& x, double relStep = 1e-6);
+
+}  // namespace phlogon::num

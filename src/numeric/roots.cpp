@@ -1,0 +1,114 @@
+#include "numeric/roots.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phlogon::num {
+
+std::optional<double> bisection(const ScalarFn& f, double a, double b, double tol, int maxIter) {
+    double fa = f(a), fb = f(b);
+    if (fa == 0.0) return a;
+    if (fb == 0.0) return b;
+    if (fa * fb > 0.0) return std::nullopt;
+    for (int i = 0; i < maxIter && (b - a) > tol; ++i) {
+        const double m = 0.5 * (a + b);
+        const double fm = f(m);
+        if (fm == 0.0) return m;
+        if (fa * fm < 0.0) {
+            b = m;
+            fb = fm;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+std::optional<double> brent(const ScalarFn& f, double a, double b, double tol, int maxIter) {
+    double fa = f(a), fb = f(b);
+    if (fa == 0.0) return a;
+    if (fb == 0.0) return b;
+    if (fa * fb > 0.0) return std::nullopt;
+    if (std::abs(fa) < std::abs(fb)) {
+        std::swap(a, b);
+        std::swap(fa, fb);
+    }
+    double c = a, fc = fa, d = b - a;
+    bool mflag = true;
+    for (int i = 0; i < maxIter; ++i) {
+        if (fb == 0.0 || std::abs(b - a) < tol) return b;
+        double s;
+        if (fa != fc && fb != fc) {
+            // Inverse quadratic interpolation.
+            s = a * fb * fc / ((fa - fb) * (fa - fc)) + b * fa * fc / ((fb - fa) * (fb - fc)) +
+                c * fa * fb / ((fc - fa) * (fc - fb));
+        } else {
+            // Secant.
+            s = b - fb * (b - a) / (fb - fa);
+        }
+        const double lo = (3.0 * a + b) / 4.0;
+        const bool cond1 = (s < std::min(lo, b) || s > std::max(lo, b));
+        const bool cond2 = mflag && std::abs(s - b) >= std::abs(b - c) / 2.0;
+        const bool cond3 = !mflag && std::abs(s - b) >= std::abs(c - d) / 2.0;
+        const bool cond4 = mflag && std::abs(b - c) < tol;
+        const bool cond5 = !mflag && std::abs(c - d) < tol;
+        if (cond1 || cond2 || cond3 || cond4 || cond5) {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        const double fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if (fa * fs < 0.0) {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if (std::abs(fa) < std::abs(fb)) {
+            std::swap(a, b);
+            std::swap(fa, fb);
+        }
+    }
+    return b;
+}
+
+std::vector<double> findAllRoots(const ScalarFn& f, double lo, double hi, std::size_t gridPoints,
+                                 double tol, double minSeparation) {
+    std::vector<double> roots;
+    if (gridPoints < 2 || !(hi > lo)) return roots;
+    const double h = (hi - lo) / static_cast<double>(gridPoints);
+    double xPrev = lo;
+    double fPrev = f(xPrev);
+    for (std::size_t i = 1; i <= gridPoints; ++i) {
+        const double x = lo + h * static_cast<double>(i);
+        const double fx = f(x);
+        if (fPrev == 0.0) {
+            roots.push_back(xPrev);
+        } else if (fPrev * fx < 0.0) {
+            if (auto r = brent(f, xPrev, x, tol)) roots.push_back(*r);
+        }
+        xPrev = x;
+        fPrev = fx;
+    }
+    std::sort(roots.begin(), roots.end());
+    std::vector<double> merged;
+    for (double r : roots) {
+        if (merged.empty() || r - merged.back() > minSeparation) merged.push_back(r);
+    }
+    // The domain is often periodic: a root at `lo` duplicated near `hi`.
+    if (merged.size() > 1 && (merged.back() - merged.front()) > (hi - lo) - minSeparation)
+        merged.pop_back();
+    return merged;
+}
+
+double fdDerivative(const ScalarFn& f, double x, double h) {
+    return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+}  // namespace phlogon::num

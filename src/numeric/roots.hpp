@@ -1,0 +1,32 @@
+#pragma once
+// Scalar root finding.  The GAE equilibrium equation (paper eq. 5) is a
+// scalar equation in Δφ; we bracket sign changes on a grid and polish each
+// bracket with Brent's method.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace phlogon::num {
+
+using ScalarFn = std::function<double(double)>;
+
+/// Brent's method on a bracketing interval [a, b] with f(a)*f(b) <= 0.
+std::optional<double> brent(const ScalarFn& f, double a, double b, double tol = 1e-12,
+                            int maxIter = 200);
+
+/// Bisection fallback (always converges on a valid bracket).
+std::optional<double> bisection(const ScalarFn& f, double a, double b, double tol = 1e-12,
+                                int maxIter = 200);
+
+/// Find all roots of f on [lo, hi) by scanning `gridPoints` samples for sign
+/// changes and polishing each bracket.  Roots closer than `minSeparation`
+/// are merged.  Exact zeros on grid points are kept.
+std::vector<double> findAllRoots(const ScalarFn& f, double lo, double hi,
+                                 std::size_t gridPoints = 720, double tol = 1e-12,
+                                 double minSeparation = 1e-9);
+
+/// Central-difference derivative of a scalar function.
+double fdDerivative(const ScalarFn& f, double x, double h = 1e-6);
+
+}  // namespace phlogon::num

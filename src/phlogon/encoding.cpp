@@ -1,0 +1,79 @@
+#include "phlogon/encoding.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace phlogon::logic {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+std::function<int(double)> bitSchedule(Bits bits, double bitPeriod, double tStart) {
+    if (bits.empty()) throw std::invalid_argument("bitSchedule: empty bit stream");
+    return [bits = std::move(bits), bitPeriod, tStart](double t) {
+        if (t < tStart) return bits.front();
+        const auto k = static_cast<std::size_t>((t - tStart) / bitPeriod);
+        return bits[std::min(k, bits.size() - 1)];
+    };
+}
+
+ckt::Waveform syncWaveform(const SyncLatchDesign& d) {
+    return ckt::Waveform::cosine(d.syncAmp, 2.0 * d.f1, 0.0, 0.0);
+}
+
+ckt::Waveform dataCurrentWaveform(const SyncLatchDesign& d, double amp, Bits bits,
+                                  double bitPeriod, double tStart) {
+    const auto sched = bitSchedule(std::move(bits), bitPeriod, tStart);
+    const double chi1 = d.inputPhaseFor(d.reference.phase1);
+    const double chi0 = d.inputPhaseFor(d.reference.phase0);
+    const double f1 = d.f1;
+    return ckt::Waveform::custom([=](double t) {
+        const double chi = sched(t) ? chi1 : chi0;
+        return amp * std::cos(kTwoPi * (f1 * t - chi));
+    });
+}
+
+std::function<double(double)> dataSignal(const PhaseReference& ref, Bits bits, double bitPeriod,
+                                         double tStart) {
+    const auto sched = bitSchedule(std::move(bits), bitPeriod, tStart);
+    const double f1 = ref.f1;
+    const double p1 = ref.dphiPeak - ref.phase1;
+    const double p0 = ref.dphiPeak - ref.phase0;
+    return [=](double t) { return std::cos(kTwoPi * (f1 * t - (sched(t) ? p1 : p0))); };
+}
+
+ckt::Waveform dataVoltageWaveform(const PhaseReference& ref, Bits bits, double bitPeriod,
+                                  double tStart) {
+    const auto sig = dataSignal(ref, std::move(bits), bitPeriod, tStart);
+    const double mid = ref.vdd / 2.0;
+    return ckt::Waveform::custom([=](double t) { return mid + mid * sig(t); });
+}
+
+std::vector<core::GaeSegment> dataInjectionSchedule(const SyncLatchDesign& d, double amp,
+                                                    Bits bits, double bitPeriod, double tStart) {
+    if (bits.empty()) throw std::invalid_argument("dataInjectionSchedule: empty bit stream");
+    std::vector<core::GaeSegment> sched;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        core::GaeSegment seg;
+        seg.tStart = tStart + static_cast<double>(k) * bitPeriod;
+        seg.injections = {d.sync(), d.dataInjection(amp, bits[k])};
+        sched.push_back(std::move(seg));
+    }
+    return sched;
+}
+
+Bits decodePhaseTrajectory(const PhaseReference& ref, const core::GaeTransientResult& traj,
+                           double bitPeriod, std::size_t nBits, double tStart) {
+    Bits out;
+    out.reserve(nBits);
+    for (std::size_t k = 0; k < nBits; ++k) {
+        // Sample just before the end of the slot to allow settling.
+        const double t = tStart + (static_cast<double>(k) + 0.98) * bitPeriod;
+        out.push_back(ref.decode(traj.at(t)));
+    }
+    return out;
+}
+
+}  // namespace phlogon::logic

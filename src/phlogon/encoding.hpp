@@ -1,0 +1,51 @@
+#pragma once
+// Bit-stream encoding: turn logical bit sequences into phase schedules,
+// circuit-level source waveforms and phase-domain signals.
+
+#include <functional>
+#include <vector>
+
+#include "circuit/sources.hpp"
+#include "core/gae_transient.hpp"
+#include "phlogon/reference.hpp"
+
+namespace phlogon::logic {
+
+using Bits = std::vector<int>;
+
+/// Piecewise-constant schedule: value bits[k] on
+/// [tStart + k*bitPeriod, tStart + (k+1)*bitPeriod); bits.back() afterwards,
+/// bits.front() before tStart.
+std::function<int(double)> bitSchedule(Bits bits, double bitPeriod, double tStart = 0.0);
+
+/// Circuit-level SYNC current waveform: syncAmp * cos(2 pi * 2 f1 t).
+ckt::Waveform syncWaveform(const SyncLatchDesign& d);
+
+/// Circuit-level logic-input current waveform carrying a bit stream:
+/// amp * cos(2 pi (f1 t - chi(t))) with chi switching between the calibrated
+/// write phases of the two bits (the tool-computed version of eq. 10).
+ckt::Waveform dataCurrentWaveform(const SyncLatchDesign& d, double amp, Bits bits,
+                                  double bitPeriod, double tStart = 0.0);
+
+/// Unit-amplitude phase-encoded *signal* (REF-aligned, eq. 8/9 shape) for a
+/// bit stream, for use as a PhaseSystem external or an oscilloscope overlay:
+/// cos(2 pi (f1 t - dphiPeak - phase_bit(t))).
+std::function<double(double)> dataSignal(const PhaseReference& ref, Bits bits, double bitPeriod,
+                                         double tStart = 0.0);
+
+/// Circuit-level REF-aligned voltage waveform (eq. 8/9) for a bit stream,
+/// swinging [0, vdd] around vdd/2.
+ckt::Waveform dataVoltageWaveform(const PhaseReference& ref, Bits bits, double bitPeriod,
+                                  double tStart = 0.0);
+
+/// GAE injection schedule for a latch whose D input carries `bits` while
+/// SYNC stays on — the paper's bit-flip experiments (Figs. 11-12).
+std::vector<core::GaeSegment> dataInjectionSchedule(const SyncLatchDesign& d, double amp,
+                                                    Bits bits, double bitPeriod,
+                                                    double tStart = 0.0);
+
+/// Decode a phase trajectory into bits sampled at the end of each bit slot.
+Bits decodePhaseTrajectory(const PhaseReference& ref, const core::GaeTransientResult& traj,
+                           double bitPeriod, std::size_t nBits, double tStart = 0.0);
+
+}  // namespace phlogon::logic

@@ -1,0 +1,68 @@
+#include "phlogon/gates.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace phlogon::logic {
+
+int majorityBit(const std::vector<int>& bits, const std::vector<double>& weights) {
+    if (bits.empty()) throw std::invalid_argument("majorityBit: no inputs");
+    if (!weights.empty() && weights.size() != bits.size())
+        throw std::invalid_argument("majorityBit: weight count mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const double w = weights.empty() ? 1.0 : weights[i];
+        s += w * (bits[i] ? 1.0 : -1.0);
+    }
+    return s >= 0.0 ? 1 : 0;
+}
+
+int notBit(int b) { return b ? 0 : 1; }
+
+core::PhaseSystem::SignalId addMajorityGate(
+    core::PhaseSystem& sys, std::vector<std::pair<core::PhaseSystem::SignalId, double>> inputs,
+    double clip, std::string label) {
+    return sys.addGate(std::move(inputs), /*invert=*/false, clip, std::move(label));
+}
+
+core::PhaseSystem::SignalId addNotGate(core::PhaseSystem& sys, core::PhaseSystem::SignalId in,
+                                       std::string label) {
+    return sys.addGate({{in, 1.0}}, /*invert=*/true, /*clip=*/0.0, std::move(label));
+}
+
+double clippedFundamental(double inputAmp, double clip) {
+    if (!(clip > 0.0)) return inputAmp;
+    // a1 = (2/pi) * integral_0^pi clip*tanh(A cos(x)/clip) cos(x) dx.
+    const std::size_t n = 256;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = (static_cast<double>(i) + 0.5) * std::numbers::pi / n;
+        acc += clip * std::tanh(inputAmp * std::cos(x) / clip) * std::cos(x);
+    }
+    return 2.0 / static_cast<double>(n) * acc;
+}
+
+core::PhaseSystem::SignalId addUnitNormalizer(core::PhaseSystem& sys,
+                                              core::PhaseSystem::SignalId in, double refAmp,
+                                              double clip, std::string label) {
+    const double amp = clippedFundamental(refAmp, clip);
+    return sys.addGate({{in, 1.0 / amp}}, false, 0.0, std::move(label));
+}
+
+void buildMajorityGateCircuit(ckt::Netlist& nl, const std::string& prefix,
+                              const std::vector<ckt::SummerInput>& inputs, const std::string& out,
+                              const std::string& biasNode, double rf, ckt::OpampParams opamp) {
+    const std::string mid = prefix + ".sum";
+    // Stage 1: weighted inverting sum; stage 2: unit-gain inversion back.
+    ckt::buildInvertingSummer(nl, prefix + ".s1", inputs, mid, biasNode, rf, opamp);
+    ckt::buildInvertingSummer(nl, prefix + ".s2", {{mid, 1.0}}, out, biasNode, rf, opamp);
+}
+
+void buildNotGateCircuit(ckt::Netlist& nl, const std::string& prefix, const std::string& in,
+                         const std::string& out, const std::string& biasNode, double rf,
+                         ckt::OpampParams opamp) {
+    ckt::buildInvertingSummer(nl, prefix, {{in, 1.0}}, out, biasNode, rf, opamp);
+}
+
+}  // namespace phlogon::logic

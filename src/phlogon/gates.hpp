@@ -1,0 +1,60 @@
+#pragma once
+// Majority / NOT gates.
+//
+// Majority and NOT form a logically complete set and are the combinational
+// primitives of PHLOGON (paper footnote 1).  Three views are provided:
+//   * Boolean (golden-model) evaluation, with weights;
+//   * phase-domain gates for core::PhaseSystem (weighted sum + soft clip);
+//   * circuit-level op-amp realizations: an inverting summer IS a weighted
+//     NOT-majority in phase logic, so MAJ = summer + unit inverter (the
+//     breadboard's "op-amps with resistive feedbacks").
+
+#include <vector>
+
+#include "circuit/subckt.hpp"
+#include "core/phase_system.hpp"
+
+namespace phlogon::logic {
+
+/// Weighted Boolean majority over bits in {0,1}: sign of sum w_i*(2b_i-1).
+/// Ties resolve to 1 (never arises with odd unit weights).
+int majorityBit(const std::vector<int>& bits, const std::vector<double>& weights = {});
+int notBit(int b);
+
+/// Phase-domain majority gate: weighted sum of signals, soft-clipped.
+/// Returns the output SignalId.  `clip` ~ 1.0 normalizes amplitude like a
+/// saturating op-amp stage.
+core::PhaseSystem::SignalId addMajorityGate(core::PhaseSystem& sys,
+                                            std::vector<std::pair<core::PhaseSystem::SignalId, double>> inputs,
+                                            double clip = 1.0, std::string label = {});
+/// Phase-domain NOT (pure inversion, no clipping needed).
+core::PhaseSystem::SignalId addNotGate(core::PhaseSystem& sys, core::PhaseSystem::SignalId in,
+                                       std::string label = {});
+
+/// Fundamental amplitude of clip*tanh(inputAmp*cos(x)/clip) — the amplitude a
+/// soft-clipped gate presents at its output for a resultant input tone of
+/// `inputAmp`.  Used to renormalize gate outputs to unit amplitude before
+/// they enter weighted identities (e.g. sum = a+b+c-2*cout), which are
+/// sensitive to amplitude mismatch.
+double clippedFundamental(double inputAmp, double clip);
+
+/// Linear renormalization stage: scales `in` by 1/clippedFundamental(refAmp,
+/// clip) so a clipped gate output regains ~unit amplitude.
+core::PhaseSystem::SignalId addUnitNormalizer(core::PhaseSystem& sys,
+                                              core::PhaseSystem::SignalId in, double refAmp,
+                                              double clip, std::string label = {});
+
+/// Circuit-level weighted majority gate: two cascaded inverting op-amp
+/// summers (weights on the first stage, unit gain on the second), biased at
+/// `biasNode` (Vdd/2).  Creates node `out`.
+void buildMajorityGateCircuit(ckt::Netlist& nl, const std::string& prefix,
+                              const std::vector<ckt::SummerInput>& inputs, const std::string& out,
+                              const std::string& biasNode, double rf = 100e3,
+                              ckt::OpampParams opamp = {});
+
+/// Circuit-level NOT gate: one unit-gain inverting summer.
+void buildNotGateCircuit(ckt::Netlist& nl, const std::string& prefix, const std::string& in,
+                         const std::string& out, const std::string& biasNode, double rf = 100e3,
+                         ckt::OpampParams opamp = {});
+
+}  // namespace phlogon::logic

@@ -1,0 +1,30 @@
+#include "phlogon/golden.hpp"
+
+#include <stdexcept>
+
+#include "phlogon/gates.hpp"
+
+namespace phlogon::logic {
+
+std::pair<int, int> goldenFullAdder(int a, int b, int c) {
+    const int cout = majorityBit({a, b, c});
+    const int sum = majorityBit({a, b, c, notBit(cout), notBit(cout)});
+    return {sum, cout};
+}
+
+Bits goldenSerialAdd(const Bits& a, const Bits& b, int carry0, Bits* couts) {
+    if (a.size() != b.size()) throw std::invalid_argument("goldenSerialAdd: length mismatch");
+    Bits sums;
+    sums.reserve(a.size());
+    if (couts) couts->clear();
+    int carry = carry0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        const auto [s, c] = goldenFullAdder(a[k], b[k], carry);
+        sums.push_back(s);
+        if (couts) couts->push_back(c);
+        carry = c;
+    }
+    return sums;
+}
+
+}  // namespace phlogon::logic

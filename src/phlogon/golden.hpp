@@ -1,0 +1,56 @@
+#pragma once
+// Boolean golden models of the phase-logic building blocks.  The phase-domain
+// and circuit-level simulations are cross-checked against these in tests and
+// benches (the paper validates against oscilloscope measurements; our
+// "known-good" is the Boolean semantics the hardware is supposed to realize).
+
+#include <utility>
+
+#include "phlogon/encoding.hpp"
+#include "phlogon/gates.hpp"
+
+namespace phlogon::logic {
+
+/// Level-sensitive D latch: transparent while en == 1.
+class GoldenDLatch {
+public:
+    explicit GoldenDLatch(int initial = 0) : q_(initial) {}
+    int update(int d, int en) {
+        if (en) q_ = d;
+        return q_;
+    }
+    int q() const { return q_; }
+
+private:
+    int q_;
+};
+
+/// Master-slave DFF: master transparent while clk == 1, slave while clk == 0.
+/// Q2 therefore updates on falling clk edges.
+class GoldenDff {
+public:
+    explicit GoldenDff(int initial = 0) : master_(initial), slave_(initial) {}
+    /// Advance with the current clk level; returns Q2.
+    int update(int d, int clk) {
+        master_.update(d, clk);
+        slave_.update(master_.q(), notBit(clk));
+        return slave_.q();
+    }
+    int q1() const { return master_.q(); }
+    int q2() const { return slave_.q(); }
+
+private:
+    GoldenDLatch master_;
+    GoldenDLatch slave_;
+};
+
+/// Full-adder combinational pair via majority logic:
+///   cout = MAJ(a, b, c);  sum = MAJ(a, b, c, ~cout, ~cout).
+std::pair<int, int> goldenFullAdder(int a, int b, int c);  // {sum, cout}
+
+/// Serial adder (paper Fig. 15): per-bit full adder with the carry delayed
+/// one bit through the DFF.  Returns the sum bits; `couts` (optional)
+/// receives the carry-out sequence.
+Bits goldenSerialAdd(const Bits& a, const Bits& b, int carry0 = 0, Bits* couts = nullptr);
+
+}  // namespace phlogon::logic

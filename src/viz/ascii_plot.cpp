@@ -1,0 +1,105 @@
+#include "viz/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace phlogon::viz {
+
+namespace {
+constexpr const char* kGlyphs = "*+xo#@%&";
+
+std::string formatTick(double v) {
+    std::ostringstream os;
+    os.precision(3);
+    os << v;
+    return os.str();
+}
+}  // namespace
+
+std::string asciiPlot(const Chart& chart, const AsciiPlotOptions& opt) {
+    double xMin, xMax, yMin, yMax;
+    chart.extents(xMin, xMax, yMin, yMax);
+    if (xMax == xMin) xMax = xMin + 1.0;
+    if (yMax == yMin) {
+        yMax = yMin + 1.0;
+        yMin -= 1.0;
+    }
+    const std::size_t w = std::max<std::size_t>(opt.width, 10);
+    const std::size_t h = std::max<std::size_t>(opt.height, 5);
+    std::vector<std::string> grid(h, std::string(w, ' '));
+
+    const auto toCol = [&](double x) {
+        return static_cast<long>(std::lround((x - xMin) / (xMax - xMin) * static_cast<double>(w - 1)));
+    };
+    const auto toRow = [&](double y) {
+        return static_cast<long>(
+            std::lround((yMax - y) / (yMax - yMin) * static_cast<double>(h - 1)));
+    };
+
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+        const Series& se = chart.series[s];
+        const char glyph = kGlyphs[s % 8];
+        long prevC = -1, prevR = -1;
+        for (std::size_t i = 0; i < se.size(); ++i) {
+            if (!std::isfinite(se.x[i]) || !std::isfinite(se.y[i])) {
+                prevC = prevR = -1;
+                continue;
+            }
+            const long c = toCol(se.x[i]);
+            const long r = toRow(se.y[i]);
+            if (c < 0 || c >= static_cast<long>(w) || r < 0 || r >= static_cast<long>(h)) continue;
+            grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = glyph;
+            if (opt.connectPoints && prevC >= 0) {
+                // Bresenham-ish fill between consecutive samples.
+                const long steps = std::max(std::labs(c - prevC), std::labs(r - prevR));
+                for (long k = 1; k < steps; ++k) {
+                    const long cc = prevC + (c - prevC) * k / steps;
+                    const long rr = prevR + (r - prevR) * k / steps;
+                    char& cell = grid[static_cast<std::size_t>(rr)][static_cast<std::size_t>(cc)];
+                    if (cell == ' ') cell = glyph;
+                }
+            }
+            prevC = c;
+            prevR = r;
+        }
+    }
+
+    std::ostringstream os;
+    if (!chart.title.empty()) os << chart.title << "\n";
+    const std::string yLo = formatTick(yMin), yHi = formatTick(yMax);
+    const std::size_t margin = std::max(yLo.size(), yHi.size());
+    for (std::size_t r = 0; r < h; ++r) {
+        std::string label;
+        if (r == 0)
+            label = yHi;
+        else if (r == h - 1)
+            label = yLo;
+        os << std::string(margin - label.size(), ' ') << label << " |" << grid[r] << "\n";
+    }
+    os << std::string(margin + 1, ' ') << '+' << std::string(w, '-') << "\n";
+    os << std::string(margin + 2, ' ') << formatTick(xMin);
+    const std::string xhi = formatTick(xMax);
+    const std::string xlab = chart.xLabel.empty() ? "" : " [" + chart.xLabel + "]";
+    long pad = static_cast<long>(w) - static_cast<long>(formatTick(xMin).size()) -
+               static_cast<long>(xhi.size()) - static_cast<long>(xlab.size());
+    os << std::string(static_cast<std::size_t>(std::max(pad, 1L)), ' ') << xlab << " " << xhi
+       << "\n";
+    if (opt.drawLegend && chart.series.size() > 0) {
+        os << "  legend:";
+        for (std::size_t s = 0; s < chart.series.size(); ++s)
+            os << "  [" << kGlyphs[s % 8] << "] " << chart.series[s].name;
+        os << "\n";
+    }
+    if (!chart.yLabel.empty()) os << "  y: " << chart.yLabel << "\n";
+    return os.str();
+}
+
+std::string asciiPlot(const std::string& title, const Vec& x, const Vec& y,
+                      const AsciiPlotOptions& opt) {
+    Chart c(title, "", "");
+    c.add("y", x, y);
+    return asciiPlot(c, opt);
+}
+
+}  // namespace phlogon::viz

@@ -1,0 +1,28 @@
+#pragma once
+// Terminal line plots.  The paper's tools emphasize *visualization* of phase
+// logic behaviour (GAE LHS/RHS intersections, locking ranges, bit-flip
+// transients); in a CLI reproduction the quick-look medium is ASCII art,
+// with CSV/gnuplot export (viz/writers.h) for publication-grade figures.
+
+#include <string>
+
+#include "viz/series.hpp"
+
+namespace phlogon::viz {
+
+struct AsciiPlotOptions {
+    std::size_t width = 78;   ///< plot area columns
+    std::size_t height = 20;  ///< plot area rows
+    bool drawLegend = true;
+    bool connectPoints = true;  ///< line interpolation between samples
+};
+
+/// Render a chart into a multi-line string (axes, ticks, legend; one glyph
+/// per series).
+std::string asciiPlot(const Chart& chart, const AsciiPlotOptions& opt = {});
+
+/// Convenience: single-series plot.
+std::string asciiPlot(const std::string& title, const Vec& x, const Vec& y,
+                      const AsciiPlotOptions& opt = {});
+
+}  // namespace phlogon::viz

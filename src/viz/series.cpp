@@ -1,0 +1,56 @@
+#include "viz/series.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phlogon::viz {
+
+Series::Series(std::string n, Vec xs, Vec ys) : name(std::move(n)), x(std::move(xs)), y(std::move(ys)) {
+    if (x.size() != y.size()) throw std::invalid_argument("Series: x/y size mismatch");
+}
+
+Chart& Chart::add(Series s) {
+    series.push_back(std::move(s));
+    return *this;
+}
+
+Chart& Chart::add(std::string name, Vec x, Vec y) {
+    return add(Series(std::move(name), std::move(x), std::move(y)));
+}
+
+void Chart::extents(double& xMin, double& xMax, double& yMin, double& yMax) const {
+    xMin = yMin = 1e300;
+    xMax = yMax = -1e300;
+    for (const Series& s : series) {
+        for (double v : s.x) {
+            xMin = std::min(xMin, v);
+            xMax = std::max(xMax, v);
+        }
+        for (double v : s.y) {
+            yMin = std::min(yMin, v);
+            yMax = std::max(yMax, v);
+        }
+    }
+    if (xMin > xMax) {
+        xMin = 0;
+        xMax = 1;
+    }
+    if (yMin > yMax) {
+        yMin = 0;
+        yMax = 1;
+    }
+}
+
+Series scatter(std::string name, const std::vector<std::pair<double, double>>& pts) {
+    Series s;
+    s.name = std::move(name);
+    s.x.reserve(pts.size());
+    s.y.reserve(pts.size());
+    for (const auto& [px, py] : pts) {
+        s.x.push_back(px);
+        s.y.push_back(py);
+    }
+    return s;
+}
+
+}  // namespace phlogon::viz

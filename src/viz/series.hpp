@@ -1,0 +1,48 @@
+#pragma once
+// Named data series — the exchange format between analyses and the
+// visualization back ends (ASCII terminal plots, CSV, gnuplot scripts).
+
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace phlogon::viz {
+
+using num::Vec;
+
+/// One named (x, y) trace.
+struct Series {
+    std::string name;
+    Vec x;
+    Vec y;
+
+    Series() = default;
+    Series(std::string n, Vec xs, Vec ys);
+
+    std::size_t size() const { return x.size(); }
+    bool empty() const { return x.empty(); }
+};
+
+/// A figure: several traces sharing axes.
+struct Chart {
+    std::string title;
+    std::string xLabel;
+    std::string yLabel;
+    std::vector<Series> series;
+
+    Chart() = default;
+    Chart(std::string t, std::string xl, std::string yl)
+        : title(std::move(t)), xLabel(std::move(xl)), yLabel(std::move(yl)) {}
+
+    Chart& add(Series s);
+    Chart& add(std::string name, Vec x, Vec y);
+
+    /// Global data extents across all series.
+    void extents(double& xMin, double& xMax, double& yMin, double& yMax) const;
+};
+
+/// Scatter of marker points (e.g. equilibrium phases vs a swept parameter).
+Series scatter(std::string name, const std::vector<std::pair<double, double>>& pts);
+
+}  // namespace phlogon::viz

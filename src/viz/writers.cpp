@@ -1,0 +1,67 @@
+#include "viz/writers.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace phlogon::viz {
+
+namespace {
+std::string sanitize(std::string s) {
+    for (char& c : s)
+        if (c == ',' || c == '\n' || c == '\r') c = ' ';
+    return s;
+}
+}  // namespace
+
+void writeCsv(const Chart& chart, const std::filesystem::path& path) {
+    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("writeCsv: cannot open " + path.string());
+    out << "# " << sanitize(chart.title) << "\n";
+    std::size_t maxLen = 0;
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+        if (s) out << ",";
+        const std::string n = sanitize(chart.series[s].name);
+        out << n << "_x," << n << "_y";
+        maxLen = std::max(maxLen, chart.series[s].size());
+    }
+    out << "\n";
+    out.precision(12);
+    for (std::size_t r = 0; r < maxLen; ++r) {
+        for (std::size_t s = 0; s < chart.series.size(); ++s) {
+            if (s) out << ",";
+            if (r < chart.series[s].size())
+                out << chart.series[s].x[r] << "," << chart.series[s].y[r];
+            else
+                out << ",";
+        }
+        out << "\n";
+    }
+}
+
+void writeGnuplot(const Chart& chart, const std::filesystem::path& scriptPath,
+                  const std::string& csvName) {
+    if (scriptPath.has_parent_path())
+        std::filesystem::create_directories(scriptPath.parent_path());
+    std::ofstream out(scriptPath);
+    if (!out) throw std::runtime_error("writeGnuplot: cannot open " + scriptPath.string());
+    out << "set datafile separator ','\n";
+    out << "set key outside\n";
+    out << "set title '" << sanitize(chart.title) << "'\n";
+    if (!chart.xLabel.empty()) out << "set xlabel '" << sanitize(chart.xLabel) << "'\n";
+    if (!chart.yLabel.empty()) out << "set ylabel '" << sanitize(chart.yLabel) << "'\n";
+    out << "plot ";
+    for (std::size_t s = 0; s < chart.series.size(); ++s) {
+        if (s) out << ", \\\n     ";
+        out << "'" << csvName << "' using " << (2 * s + 1) << ":" << (2 * s + 2)
+            << " with linespoints title '" << sanitize(chart.series[s].name) << "'";
+    }
+    out << "\n";
+}
+
+void exportChart(const Chart& chart, const std::filesystem::path& dir, const std::string& stem) {
+    writeCsv(chart, dir / (stem + ".csv"));
+    writeGnuplot(chart, dir / (stem + ".gp"), stem + ".csv");
+}
+
+}  // namespace phlogon::viz

@@ -1,0 +1,27 @@
+#pragma once
+// File export: CSV (one file per chart, columns interleaved per series) and
+// gnuplot scripts that replot the exported CSV.  Bench binaries write every
+// reproduced figure through these so results can be inspected offline.
+
+#include <filesystem>
+#include <string>
+
+#include "viz/series.hpp"
+
+namespace phlogon::viz {
+
+/// Write `chart` as CSV to `path` (directories are created).  Layout:
+///   # title
+///   name1_x,name1_y,name2_x,name2_y,...
+///   <rows padded with empty cells when series lengths differ>
+void writeCsv(const Chart& chart, const std::filesystem::path& path);
+
+/// Write a gnuplot script next to a previously written CSV that reproduces
+/// the chart (`csvName` is referenced relatively).
+void writeGnuplot(const Chart& chart, const std::filesystem::path& scriptPath,
+                  const std::string& csvName);
+
+/// Convenience: write `<dir>/<stem>.csv` + `<dir>/<stem>.gp`.
+void exportChart(const Chart& chart, const std::filesystem::path& dir, const std::string& stem);
+
+}  // namespace phlogon::viz

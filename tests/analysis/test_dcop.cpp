@@ -1,0 +1,101 @@
+#include "analysis/dcop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/subckt.hpp"
+
+namespace phlogon::an {
+namespace {
+
+using ckt::Netlist;
+using ckt::Waveform;
+using num::Vec;
+
+TEST(Dcop, ResistiveDivider) {
+    Netlist nl;
+    nl.addVoltageSource("v1", "top", "0", Waveform::dc(10.0));
+    nl.addResistor("r1", "top", "mid", 1e3);
+    nl.addResistor("r2", "mid", "0", 1e3);
+    ckt::Dae dae(nl);
+    const DcopResult r = dcOperatingPoint(dae);
+    ASSERT_TRUE(r.ok) << r.message;
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(nl.findNode("mid"))], 5.0, 1e-6);
+    // Branch current: 10 V over 2 kohm, flowing + -> through source.
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(nl.findNode("top")) + 1], -5e-3, 1e-6);
+}
+
+TEST(Dcop, CurrentSourceIntoResistor) {
+    Netlist nl;
+    nl.addCurrentSource("i1", "0", "n", Waveform::dc(2e-3));  // inject into n
+    nl.addResistor("r1", "n", "0", 1e3);
+    ckt::Dae dae(nl);
+    const DcopResult r = dcOperatingPoint(dae);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(Dcop, CmosInverterBiasPoints) {
+    Netlist nl;
+    ckt::addSupply(nl, "vdd", 3.0);
+    ckt::buildCmosInverter(nl, "inv", "in", "out", "vdd", ckt::MosfetParams{},
+                           ckt::MosfetParams{});
+    nl.addVoltageSource("vin", "in", "0", Waveform::dc(0.0));
+    nl.addResistor("rl", "out", "0", 1e9);
+    ckt::Dae dae(nl);
+    const DcopResult r = dcOperatingPoint(dae);
+    ASSERT_TRUE(r.ok) << r.message;
+    EXPECT_GT(r.x[static_cast<std::size_t>(nl.findNode("out"))], 2.9);
+}
+
+TEST(Dcop, RingOscillatorEquilibriumNearMidrail) {
+    Netlist nl;
+    ckt::RingOscSpec spec;
+    ckt::buildRingOscillator(nl, "osc", spec);
+    ckt::Dae dae(nl);
+    const DcopResult r = dcOperatingPoint(dae);
+    ASSERT_TRUE(r.ok) << r.message;
+    for (const char* node : {"osc.n1", "osc.n2", "osc.n3"}) {
+        const double v = r.x[static_cast<std::size_t>(nl.findNode(node))];
+        EXPECT_GT(v, 0.5);
+        EXPECT_LT(v, 2.5);
+    }
+    // Residual actually small at the solution.
+    EXPECT_LT(num::normInf(dae.evalF(0.0, r.x)), 1e-8);
+}
+
+TEST(Dcop, InitialGuessSizeMismatchRejected) {
+    Netlist nl;
+    nl.addResistor("r1", "a", "0", 1.0);
+    ckt::Dae dae(nl);
+    DcopOptions opt;
+    opt.initialGuess = Vec{1.0, 2.0};
+    const DcopResult r = dcOperatingPoint(dae, opt);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST(Dcop, WarmStartFromProvidedGuess) {
+    Netlist nl;
+    nl.addVoltageSource("v1", "a", "0", Waveform::dc(2.0));
+    nl.addResistor("r1", "a", "0", 1e3);
+    ckt::Dae dae(nl);
+    DcopOptions opt;
+    opt.initialGuess = Vec{2.0, -2e-3};
+    const DcopResult r = dcOperatingPoint(dae, opt);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(Dcop, TimeVaryingSourceEvaluatedAtRequestedTime) {
+    Netlist nl;
+    nl.addVoltageSource("v1", "a", "0", Waveform::cosine(1.0, 1.0, 0.0, 1.0));
+    nl.addResistor("r1", "a", "0", 1.0);
+    ckt::Dae dae(nl);
+    DcopOptions opt;
+    opt.evalTime = 0.5;  // cos(pi) = -1 -> V = 0
+    const DcopResult r = dcOperatingPoint(dae, opt);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace phlogon::an

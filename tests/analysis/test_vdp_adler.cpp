@@ -1,0 +1,152 @@
+// Analytic validation on the van der Pol (weakly nonlinear LC) oscillator:
+// the only oscillator class where PSS, PPV and the GAE locking range have
+// textbook closed forms.  This pins the entire tool chain against theory
+// rather than against itself.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/ppv.hpp"
+#include "analysis/pss.hpp"
+#include "circuit/subckt.hpp"
+#include "core/gae_sweep.hpp"
+#include "core/ppv_model.hpp"
+
+namespace phlogon {
+namespace {
+
+struct VdpBundle {
+    ckt::Netlist nl;
+    ckt::VanDerPolSpec spec;
+    an::PssResult pss;
+    core::PpvModel model;
+};
+
+const VdpBundle& vdp() {
+    static VdpBundle* b = [] {
+        auto* bundle = new VdpBundle();
+        const std::string out = ckt::buildVanDerPolOscillator(bundle->nl, "vdp", bundle->spec);
+        ckt::Dae dae(bundle->nl);
+        an::PssOptions popt;
+        popt.freqHint =
+            1.0 / (2.0 * std::numbers::pi *
+                   std::sqrt(bundle->spec.inductance * bundle->spec.capacitance));
+        popt.kick = 0.2;
+        bundle->pss = an::shootingPss(dae, popt);
+        if (bundle->pss.ok) {
+            const an::PpvResult ppv = an::extractPpvTimeDomain(dae, bundle->pss);
+            if (ppv.ok)
+                bundle->model = core::PpvModel::build(
+                    bundle->pss, ppv, static_cast<std::size_t>(bundle->nl.findNode(out)),
+                    bundle->nl.unknownNames());
+        }
+        return bundle;
+    }();
+    return *b;
+}
+
+TEST(VanDerPol, OscillatesAtTankResonance) {
+    const auto& b = vdp();
+    ASSERT_TRUE(b.pss.ok) << b.pss.message;
+    const double f0a =
+        1.0 / (2.0 * std::numbers::pi * std::sqrt(b.spec.inductance * b.spec.capacitance));
+    EXPECT_NEAR(b.pss.f0, f0a, 2e-3 * f0a);
+}
+
+TEST(VanDerPol, AmplitudeMatchesDescribingFunction) {
+    const auto& b = vdp();
+    ASSERT_TRUE(b.model.valid());
+    EXPECT_NEAR(b.model.outputAmplitude(), b.spec.amplitude, 0.01 * b.spec.amplitude);
+}
+
+TEST(VanDerPol, OutputNearlySinusoidal) {
+    const auto& b = vdp();
+    const num::CVec c = num::fourierCoefficients(b.model.xsSamples(b.model.outputUnknown()), 3);
+    EXPECT_LT(num::harmonicMagnitude(c, 3), 0.05 * num::harmonicMagnitude(c, 1));
+}
+
+TEST(VanDerPol, PpvMatchesClosedForm) {
+    // For a near-sinusoidal tank, v(t) = -sin(w t)/(A C w): fundamental
+    // magnitude 1/(A C w), negligible higher harmonics.
+    const auto& b = vdp();
+    ASSERT_TRUE(b.model.valid());
+    const double w = 2.0 * std::numbers::pi * b.pss.f0;
+    const double analytic = 1.0 / (b.model.outputAmplitude() * b.spec.capacitance * w);
+    const double v1 = b.model.ppvHarmonic(b.model.outputUnknown(), 1);
+    EXPECT_NEAR(v1, analytic, 0.01 * analytic);
+    EXPECT_LT(b.model.ppvHarmonic(b.model.outputUnknown(), 2), 0.02 * v1);
+}
+
+TEST(VanDerPol, LockingRangeMatchesAdler) {
+    // Classic Adler: 1:1 injection of I1 locks over width I1 / (2 pi A C).
+    const auto& b = vdp();
+    const double i1 = 50e-6;
+    const auto range = core::lockingRange(
+        b.model, {core::Injection::tone(b.model.outputUnknown(), i1, 1)});
+    ASSERT_TRUE(range.locks);
+    const double adler =
+        i1 / (2.0 * std::numbers::pi * b.model.outputAmplitude() * b.spec.capacitance);
+    EXPECT_NEAR(range.width(), adler, 0.01 * adler);
+}
+
+TEST(VanDerPol, NoShilWithoutSecondHarmonicPpv) {
+    // The symmetric tank has a purely sinusoidal PPV: SYNC at 2 f1 cannot
+    // lock it at any detuning.  (The ring oscillators need asymmetry for the
+    // same reason.)
+    const auto& b = vdp();
+    const auto range = core::lockingRange(
+        b.model, {core::Injection::tone(b.model.outputUnknown(), 200e-6, 2)});
+    EXPECT_LT(range.width(), 1e-3 * b.pss.f0);
+}
+
+TEST(Inductor, StampSatisfiesBranchEquations) {
+    ckt::Netlist nl;
+    nl.addInductor("l1", "a", "0", 1e-3);
+    ckt::Dae dae(nl);
+    // x = [V(a), I(l1)]
+    const num::Vec x{2.0, 0.5};
+    const num::Vec q = dae.evalQ(0.0, x);
+    const num::Vec f = dae.evalF(0.0, x);
+    EXPECT_NEAR(q[1], 0.5e-3, 1e-12);  // flux = L i
+    EXPECT_NEAR(f[0], 0.5, 1e-12);     // branch current leaves node a
+    EXPECT_NEAR(f[1], -2.0, 1e-12);    // -(V(a) - 0)
+}
+
+TEST(Inductor, RlDecayTransient) {
+    // L in series with R to ground: i(t) = i0 exp(-R t / L).
+    ckt::Netlist nl;
+    nl.addInductor("l1", "a", "0", 1e-3);
+    nl.addResistor("r1", "a", "0", 10.0);
+    ckt::Dae dae(nl);
+    an::TransientOptions opt;
+    opt.dt = 1e-6;
+    // Consistent init: V(a) = -R*i with i flowing out of a through L...
+    // i through L leaves a; through R the return: V(a) = -10 * 0.1.
+    const an::TransientResult r = an::transient(dae, num::Vec{-1.0, 0.1}, 0.0, 3e-4, opt);
+    ASSERT_TRUE(r.ok);
+    const double tau = 1e-3 / 10.0;
+    EXPECT_NEAR(r.x.back()[1], 0.1 * std::exp(-3e-4 / tau), 2e-4);
+}
+
+TEST(NonlinearConductance, PolynomialCurrentAndJacobian) {
+    ckt::Netlist nl;
+    nl.addNonlinearConductance("g1", "a", "0", num::Vec{-1e-3, 0.0, 4e-3});
+    ckt::Dae dae(nl);
+    for (double v : {-1.2, -0.3, 0.0, 0.4, 1.1}) {
+        const num::Vec x{v};
+        const double i = dae.evalF(0.0, x)[0];
+        EXPECT_NEAR(i, -1e-3 * v + 4e-3 * v * v * v, 1e-15);
+        const double g = dae.evalG(0.0, x)(0, 0);
+        EXPECT_NEAR(g, -1e-3 + 12e-3 * v * v, 1e-12);
+    }
+}
+
+TEST(NonlinearConductance, RejectsEmptyCoefficients) {
+    ckt::Netlist nl;
+    EXPECT_THROW(nl.addNonlinearConductance("g", "a", "0", num::Vec{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phlogon

@@ -1,0 +1,94 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dae.hpp"
+
+namespace phlogon::ckt {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+    Netlist nl;
+    EXPECT_EQ(nl.node("0"), kGround);
+    EXPECT_EQ(nl.node("gnd"), kGround);
+    EXPECT_EQ(nl.node("GND"), kGround);
+    EXPECT_EQ(nl.size(), 0u);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+    Netlist nl;
+    const int a = nl.node("a");
+    const int b = nl.node("b");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(nl.node("a"), a);
+    EXPECT_EQ(nl.size(), 2u);
+}
+
+TEST(Netlist, FindNodeThrowsWhenMissing) {
+    Netlist nl;
+    nl.node("a");
+    EXPECT_EQ(nl.findNode("a"), 0);
+    EXPECT_THROW(nl.findNode("zz"), std::out_of_range);
+    EXPECT_TRUE(nl.hasNode("a"));
+    EXPECT_TRUE(nl.hasNode("0"));
+    EXPECT_FALSE(nl.hasNode("zz"));
+}
+
+TEST(Netlist, BranchUnknownAllocatedForVsource) {
+    Netlist nl;
+    nl.node("a");
+    VoltageSource& v = nl.addVoltageSource("v1", "a", "0", Waveform::dc(1.0));
+    EXPECT_EQ(nl.size(), 2u);
+    EXPECT_EQ(v.branchIndex(), 1);
+    EXPECT_EQ(nl.unknownName(1), "I(v1)");
+}
+
+TEST(Netlist, UnknownNamesTrackCreationOrder) {
+    Netlist nl;
+    nl.addResistor("r1", "x", "y", 1.0);
+    EXPECT_EQ(nl.unknownName(0), "x");
+    EXPECT_EQ(nl.unknownName(1), "y");
+}
+
+TEST(Netlist, FindDeviceByName) {
+    Netlist nl;
+    nl.addResistor("r1", "a", "b", 1.0);
+    nl.addCapacitor("c1", "b", "0", 1e-9);
+    EXPECT_NE(nl.findDevice("r1"), nullptr);
+    EXPECT_NE(nl.findDevice("c1"), nullptr);
+    EXPECT_EQ(nl.findDevice("nope"), nullptr);
+    EXPECT_EQ(nl.findDevice("r1")->name(), "r1");
+}
+
+TEST(Netlist, DeviceCountGrows) {
+    Netlist nl;
+    nl.addResistor("r1", "a", "0", 1.0);
+    nl.addCurrentSource("i1", "a", "0", Waveform::dc(1.0));
+    nl.addMosfet("m1", MosPolarity::Nmos, "a", "b", "0");
+    EXPECT_EQ(nl.devices().size(), 3u);
+}
+
+TEST(Dae, SizeTracksNetlist) {
+    Netlist nl;
+    nl.addResistor("r1", "a", "b", 1.0);
+    nl.addVoltageSource("v1", "a", "0", Waveform::dc(1.0));
+    Dae dae(nl);
+    EXPECT_EQ(dae.size(), 3u);  // a, b, branch
+}
+
+TEST(Dae, EvalSeparatesQandF) {
+    Netlist nl;
+    nl.addResistor("r1", "a", "0", 2.0);
+    nl.addCapacitor("c1", "a", "0", 3.0);
+    Dae dae(nl);
+    num::Vec q, f;
+    num::Matrix c, g;
+    dae.eval(0.0, num::Vec{1.0}, q, f, &c, &g);
+    EXPECT_NEAR(q[0], 3.0, 1e-15);
+    EXPECT_NEAR(f[0], 0.5, 1e-15);
+    EXPECT_NEAR(c(0, 0), 3.0, 1e-15);
+    EXPECT_NEAR(g(0, 0), 0.5, 1e-15);
+}
+
+}  // namespace
+}  // namespace phlogon::ckt

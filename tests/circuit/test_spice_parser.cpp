@@ -1,0 +1,140 @@
+#include "circuit/spice_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pss.hpp"
+#include "circuit/dae.hpp"
+
+namespace phlogon::ckt {
+namespace {
+
+TEST(SpiceValue, PlainAndSuffixed) {
+    EXPECT_DOUBLE_EQ(parseSpiceValue("10"), 10.0);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("4.7n"), 4.7e-9);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("10k"), 10e3);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("1meg"), 1e6);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("100u"), 100e-6);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("0.238m"), 0.238e-3);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("2p"), 2e-12);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("1g"), 1e9);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("-1.5"), -1.5);
+}
+
+TEST(SpiceValue, UnitTailsAccepted) {
+    EXPECT_DOUBLE_EQ(parseSpiceValue("4.7nF"), 4.7e-9);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("10kohm"), 10e3);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("3V"), 3.0);
+}
+
+TEST(SpiceValue, RejectsGarbage) {
+    EXPECT_THROW(parseSpiceValue(""), std::invalid_argument);
+    EXPECT_THROW(parseSpiceValue("abc"), std::invalid_argument);
+    EXPECT_THROW(parseSpiceValue("1.2.3"), std::invalid_argument);
+}
+
+TEST(SpiceParser, PassiveCards) {
+    Netlist nl;
+    parseSpiceDeck("R1 a b 10k\nC1 b 0 1n\nL1 a 0 2m\n", nl);
+    EXPECT_EQ(nl.devices().size(), 3u);
+    EXPECT_NE(nl.findDevice("R1"), nullptr);
+    EXPECT_TRUE(nl.hasNode("a"));
+    // L adds a branch unknown.
+    EXPECT_EQ(nl.size(), 3u);  // a, b, I(L1)
+}
+
+TEST(SpiceParser, SourcesDcAndSin) {
+    Netlist nl;
+    parseSpiceDeck("V1 vdd 0 DC 3.0\n"
+                   "V2 ref 0 SIN(1.5 1.5 9.6k)\n"
+                   "I1 0 inj SIN(0 100u 19.2k 0.25)\n"
+                   "I2 0 x 2m\n",
+                   nl);
+    Dae dae(nl);
+    // V2 at t=0: offset + amp*cos(0) = 3.0.
+    const auto* v2 = dynamic_cast<VoltageSource*>(nl.findDevice("V2"));
+    ASSERT_NE(v2, nullptr);
+    EXPECT_NEAR(v2->value(0.0), 3.0, 1e-12);
+    // I1 with quarter-cycle phase: cos(-pi/2) = 0 at t=0.
+    const auto* i1 = dynamic_cast<CurrentSource*>(nl.findDevice("I1"));
+    ASSERT_NE(i1, nullptr);
+    EXPECT_NEAR(i1->value(0.0), 0.0, 1e-12);
+    const auto* i2 = dynamic_cast<CurrentSource*>(nl.findDevice("I2"));
+    ASSERT_NE(i2, nullptr);
+    EXPECT_NEAR(i2->value(1.0), 2e-3, 1e-15);
+}
+
+TEST(SpiceParser, MosfetParamsParsed) {
+    Netlist nl;
+    parseSpiceDeck("M1 d g s NMOS kp=0.5m vt0=0.65 lambda=0.01 m=2\n", nl);
+    const auto* m = dynamic_cast<Mosfet*>(nl.findDevice("M1"));
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->params().kp, 0.5e-3);
+    EXPECT_DOUBLE_EQ(m->params().vt0, 0.65);
+    EXPECT_DOUBLE_EQ(m->params().lambda, 0.01);
+    EXPECT_DOUBLE_EQ(m->params().m, 2.0);
+}
+
+TEST(SpiceParser, PolyConductance) {
+    Netlist nl;
+    parseSpiceDeck("Gvdp a 0 POLY(-20u 0 26.7u)\n", nl);
+    Dae dae(nl);
+    const double i = dae.evalF(0.0, num::Vec{1.0})[0];
+    EXPECT_NEAR(i, -20e-6 + 26.7e-6, 1e-12);
+}
+
+TEST(SpiceParser, CommentsBlanksAndEnd) {
+    Netlist nl;
+    parseSpiceDeck("* a comment\n"
+                   "\n"
+                   "R1 a 0 1k ; trailing comment\n"
+                   ".end\n"
+                   "R2 b 0 1k\n",  // after .end: ignored
+                   nl);
+    EXPECT_EQ(nl.devices().size(), 1u);
+}
+
+TEST(SpiceParser, ErrorsCarryLineNumbers) {
+    Netlist nl;
+    try {
+        parseSpiceDeck("R1 a 0 1k\nXsub a b c\n", nl);
+        FAIL() << "expected SpiceParseError";
+    } catch (const SpiceParseError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+    Netlist nl2;
+    EXPECT_THROW(parseSpiceDeck("R1 a 0\n", nl2), SpiceParseError);
+    Netlist nl3;
+    EXPECT_THROW(parseSpiceDeck("M1 d g s BJT\n", nl3), SpiceParseError);
+    Netlist nl4;
+    EXPECT_THROW(parseSpiceDeck(".tran 1n 1u\n", nl4), SpiceParseError);
+}
+
+TEST(SpiceParser, FullRingOscillatorDeckOscillates) {
+    // The paper's Fig. 3 cell written as a deck; the whole analysis chain
+    // must run on the parsed netlist.
+    const char* deck = R"(
+* 3-stage ring oscillator, ALD110x-like devices
+Vdd vdd 0 DC 3.0
+M1p n1 n3 vdd PMOS kp=0.238m vt0=0.82
+M1n n1 n3 0   NMOS kp=0.381m vt0=0.70
+C1  n1 0 4.7n
+M2p n2 n1 vdd PMOS kp=0.238m vt0=0.82
+M2n n2 n1 0   NMOS kp=0.381m vt0=0.70
+C2  n2 0 4.7n
+M3p n3 n2 vdd PMOS kp=0.238m vt0=0.82
+M3n n3 n2 0   NMOS kp=0.381m vt0=0.70
+C3  n3 0 4.7n
+.end
+)";
+    Netlist nl;
+    parseSpiceDeck(deck, nl);
+    Dae dae(nl);
+    an::PssOptions opt;
+    opt.freqHint = 10e3;
+    const an::PssResult pss = an::shootingPss(dae, opt);
+    ASSERT_TRUE(pss.ok) << pss.message;
+    EXPECT_NEAR(pss.f0, 9.6e3, 100.0);
+}
+
+}  // namespace
+}  // namespace phlogon::ckt

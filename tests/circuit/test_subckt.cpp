@@ -1,0 +1,97 @@
+#include "circuit/subckt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dae.hpp"
+
+namespace phlogon::ckt {
+namespace {
+
+TEST(RingOscillator, BuildsExpectedTopology) {
+    Netlist nl;
+    RingOscSpec spec;
+    const RingOscNodes nodes = buildRingOscillator(nl, "osc", spec);
+    EXPECT_EQ(nodes.stageOut.size(), 3u);
+    EXPECT_EQ(nodes.out(), "osc.n1");
+    EXPECT_TRUE(nl.hasNode("osc.n1"));
+    EXPECT_TRUE(nl.hasNode("osc.n2"));
+    EXPECT_TRUE(nl.hasNode("osc.n3"));
+    EXPECT_TRUE(nl.hasNode("osc.vdd"));
+    // 3 stages x (2 FETs + 1 cap) + vdd source = 10 devices.
+    EXPECT_EQ(nl.devices().size(), 10u);
+}
+
+TEST(RingOscillator, FiveStagesSupported) {
+    Netlist nl;
+    RingOscSpec spec;
+    spec.stages = 5;
+    const RingOscNodes nodes = buildRingOscillator(nl, "o5", spec);
+    EXPECT_EQ(nodes.stageOut.size(), 5u);
+}
+
+TEST(RingOscillator, RejectsEvenOrTooFewStages) {
+    Netlist nl;
+    RingOscSpec spec;
+    spec.stages = 4;
+    EXPECT_THROW(buildRingOscillator(nl, "bad", spec), std::invalid_argument);
+    spec.stages = 1;
+    EXPECT_THROW(buildRingOscillator(nl, "bad2", spec), std::invalid_argument);
+}
+
+TEST(RingOscillator, SharedSupplyReused) {
+    Netlist nl;
+    addSupply(nl, "vdd", 3.0);
+    RingOscSpec spec;
+    spec.vddNode = "vdd";
+    buildRingOscillator(nl, "a", spec);
+    buildRingOscillator(nl, "b", spec);
+    // Only one supply source should exist.
+    EXPECT_NE(nl.findDevice("V(vdd)"), nullptr);
+    EXPECT_EQ(nl.findDevice("V(a.vdd)"), nullptr);
+}
+
+TEST(AddSupply, CreatesSourceOnce) {
+    Netlist nl;
+    addSupply(nl, "vcc", 5.0);
+    const std::size_t n = nl.devices().size();
+    addSupply(nl, "vcc", 5.0);
+    EXPECT_EQ(nl.devices().size(), n);
+}
+
+TEST(CurrentInjection, InjectsIntoNamedNode) {
+    Netlist nl;
+    nl.node("n1");
+    addCurrentInjection(nl, "sync", "n1", Waveform::dc(1e-3));
+    Dae dae(nl);
+    // Positive waveform value must ADD current into n1's KCL (negative f).
+    const num::Vec f = dae.evalF(0.0, num::Vec{0.0});
+    EXPECT_NEAR(f[0], -1e-3, 1e-15);
+}
+
+TEST(CurrentInjection, FiniteOutputResistanceAdded) {
+    Netlist nl;
+    nl.node("n1");
+    addCurrentInjection(nl, "d", "n1", Waveform::dc(0.0), 10e6);
+    Dae dae(nl);
+    EXPECT_NEAR(dae.evalG(0.0, num::Vec{1.0})(0, 0), 1e-7, 1e-12);
+}
+
+TEST(CmosInverter, DevicesNamedWithPrefix) {
+    Netlist nl;
+    addSupply(nl, "vdd", 3.0);
+    MosfetParams n, p;
+    buildCmosInverter(nl, "inv1", "a", "b", "vdd", n, p, 2.0);
+    EXPECT_NE(nl.findDevice("inv1.mp"), nullptr);
+    EXPECT_NE(nl.findDevice("inv1.mn"), nullptr);
+}
+
+TEST(RingOscSpec, DefaultDevicesAreAsymmetric) {
+    // The PPV's 2nd harmonic (and hence SHIL) vanishes for perfectly matched
+    // inverters; guard the deliberately unmatched defaults.
+    RingOscSpec spec;
+    EXPECT_NE(spec.nmos.kp, spec.pmos.kp);
+    EXPECT_NE(spec.nmos.vt0, spec.pmos.vt0);
+}
+
+}  // namespace
+}  // namespace phlogon::ckt

@@ -1,0 +1,131 @@
+#include "core/gae_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/osc_fixture.hpp"
+
+namespace phlogon::core {
+namespace {
+
+const PpvModel& model() { return testutil::sharedOsc().model(); }
+std::size_t injNode() { return testutil::sharedOsc().outputUnknown(); }
+
+TEST(PhaseDistance, CyclicMetric) {
+    EXPECT_NEAR(phaseDistance(0.1, 0.2), 0.1, 1e-12);
+    EXPECT_NEAR(phaseDistance(0.95, 0.05), 0.1, 1e-12);
+    EXPECT_NEAR(phaseDistance(0.0, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(phaseDistance(1.3, 0.3), 0.0, 1e-12);
+}
+
+TEST(LockingRange, ContainsF0) {
+    const LockingRange r = lockingRange(model(), {Injection::tone(injNode(), 100e-6, 2)});
+    ASSERT_TRUE(r.locks);
+    EXPECT_LT(r.fLow, model().f0());
+    EXPECT_GT(r.fHigh, model().f0());
+    EXPECT_GT(r.width(), 0.0);
+}
+
+TEST(LockingRange, ZeroInjectionDoesNotLock) {
+    const LockingRange r = lockingRange(model(), {Injection::tone(injNode(), 0.0, 2)});
+    EXPECT_FALSE(r.locks);
+    EXPECT_DOUBLE_EQ(r.width(), 0.0);
+}
+
+TEST(LockingRange, ConsistentWithDirectGaeCheck) {
+    const std::vector<Injection> inj{Injection::tone(injNode(), 100e-6, 2)};
+    const LockingRange r = lockingRange(model(), inj);
+    ASSERT_TRUE(r.locks);
+    // Just inside the range: locks; just outside: does not.
+    const double margin = 0.05 * r.width();
+    EXPECT_TRUE(Gae(model(), r.fLow + margin, inj).locks());
+    EXPECT_TRUE(Gae(model(), r.fHigh - margin, inj).locks());
+    EXPECT_FALSE(Gae(model(), r.fLow - margin, inj).locks());
+    EXPECT_FALSE(Gae(model(), r.fHigh + margin, inj).locks());
+}
+
+TEST(LockingRangeVsAmplitude, MonotoneInAmplitude) {
+    const Injection unit = Injection::tone(injNode(), 1.0, 2);
+    const auto pts =
+        lockingRangeVsAmplitude(model(), unit, num::Vec{10e-6, 30e-6, 70e-6, 100e-6, 150e-6});
+    ASSERT_EQ(pts.size(), 5u);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].range.width(), pts[i - 1].range.width());
+    }
+    // Width scales linearly with amplitude for a pure tone.
+    EXPECT_NEAR(pts[4].range.width() / pts[0].range.width(), 15.0, 0.2);
+}
+
+TEST(LockingRangeVsAmplitude, ZeroAmplitudePointDoesNotLock) {
+    const Injection unit = Injection::tone(injNode(), 1.0, 2);
+    const auto pts = lockingRangeVsAmplitude(model(), unit, num::Vec{0.0, 50e-6});
+    EXPECT_FALSE(pts[0].range.locks);
+    EXPECT_TRUE(pts[1].range.locks);
+}
+
+TEST(LockPhaseErrorSweep, ZeroAtZeroDetuningAndGrowsOutward) {
+    const std::vector<Injection> inj{Injection::tone(injNode(), 100e-6, 2)};
+    const LockingRange r = lockingRange(model(), inj);
+    ASSERT_TRUE(r.locks);
+    const num::Vec grid{r.fLow + 0.1 * r.width(), model().f0(), r.fHigh - 0.1 * r.width()};
+    const auto pts = lockPhaseErrorSweep(model(), inj, grid);
+    ASSERT_EQ(pts.size(), 3u);
+    // Zero detuning: errors ~ 0.
+    for (double e : pts[1].errors) EXPECT_LT(e, 1e-3);
+    // Near the edges: larger error, bounded by 0.25 (quarter cycle).
+    for (const auto& p : {pts[0], pts[2]}) {
+        ASSERT_FALSE(p.errors.empty());
+        for (double e : p.errors) {
+            EXPECT_GT(e, 1e-3);
+            EXPECT_LT(e, 0.26);
+        }
+    }
+}
+
+TEST(LockPhaseErrorSweep, OutsideRangeHasNoPhases) {
+    const std::vector<Injection> inj{Injection::tone(injNode(), 100e-6, 2)};
+    const LockingRange r = lockingRange(model(), inj);
+    const auto pts = lockPhaseErrorSweep(model(), inj, num::Vec{r.fHigh + 5.0 * r.width()});
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(pts[0].phases.empty());
+}
+
+TEST(SweepInjectionAmplitude, StableStateVanishesAtLargeDataAmplitude) {
+    // Fig. 10/11 behaviour: with SYNC fixed, growing the fundamental D tone
+    // eventually destroys one of the two SHIL states.
+    const std::vector<Injection> sync{Injection::tone(injNode(), 100e-6, 2)};
+    const Injection unitD = Injection::tone(injNode(), 1.0, 1);
+    const auto pts = sweepInjectionAmplitude(model(), testutil::kF1, sync, unitD,
+                                             num::Vec{0.0, 10e-6, 120e-6});
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts[0].stablePhases().size(), 2u);  // SHIL bistable
+    EXPECT_EQ(pts[1].stablePhases().size(), 2u);  // small D: still bistable
+    EXPECT_EQ(pts[2].stablePhases().size(), 1u);  // large D: monostable
+}
+
+TEST(CountIntersections, ShilOnsetThreshold) {
+    // Fig. 5 behaviour: with detuning, small SYNC produces no intersections;
+    // past the threshold exactly 4 appear (2 stable).
+    const Injection unit = Injection::tone(injNode(), 1.0, 2);
+    const double f0 = model().f0();
+    const double f1 = f0 * 1.004;  // fixed detuning
+    const auto pts = countIntersectionsVsAmplitude(model(), f1, {}, unit,
+                                                   num::Vec{5e-6, 500e-6});
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].total, 0u);
+    EXPECT_EQ(pts[1].total, 4u);
+    EXPECT_EQ(pts[1].stable, 2u);
+}
+
+TEST(AmplitudeSweepPoint, StablePhasesFilter) {
+    AmplitudeSweepPoint p;
+    p.equilibria = {{0.1, -1.0, true}, {0.3, 1.0, false}, {0.6, -0.5, true}};
+    const auto s = p.stablePhases();
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 0.1);
+    EXPECT_DOUBLE_EQ(s[1], 0.6);
+}
+
+}  // namespace
+}  // namespace phlogon::core

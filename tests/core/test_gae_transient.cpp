@@ -1,0 +1,124 @@
+#include "core/gae_transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/osc_fixture.hpp"
+#include "core/gae_sweep.hpp"
+
+namespace phlogon::core {
+namespace {
+
+const PpvModel& model() { return testutil::sharedOsc().model(); }
+std::size_t injNode() { return testutil::sharedOsc().outputUnknown(); }
+
+std::vector<Injection> syncOnly() { return {Injection::tone(injNode(), 100e-6, 2)}; }
+
+TEST(GaeTransient, RelaxesToNearestStableLock) {
+    const Gae gae(model(), testutil::kF1, syncOnly());
+    const auto stable = gae.stableEquilibria();
+    ASSERT_EQ(stable.size(), 2u);
+    // Start near (but not at) the first lock.
+    const double start = stable[0].dphi + 0.08;
+    const auto r = gaeTransient(model(), testutil::kF1, {{0.0, syncOnly()}}, start, 0.0,
+                                40.0 / testutil::kF1);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(phaseDistance(r.final(), stable[0].dphi), 1e-3);
+}
+
+TEST(GaeTransient, UnlockedPhaseDriftsMonotonically) {
+    // Way outside the locking range the phase slips cycle after cycle.
+    const double f1 = model().f0() * 1.05;
+    const auto r = gaeTransient(model(), f1, {{0.0, syncOnly()}}, 0.0, 0.0, 20.0 / f1);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(r.final(), -0.5);  // f1 > f0: dphi decreases
+}
+
+TEST(GaeTransient, BitFlipReachesTargetPhase) {
+    const auto& d = testutil::sharedDesign();
+    std::vector<GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(150e-6, 1)}}};
+    const auto r = gaeTransient(model(), d.f1, sched, d.reference.phase0 + 0.02, 0.0,
+                                40.0 / d.f1);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(phaseDistance(r.final(), d.reference.phase1), 0.03);
+}
+
+TEST(GaeTransient, WeakInputFailsToFlip) {
+    // Fig. 12 behaviour: a D amplitude below the flip threshold cannot move
+    // the bit.  (This design's threshold is ~2*syncAmp*|V2|/|V1| ~ 20 uA;
+    // the paper's circuit had ~50 uA — same physics, different constants.)
+    const auto& d = testutil::sharedDesign();
+    std::vector<GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(10e-6, 1)}}};
+    const auto r = gaeTransient(model(), d.f1, sched, d.reference.phase0 + 0.02, 0.0,
+                                60.0 / d.f1);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(phaseDistance(r.final(), d.reference.phase0), 0.1);
+}
+
+TEST(GaeTransient, StrongerInputFlipsFaster) {
+    const auto& d = testutil::sharedDesign();
+    auto flipTime = [&](double amp) {
+        std::vector<GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(amp, 1)}}};
+        const auto r = gaeTransient(model(), d.f1, sched, d.reference.phase0 + 0.02, 0.0,
+                                    80.0 / d.f1);
+        EXPECT_TRUE(r.ok);
+        return settleTime(r, d.reference.phase1, 0.02);
+    };
+    const double t100 = flipTime(100e-6);
+    const double t150 = flipTime(150e-6);
+    EXPECT_LT(t150, t100);
+}
+
+TEST(GaeTransient, ScheduleSegmentsSwitchInjections) {
+    const auto& d = testutil::sharedDesign();
+    const double bitT = 40.0 / d.f1;
+    std::vector<GaeSegment> sched{
+        {0.0, {d.sync(), d.dataInjection(150e-6, 1)}},
+        {bitT, {d.sync(), d.dataInjection(150e-6, 0)}},
+    };
+    const auto r = gaeTransient(model(), d.f1, sched, d.reference.phase0 + 0.02, 0.0, 2.0 * bitT);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(phaseDistance(r.at(0.95 * bitT), d.reference.phase1), 0.03);
+    EXPECT_LT(phaseDistance(r.final(), d.reference.phase0), 0.03);
+}
+
+TEST(GaeTransient, AtInterpolatesBetweenPoints) {
+    const auto r = gaeTransient(model(), testutil::kF1, {{0.0, syncOnly()}}, 0.2, 0.0,
+                                5.0 / testutil::kF1);
+    ASSERT_TRUE(r.ok);
+    ASSERT_GE(r.t.size(), 3u);
+    const double mid = 0.5 * (r.t[0] + r.t[1]);
+    const double v = r.at(mid);
+    EXPECT_GE(v, std::min(r.dphi[0], r.dphi[1]) - 1e-12);
+    EXPECT_LE(v, std::max(r.dphi[0], r.dphi[1]) + 1e-12);
+    // Out-of-range queries clamp.
+    EXPECT_DOUBLE_EQ(r.at(-1.0), r.dphi.front());
+    EXPECT_DOUBLE_EQ(r.at(1e9), r.dphi.back());
+}
+
+TEST(GaeTransient, RejectsBadSchedules) {
+    EXPECT_THROW(gaeTransient(model(), testutil::kF1, {}, 0.0, 0.0, 1.0), std::invalid_argument);
+    std::vector<GaeSegment> unsorted{{1.0, syncOnly()}, {0.0, syncOnly()}};
+    EXPECT_THROW(gaeTransient(model(), testutil::kF1, unsorted, 0.0, 0.0, 1.0),
+                 std::invalid_argument);
+}
+
+TEST(SettleTime, DetectsFirstPersistentEntry) {
+    GaeTransientResult r;
+    r.ok = true;
+    r.t = {0.0, 1.0, 2.0, 3.0, 4.0};
+    r.dphi = {0.5, 0.3, 0.11, 0.1, 0.1};
+    EXPECT_DOUBLE_EQ(settleTime(r, 0.1, 0.02), 2.0);
+}
+
+TEST(SettleTime, LeavingBandResets) {
+    GaeTransientResult r;
+    r.ok = true;
+    r.t = {0.0, 1.0, 2.0, 3.0};
+    r.dphi = {0.1, 0.5, 0.1, 0.1};
+    EXPECT_DOUBLE_EQ(settleTime(r, 0.1, 0.02), 2.0);
+}
+
+}  // namespace
+}  // namespace phlogon::core

@@ -1,0 +1,67 @@
+#include "core/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace phlogon::core {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Injection, ToneEvaluatesCosine) {
+    const Injection inj = Injection::tone(3, 2e-3, 1, 0.25, "t");
+    EXPECT_EQ(inj.unknownIndex, 3u);
+    EXPECT_FALSE(inj.isPhaseDependent());
+    EXPECT_NEAR(inj.currentAtPsi(0.25), 2e-3, 1e-15);  // cos(0) at psi = phase
+    EXPECT_NEAR(inj.currentAtPsi(0.5), 0.0, 1e-15);
+    EXPECT_NEAR(inj.currentAtPsi(0.75), -2e-3, 1e-15);
+}
+
+TEST(Injection, SecondHarmonicTone) {
+    const Injection inj = Injection::tone(0, 1.0, 2);
+    // Period 1/2 in psi.
+    EXPECT_NEAR(inj.currentAtPsi(0.0), inj.currentAtPsi(0.5), 1e-12);
+    EXPECT_NEAR(inj.currentAtPsi(0.25), -1.0, 1e-12);
+}
+
+TEST(Injection, SampledInterpolates) {
+    const Injection inj = Injection::sampled(1, num::Vec{0.0, 1.0, 0.0, -1.0});
+    EXPECT_NEAR(inj.currentAtPsi(0.25), 1.0, 1e-12);
+    EXPECT_NEAR(inj.currentAtPsi(0.125), 0.5, 1e-12);
+    EXPECT_NEAR(inj.currentAtPsi(1.25), 1.0, 1e-12);  // periodic
+}
+
+TEST(Injection, ScaledMultipliesAmplitude) {
+    const Injection base = Injection::tone(0, 1e-3, 1);
+    const Injection s = base.scaled(2.5);
+    EXPECT_NEAR(s.currentAtPsi(0.0), 2.5e-3, 1e-15);
+    EXPECT_EQ(s.unknownIndex, base.unknownIndex);
+}
+
+TEST(Injection, SampleGridMatchesFunction) {
+    const Injection inj = Injection::tone(0, 1.0, 1, 0.1);
+    const num::Vec g = inj.sampleGrid(64);
+    ASSERT_EQ(g.size(), 64u);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(g[i], std::cos(kTwoPi * (i / 64.0 - 0.1)), 1e-12);
+}
+
+TEST(Injection, PhaseDependentForm) {
+    const Injection inj = Injection::phaseDependent(
+        2, [](double psi, double dphi) { return psi + 10.0 * dphi; }, "fb");
+    EXPECT_TRUE(inj.isPhaseDependent());
+    EXPECT_NEAR(inj.currentAtPsiDphi(0.5, 0.1), 1.5, 1e-12);
+}
+
+TEST(Injection, PhaseDependentScaled) {
+    const Injection inj = Injection::phaseDependent(
+        0, [](double psi, double dphi) { return psi * dphi; });
+    const Injection s = inj.scaled(3.0);
+    EXPECT_TRUE(s.isPhaseDependent());
+    EXPECT_NEAR(s.currentAtPsiDphi(0.5, 0.5), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace phlogon::core

@@ -1,0 +1,134 @@
+#include "core/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/osc_fixture.hpp"
+#include "core/gae_sweep.hpp"
+
+namespace phlogon::core {
+namespace {
+
+const PpvModel& model() { return testutil::sharedOsc().model(); }
+std::size_t injNode() { return testutil::sharedOsc().outputUnknown(); }
+
+TEST(PhaseDiffusion, ZeroForZeroPsd) {
+    EXPECT_DOUBLE_EQ(phaseDiffusion(model(), {{injNode(), 0.0}}), 0.0);
+}
+
+TEST(PhaseDiffusion, LinearInPsd) {
+    const double c1 = phaseDiffusion(model(), {{injNode(), 1e-22}});
+    const double c2 = phaseDiffusion(model(), {{injNode(), 2e-22}});
+    EXPECT_GT(c1, 0.0);
+    EXPECT_NEAR(c2, 2.0 * c1, 1e-12 * c2);
+}
+
+TEST(PhaseDiffusion, AdditiveOverSources) {
+    const double cA = phaseDiffusion(model(), {{injNode(), 1e-22}});
+    const double cB = phaseDiffusion(model(), {{0, 3e-22}});
+    const double cBoth = phaseDiffusion(model(), {{injNode(), 1e-22}, {0, 3e-22}});
+    EXPECT_NEAR(cBoth, cA + cB, 1e-12 * cBoth);
+}
+
+TEST(PhaseDiffusion, Validation) {
+    EXPECT_THROW(phaseDiffusion(model(), {{9999, 1e-22}}), std::invalid_argument);
+    EXPECT_THROW(phaseDiffusion(PpvModel{}, {}), std::invalid_argument);
+}
+
+TEST(ResistorNoise, JohnsonFormula) {
+    // 4kT/R at 300 K for 1 kohm ~ 1.66e-23 A^2/Hz.
+    EXPECT_NEAR(resistorCurrentPsd(1e3), 1.66e-23, 0.01e-23);
+    EXPECT_THROW(resistorCurrentPsd(0.0), std::invalid_argument);
+}
+
+TEST(StochasticGae, ZeroNoiseMatchesDeterministic) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    const auto stable = gae.stableEquilibria();
+    ASSERT_EQ(stable.size(), 2u);
+    const auto r = stochasticGaeTransient(gae, 0.0, stable[0].dphi + 0.05, 0.0, 40.0 / d.f1);
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(phaseDistance(r.dphi.back(), stable[0].dphi), 2e-3);
+}
+
+TEST(StochasticGae, Reproducible) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    StochasticGaeOptions opt;
+    opt.seed = 7;
+    const double c = 1e-9;
+    const auto r1 = stochasticGaeTransient(gae, c, 0.1, 0.0, 10.0 / d.f1, opt);
+    const auto r2 = stochasticGaeTransient(gae, c, 0.1, 0.0, 10.0 / d.f1, opt);
+    ASSERT_TRUE(r1.ok && r2.ok);
+    ASSERT_EQ(r1.dphi.size(), r2.dphi.size());
+    for (std::size_t i = 0; i < r1.dphi.size(); ++i)
+        EXPECT_DOUBLE_EQ(r1.dphi[i], r2.dphi[i]);
+}
+
+TEST(StochasticGae, FreeRunningVarianceMatchesDiffusion) {
+    // Without injections the phase performs pure Brownian motion:
+    // var(dphi(t)) = f0^2 c t.  Check the Monte-Carlo variance against the
+    // formula within statistical tolerance.
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.model.f0(), {Injection::tone(injNode(), 0.0, 1)});
+    const double c = 2e-10;
+    const double span = 20.0 / d.model.f0();
+    const std::size_t trials = 300;
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t k = 0; k < trials; ++k) {
+        StochasticGaeOptions opt;
+        opt.seed = 1000 + k;
+        opt.storeEvery = 1u << 20;
+        const auto r = stochasticGaeTransient(gae, c, 0.0, 0.0, span, opt);
+        sum += r.dphi.back();
+        sum2 += r.dphi.back() * r.dphi.back();
+    }
+    const double var = sum2 / trials - (sum / trials) * (sum / trials);
+    const double expected = d.model.f0() * d.model.f0() * c * span;
+    EXPECT_NEAR(var, expected, 0.25 * expected);  // ~sqrt(2/300) ~ 8% stat error
+}
+
+TEST(HoldError, NoNoiseNoErrors) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    const auto r = holdErrorProbability(gae, 0.0, d.reference.phase1, 30.0 / d.f1, 20);
+    EXPECT_EQ(r.trials, 20u);
+    EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(HoldError, ExtremeNoiseRandomizesTheBit) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    // Diffusion so strong the phase random-walks across many cycles.
+    const auto r = holdErrorProbability(gae, 1e-4, d.reference.phase1, 30.0 / d.f1, 60);
+    EXPECT_GT(r.errorRate(), 0.2);
+}
+
+TEST(HoldError, StrongerSyncHoldsBetter) {
+    // The noise-immunity design knob: the SHIL barrier grows with SYNC, so
+    // the bit-loss rate at fixed noise must drop.
+    const auto& osc = testutil::sharedOsc();
+    const double c = 2e-7;  // calibrated so the weak latch loses ~30% of bits
+    const double span = 60.0 / osc.f0();
+    auto rate = [&](double syncAmp) {
+        const Gae gae(osc.model(), testutil::kF1,
+                      {Injection::tone(osc.outputUnknown(), syncAmp, 2)});
+        const auto stable = gae.stableEquilibria();
+        EXPECT_EQ(stable.size(), 2u);
+        return holdErrorProbability(gae, c, stable[0].dphi, span, 120).errorRate();
+    };
+    const double weak = rate(60e-6);
+    const double strong = rate(300e-6);
+    EXPECT_GT(weak, strong);
+    EXPECT_GT(weak, 0.02);  // the weak latch must actually lose bits here
+}
+
+TEST(HoldError, RequiresLockedGae) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, 1.1 * d.model.f0(), {d.sync()});  // way outside range
+    EXPECT_THROW(holdErrorProbability(gae, 1e-9, 0.0, 1e-3, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phlogon::core

@@ -1,0 +1,95 @@
+#include "core/ppv_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/osc_fixture.hpp"
+
+namespace phlogon::core {
+namespace {
+
+TEST(PpvModel, BasicProperties) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    EXPECT_TRUE(m.valid());
+    EXPECT_GT(m.f0(), 0.0);
+    EXPECT_NEAR(m.period(), 1.0 / m.f0(), 1e-15);
+    EXPECT_EQ(m.size(), testutil::sharedOsc().dae().size());
+    EXPECT_EQ(m.sampleCount(), 256u);
+}
+
+TEST(PpvModel, DefaultConstructedInvalid) {
+    PpvModel m;
+    EXPECT_FALSE(m.valid());
+}
+
+TEST(PpvModel, IndexOfFindsNodes) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    EXPECT_EQ(m.indexOf("osc.n1"), testutil::sharedOsc().outputUnknown());
+    EXPECT_THROW(m.indexOf("missing"), std::out_of_range);
+}
+
+TEST(PpvModel, XsInterpolationMatchesSamples) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    const std::size_t idx = m.outputUnknown();
+    const num::Vec& s = m.xsSamples(idx);
+    for (std::size_t k = 0; k < s.size(); k += 17)
+        EXPECT_NEAR(m.xsAt(idx, static_cast<double>(k) / s.size()), s[k], 1e-9);
+}
+
+TEST(PpvModel, XsIsPeriodic) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    const std::size_t idx = m.outputUnknown();
+    EXPECT_NEAR(m.xsAt(idx, 0.3), m.xsAt(idx, 1.3), 1e-12);
+    EXPECT_NEAR(m.ppvAt(idx, 0.7), m.ppvAt(idx, -0.3), 1e-12);
+}
+
+TEST(PpvModel, FundamentalPeakIsWhereFundamentalPeaks) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    const std::size_t idx = m.outputUnknown();
+    // Reconstruct the fundamental from samples and verify the peak location.
+    const num::CVec c = num::fourierCoefficients(m.xsSamples(idx), 1);
+    const double peak = m.dphiPeak();
+    const auto fund = [&](double th) {
+        return 2.0 * std::abs(c[1]) *
+               std::cos(2.0 * std::numbers::pi * th + std::arg(c[1]));
+    };
+    // Value at the reported peak should exceed neighbours.
+    EXPECT_GT(fund(peak), fund(peak + 0.05));
+    EXPECT_GT(fund(peak), fund(peak - 0.05));
+}
+
+TEST(PpvModel, OutputAmplitudeIsFundamentalMagnitude) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    const num::CVec c = num::fourierCoefficients(m.xsSamples(m.outputUnknown()), 1);
+    EXPECT_NEAR(m.outputAmplitude(), 2.0 * std::abs(c[1]), 1e-9);
+}
+
+TEST(PpvModel, OutputMeanNearMidRail) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    EXPECT_GT(m.outputMean(), 1.0);
+    EXPECT_LT(m.outputMean(), 2.0);
+}
+
+TEST(PpvModel, HarmonicsDecay) {
+    const PpvModel& m = testutil::sharedOsc().model();
+    const std::size_t idx = m.outputUnknown();
+    EXPECT_GT(m.ppvHarmonic(idx, 1), m.ppvHarmonic(idx, 3));
+    EXPECT_GT(m.ppvHarmonic(idx, 2), m.ppvHarmonic(idx, 5));
+}
+
+TEST(PpvModel, BuildRejectsBadInput) {
+    an::PssResult badPss;
+    an::PpvResult badPpv;
+    EXPECT_THROW(PpvModel::build(badPss, badPpv, 0, {}), std::invalid_argument);
+}
+
+TEST(PpvModel, BuildRejectsBadOutputIndex) {
+    const auto& osc = testutil::sharedOsc();
+    EXPECT_THROW(PpvModel::build(osc.pss(), osc.ppv(), 999, osc.netlist().unknownNames()),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phlogon::core

@@ -1,0 +1,152 @@
+// End-to-end pipeline: circuit -> PSS -> PPV -> GAE -> predictions validated
+// against independent device-level transient simulations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dcop.hpp"
+#include "analysis/transient.hpp"
+#include "analysis/waveform.hpp"
+#include "common/osc_fixture.hpp"
+#include "core/gae_sweep.hpp"
+#include "phlogon/encoding.hpp"
+#include "phlogon/latch.hpp"
+
+namespace phlogon {
+namespace {
+
+using logic::RingOscCharacterization;
+using num::Vec;
+
+/// Run a circuit transient of a SYNC-driven latch and measure the locked
+/// frequency of n1 (or 0 if unlocked).
+double measureLockedFrequency(double f1, double syncAmp, double spanCycles = 120.0) {
+    ckt::Netlist nl;
+    const auto nodes = logic::buildSyncLatchCircuit(nl, "lat", ckt::RingOscSpec{}, syncAmp, f1);
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    EXPECT_TRUE(dc.ok);
+    Vec x0 = dc.x;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+    an::TransientOptions opt;
+    opt.dt = 1.0 / (f1 * 300.0);
+    const an::TransientResult r = an::transient(dae, x0, 0.0, spanCycles / f1, opt);
+    EXPECT_TRUE(r.ok);
+    const int n1 = nl.findNode("lat.n1");
+    const Vec v = r.column(static_cast<std::size_t>(n1));
+    const std::size_t half = v.size() / 2;
+    const Vec tt(r.t.begin() + static_cast<long>(half), r.t.end());
+    const Vec vv(v.begin() + static_cast<long>(half), v.end());
+    const an::PeriodEstimate pe = an::estimatePeriod(tt, vv, 1.5, 15);
+    return pe.ok ? pe.frequency : 0.0;
+}
+
+TEST(Pipeline, PredictedLockingRangeMatchesCircuitBehaviour) {
+    // The GAE locking range is a prediction about the real circuit: inside
+    // the range the oscillator's frequency must snap to f1; outside it must
+    // not.
+    const auto& osc = testutil::sharedOsc();
+    const double syncAmp = 100e-6;
+    const core::LockingRange range = core::lockingRange(
+        osc.model(), {core::Injection::tone(osc.outputUnknown(), syncAmp, 2)});
+    ASSERT_TRUE(range.locks);
+
+    const double fInside = 0.5 * (range.fLow + range.fHigh);
+    const double fMeasIn = measureLockedFrequency(fInside, syncAmp);
+    EXPECT_NEAR(fMeasIn, fInside, 2.0) << "should lock inside the range";
+
+    const double fOutside = range.fHigh + 3.0 * range.width();
+    const double fMeasOut = measureLockedFrequency(fOutside, syncAmp);
+    EXPECT_GT(std::abs(fMeasOut - fOutside), 10.0) << "should not lock outside the range";
+}
+
+TEST(Pipeline, CircuitLockPhaseMatchesGaePrediction) {
+    // Lock the latch with SYNC and a D input writing bit 1; the zero
+    // crossings of V(n1) must land at the phase the GAE predicts.
+    const auto& d = testutil::sharedDesign();
+    const auto& osc = testutil::sharedOsc();
+
+    ckt::Netlist nl;
+    const auto nodes =
+        logic::buildSyncLatchCircuit(nl, "lat", ckt::RingOscSpec{}, d.syncAmp, d.f1);
+    ckt::addCurrentInjection(nl, "id", nodes.out(),
+                             logic::dataCurrentWaveform(d, 150e-6, {1}, 1.0), 10e6);
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    ASSERT_TRUE(dc.ok);
+    Vec x0 = dc.x;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+    an::TransientOptions opt;
+    opt.dt = 1.0 / (d.f1 * 300.0);
+    const an::TransientResult r = an::transient(dae, x0, 0.0, 80.0 / d.f1, opt);
+    ASSERT_TRUE(r.ok);
+
+    // Measured dphi from crossings: theta(tc) = theta_cross at rising
+    // crossings, so dphi = theta_cross - f1 * tc (mod 1).
+    const Vec v = r.column(osc.outputUnknown());
+    Vec tTail, vTail;
+    for (std::size_t i = 0; i < r.t.size(); ++i) {
+        if (r.t[i] > 60.0 / d.f1) {
+            tTail.push_back(r.t[i]);
+            vTail.push_back(v[i]);
+        }
+    }
+    const Vec cr = an::risingCrossings(tTail, vTail, 1.5);
+    ASSERT_GE(cr.size(), 3u);
+    // theta_cross: rising 1.5 V crossing position of the model waveform.
+    const Vec& xs = d.model.xsSamples(d.model.outputUnknown());
+    Vec theta(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        theta[i] = static_cast<double>(i) / static_cast<double>(xs.size());
+    const Vec mc = an::risingCrossings(theta, xs, 1.5);
+    ASSERT_FALSE(mc.empty());
+    const double dphiMeas = num::wrap01(mc[0] - d.f1 * cr.back());
+    EXPECT_LT(core::phaseDistance(dphiMeas, d.reference.phase1), 0.05);
+}
+
+TEST(Pipeline, LoadedOscillatorShiftsFrequency) {
+    // Characterizing with output loads must track the loaded oscillator —
+    // the effect that detunes naive (unloaded) designs inside a full FSM.
+    ckt::RingOscSpec loaded;
+    loaded.outputLoadsOhms = {30e3, 30e3, 100e3, 100e3};
+    an::PssOptions popt = RingOscCharacterization::defaultPssOptions();
+    popt.freqHint = 10.2e3;
+    const auto oscLoaded = RingOscCharacterization::run(loaded, popt);
+    EXPECT_GT(oscLoaded.f0(), testutil::sharedOsc().f0() + 100.0);
+}
+
+TEST(Pipeline, TwoNinePVariantWidensLockingRange) {
+    // The paper's Fig. 6/7 design insight, end to end: asymmetrizing the
+    // inverter (2N1P) boosts the PPV 2nd harmonic and widens the SHIL
+    // locking range.
+    ckt::RingOscSpec spec2n1p;
+    spec2n1p.nmosM = 2.0;
+    an::PssOptions popt = RingOscCharacterization::defaultPssOptions();
+    popt.freqHint = 12e3;
+    const auto osc2 = RingOscCharacterization::run(spec2n1p, popt);
+
+    const auto& osc1 = testutil::sharedOsc();
+    const double v2rel1 = osc1.model().ppvHarmonic(osc1.outputUnknown(), 2) /
+                          osc1.model().ppvHarmonic(osc1.outputUnknown(), 1);
+    const double v2rel2 = osc2.model().ppvHarmonic(osc2.outputUnknown(), 2) /
+                          osc2.model().ppvHarmonic(osc2.outputUnknown(), 1);
+    EXPECT_GT(v2rel2, v2rel1);
+
+    // Same *relative* locking-range comparison (normalized by f0 since the
+    // two designs oscillate at different frequencies).
+    const double w1 = core::lockingRange(
+                          osc1.model(), {core::Injection::tone(osc1.outputUnknown(), 100e-6, 2)})
+                          .width() /
+                      osc1.f0();
+    const double w2 = core::lockingRange(
+                          osc2.model(), {core::Injection::tone(osc2.outputUnknown(), 100e-6, 2)})
+                          .width() /
+                      osc2.f0();
+    EXPECT_GT(w2, w1);
+}
+
+}  // namespace
+}  // namespace phlogon

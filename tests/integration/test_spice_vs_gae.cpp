@@ -1,0 +1,149 @@
+// The paper's Sec. 5.1 validation (Fig. 17) as a test: the GAE's prediction
+// of bit-flip settling must agree with a SPICE-level transient of the Fig. 9
+// D latch, with the phase read off the circuit via zero crossings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dcop.hpp"
+#include "analysis/transient.hpp"
+#include "analysis/waveform.hpp"
+#include "common/osc_fixture.hpp"
+#include "core/gae_sweep.hpp"
+#include "core/gae_transient.hpp"
+#include "phlogon/encoding.hpp"
+#include "phlogon/latch.hpp"
+
+namespace phlogon {
+namespace {
+
+using num::Vec;
+
+TEST(SpiceVsGae, BitFlipSettlingTimesAgree) {
+    const auto& d = testutil::sharedDesign();
+    const double f1 = d.f1;
+    const double tFlip = 40.0 / f1;  // settle first, then flip D's phase
+    const double tEnd = 110.0 / f1;
+    const double aD = 150e-6;
+
+    // --- GAE macromodel prediction.
+    std::vector<core::GaeSegment> sched{
+        {0.0, {d.sync(), d.dataInjection(aD, 0)}},
+        {tFlip, {d.sync(), d.dataInjection(aD, 1)}},
+    };
+    const auto gae =
+        core::gaeTransient(d.model, f1, sched, d.reference.phase0 + 0.02, 0.0, tEnd);
+    ASSERT_TRUE(gae.ok);
+    const double gaeSettle = core::settleTime(gae, d.reference.phase1, 0.03) - tFlip;
+    ASSERT_GT(gaeSettle, 0.0);
+
+    // --- SPICE-level Fig. 9 D latch, EN = 1 throughout.
+    ckt::Netlist nl;
+    logic::buildDLatchEnCircuit(nl, "dl", ckt::RingOscSpec{}, d.syncAmp, f1,
+                                logic::dataCurrentWaveform(d, aD, {0, 1}, tFlip),
+                                [](double) { return true; });
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    ASSERT_TRUE(dc.ok);
+    Vec x0 = dc.x;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+    an::TransientOptions opt;
+    opt.dt = 1.0 / (f1 * 300.0);
+    const an::TransientResult tr = an::transient(dae, x0, 0.0, tEnd, opt);
+    ASSERT_TRUE(tr.ok);
+
+    // Decode the phase trajectory from rising crossings of V(n1).
+    const std::size_t n1 = static_cast<std::size_t>(nl.findNode("dl.n1"));
+    const Vec cr = an::risingCrossings(tr.t, tr.column(n1), 1.5);
+    ASSERT_GE(cr.size(), 50u);
+    // theta at the model's rising crossing:
+    const Vec& xs = d.model.xsSamples(d.model.outputUnknown());
+    Vec th(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        th[i] = static_cast<double>(i) / static_cast<double>(xs.size());
+    const Vec mc = an::risingCrossings(th, xs, 1.5);
+    ASSERT_FALSE(mc.empty());
+
+    // Find when the measured dphi first settles within 0.05 of phase1 and
+    // stays there.
+    double spiceSettle = -1.0;
+    for (std::size_t k = 0; k < cr.size(); ++k) {
+        if (cr[k] < tFlip) continue;
+        const double dphi = num::wrap01(mc[0] - f1 * cr[k]);
+        if (core::phaseDistance(dphi, d.reference.phase1) < 0.05) {
+            spiceSettle = cr[k] - tFlip;
+            break;
+        }
+    }
+    ASSERT_GT(spiceSettle, 0.0) << "circuit never settled at the new phase";
+
+    // As in the paper's Fig. 17: the two do not overlap exactly (different
+    // phase definitions), but settle on the same time scale.
+    EXPECT_LT(spiceSettle, 3.0 * gaeSettle + 5.0 / f1);
+    EXPECT_GT(spiceSettle, gaeSettle / 3.0 - 5.0 / f1);
+}
+
+TEST(SpiceVsGae, EnLowBlocksTheFlip) {
+    // With EN = 0 the switch isolates D (100 Gohm): the latch must hold its
+    // bit regardless of D's phase.
+    const auto& d = testutil::sharedDesign();
+    const double f1 = d.f1;
+    const double tEnd = 80.0 / f1;
+
+    ckt::Netlist nl;
+    logic::buildDLatchEnCircuit(nl, "dl", ckt::RingOscSpec{}, d.syncAmp, f1,
+                                logic::dataCurrentWaveform(d, 150e-6, {1}, 1.0),
+                                [](double) { return false; });
+    ckt::Dae dae(nl);
+    const an::DcopResult dc = an::dcOperatingPoint(dae);
+    ASSERT_TRUE(dc.ok);
+    Vec x0 = dc.x;
+    for (std::size_t i = 0; i < x0.size(); ++i)
+        x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+    an::TransientOptions opt;
+    opt.dt = 1.0 / (f1 * 300.0);
+    const an::TransientResult tr = an::transient(dae, x0, 0.0, tEnd, opt);
+    ASSERT_TRUE(tr.ok);
+
+    const std::size_t n1 = static_cast<std::size_t>(nl.findNode("dl.n1"));
+    const Vec v = tr.column(n1);
+    Vec tt, vv;
+    for (std::size_t i = 0; i < tr.t.size(); ++i)
+        if (tr.t[i] > 0.5 * tEnd) {
+            tt.push_back(tr.t[i]);
+            vv.push_back(v[i]);
+        }
+    const Vec cr = an::risingCrossings(tt, vv, 1.5);
+    ASSERT_GE(cr.size(), 5u);
+    // Whatever bit it settled into from the kick, successive crossings must
+    // be f1-periodic (locked by SYNC alone, no steady drift toward D).
+    for (std::size_t k = 1; k < cr.size(); ++k)
+        EXPECT_NEAR((cr[k] - cr[k - 1]) * f1, 1.0, 5e-3);
+}
+
+TEST(SpiceVsGae, GaePredictsFlipThresholdOrdering) {
+    // Fig. 12's qualitative content, cross-validated: amplitudes ordered
+    // below/above the threshold produce fail/slow/fast flips in BOTH the
+    // GAE and the settle-time ordering.
+    const auto& d = testutil::sharedDesign();
+    const double f1 = d.f1;
+    const double span = 120.0 / f1;
+    auto settle = [&](double amp) {
+        std::vector<core::GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(amp, 1)}}};
+        const auto r =
+            core::gaeTransient(d.model, f1, sched, d.reference.phase0 + 0.02, 0.0, span);
+        EXPECT_TRUE(r.ok);
+        return core::settleTime(r, d.reference.phase1, 0.03);
+    };
+    const double tWeak = settle(10e-6);   // below threshold: never settles
+    const double tSlow = settle(30e-6);   // just above: slow
+    const double tFast = settle(150e-6);  // far above: fast
+    EXPECT_NEAR(tWeak, span, 1e-9);
+    EXPECT_LT(tFast, tSlow);
+    EXPECT_LT(tSlow, span * 0.9);
+}
+
+}  // namespace
+}  // namespace phlogon

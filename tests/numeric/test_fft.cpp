@@ -1,0 +1,124 @@
+#include "numeric/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace phlogon::num {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Fft, RoundTripPowerOfTwo) {
+    std::mt19937 rng(1);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    CVec a(64);
+    for (Cplx& v : a) v = Cplx(dist(rng), dist(rng));
+    CVec b = a;
+    fft(b);
+    ifft(b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_NEAR(b[i].real(), a[i].real(), 1e-12);
+        EXPECT_NEAR(b[i].imag(), a[i].imag(), 1e-12);
+    }
+}
+
+TEST(Fft, RoundTripNonPowerOfTwo) {
+    CVec a(12);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = Cplx(std::sin(0.7 * i), std::cos(0.3 * i));
+    CVec b = a;
+    fft(b);
+    ifft(b);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(std::abs(b[i] - a[i]), 0.0, 1e-11);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+    CVec a(8, Cplx(0.0));
+    a[0] = 1.0;
+    fft(a);
+    for (const Cplx& v : a) EXPECT_NEAR(std::abs(v - Cplx(1.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+    const std::size_t n = 32;
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = std::cos(kTwoPi * 3.0 * i / n);
+    const CVec s = dftReal(x);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double expected = (k == 3 || k == n - 3) ? n / 2.0 : 0.0;
+        EXPECT_NEAR(std::abs(s[k]), expected, 1e-9) << "bin " << k;
+    }
+}
+
+TEST(FourierCoefficients, ReconstructsSignalConvention) {
+    // f(t) = 1 + 2 cos(2 pi t) + 0.5 cos(2 pi 2 t + 0.3)
+    const std::size_t n = 64;
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / n;
+        x[i] = 1.0 + 2.0 * std::cos(kTwoPi * t) + 0.5 * std::cos(kTwoPi * 2.0 * t + 0.3);
+    }
+    const CVec c = fourierCoefficients(x, 4);
+    EXPECT_NEAR(harmonicMagnitude(c, 0), 1.0, 1e-10);
+    EXPECT_NEAR(harmonicMagnitude(c, 1), 2.0, 1e-10);
+    EXPECT_NEAR(harmonicMagnitude(c, 2), 0.5, 1e-10);
+    EXPECT_NEAR(harmonicMagnitude(c, 3), 0.0, 1e-10);
+    EXPECT_NEAR(harmonicMagnitude(c, 99), 0.0, 1e-15);  // out of range -> 0
+}
+
+TEST(FourierCoefficients, PhaseRecovered) {
+    const std::size_t n = 128;
+    const double phase = 0.8;
+    Vec x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::cos(kTwoPi * static_cast<double>(i) / n + phase);
+    const CVec c = fourierCoefficients(x, 1);
+    // Convention: f ~ 2*Re(c1 e^{j 2 pi t}) -> arg(c1) = phase.
+    EXPECT_NEAR(std::arg(c[1]), phase, 1e-10);
+}
+
+TEST(CyclicCorrelation, MatchesDirectSum) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const std::size_t n = 24;
+    Vec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = dist(rng);
+        b[i] = dist(rng);
+    }
+    const Vec r = cyclicCorrelation(a, b);
+    for (std::size_t m = 0; m < n; ++m) {
+        double direct = 0.0;
+        for (std::size_t i = 0; i < n; ++i) direct += a[(i + m) % n] * b[i];
+        EXPECT_NEAR(r[m], direct / n, 1e-12) << "lag " << m;
+    }
+}
+
+TEST(CyclicCorrelation, OfShiftedCosinesIsCosineOfLag) {
+    // (1/N) sum cos(2 pi (i+m)/N) cos(2 pi i/N) = cos(2 pi m/N)/2
+    const std::size_t n = 64;
+    Vec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = std::cos(kTwoPi * i / n);
+        b[i] = std::cos(kTwoPi * i / n);
+    }
+    const Vec r = cyclicCorrelation(a, b);
+    for (std::size_t m = 0; m < n; m += 7)
+        EXPECT_NEAR(r[m], 0.5 * std::cos(kTwoPi * m / n), 1e-12);
+}
+
+TEST(CyclicCorrelation, OrthogonalHarmonicsGiveZero) {
+    const std::size_t n = 64;
+    Vec a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = std::cos(kTwoPi * i / n);        // fundamental
+        b[i] = std::cos(kTwoPi * 2.0 * i / n);  // 2nd harmonic
+    }
+    const Vec r = cyclicCorrelation(a, b);
+    for (double v : r) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace phlogon::num

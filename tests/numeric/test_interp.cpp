@@ -1,0 +1,108 @@
+#include "numeric/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace phlogon::num {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+TEST(Wrap01, BasicCases) {
+    EXPECT_DOUBLE_EQ(wrap01(0.25), 0.25);
+    EXPECT_DOUBLE_EQ(wrap01(1.25), 0.25);
+    EXPECT_DOUBLE_EQ(wrap01(-0.25), 0.75);
+    EXPECT_DOUBLE_EQ(wrap01(3.0), 0.0);
+    EXPECT_DOUBLE_EQ(wrap01(-2.0), 0.0);
+    EXPECT_GE(wrap01(-1e-18), 0.0);
+    EXPECT_LT(wrap01(-1e-18), 1.0);
+}
+
+TEST(PeriodicLinear, HitsSamplesExactly) {
+    const Vec s{0.0, 1.0, 0.0, -1.0};
+    PeriodicLinear p(s);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_DOUBLE_EQ(p(static_cast<double>(i) / 4.0), s[i]);
+}
+
+TEST(PeriodicLinear, InterpolatesAndWraps) {
+    PeriodicLinear p(Vec{0.0, 1.0});
+    EXPECT_DOUBLE_EQ(p(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(p(0.75), 0.5);  // wraps from 1.0 back to 0.0
+    EXPECT_DOUBLE_EQ(p(1.25), 0.5);
+    EXPECT_DOUBLE_EQ(p(-0.75), 0.5);
+}
+
+TEST(PeriodicCubicSpline, RequiresThreeSamples) {
+    EXPECT_THROW(PeriodicCubicSpline(Vec{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(PeriodicCubicSpline, HitsKnots) {
+    const Vec s{0.0, 1.0, 0.5, -0.5, -1.0};
+    PeriodicCubicSpline p(s);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_NEAR(p(static_cast<double>(i) / s.size()), s[i], 1e-12);
+}
+
+TEST(PeriodicCubicSpline, ReproducesSmoothPeriodicFunction) {
+    const std::size_t n = 32;
+    Vec s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = std::sin(kTwoPi * i / n);
+    PeriodicCubicSpline p(s);
+    for (double t = 0.0; t < 1.0; t += 0.013)
+        EXPECT_NEAR(p(t), std::sin(kTwoPi * t), 2e-5) << "t=" << t;
+}
+
+TEST(PeriodicCubicSpline, DerivativeMatchesAnalytic) {
+    const std::size_t n = 64;
+    Vec s(n);
+    for (std::size_t i = 0; i < n; ++i) s[i] = std::cos(kTwoPi * i / n);
+    PeriodicCubicSpline p(s);
+    for (double t = 0.05; t < 1.0; t += 0.1)
+        EXPECT_NEAR(p.derivative(t), -kTwoPi * std::sin(kTwoPi * t), 3e-3) << "t=" << t;
+}
+
+TEST(PeriodicCubicSpline, ContinuousAcrossPeriodBoundary) {
+    Vec s{1.0, 0.2, -0.7, 0.4, 0.9, -0.1};
+    PeriodicCubicSpline p(s);
+    const double eps = 1e-9;
+    EXPECT_NEAR(p(1.0 - eps), p(0.0 + eps), 1e-6);
+    EXPECT_NEAR(p.derivative(1.0 - eps), p.derivative(0.0 + eps), 1e-4);
+}
+
+TEST(ResampleUniform, IdentityOnMatchingGrid) {
+    const Vec t{0.0, 0.25, 0.5, 0.75, 1.0};
+    const Vec x{1.0, 2.0, 3.0, 4.0, 5.0};
+    const Vec u = resampleUniform(t, x, 0.0, 1.0, 4);
+    ASSERT_EQ(u.size(), 4u);
+    EXPECT_NEAR(u[0], 1.0, 1e-12);
+    EXPECT_NEAR(u[1], 2.0, 1e-12);
+    EXPECT_NEAR(u[3], 4.0, 1e-12);
+}
+
+TEST(ResampleUniform, LinearInterpolationBetweenPoints) {
+    const Vec t{0.0, 1.0};
+    const Vec x{0.0, 10.0};
+    const Vec u = resampleUniform(t, x, 0.0, 1.0, 10);
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(u[i], static_cast<double>(i), 1e-10);
+}
+
+TEST(ResampleUniform, ClampsOutsideRange) {
+    const Vec t{0.2, 0.8};
+    const Vec x{5.0, 7.0};
+    const Vec u = resampleUniform(t, x, 0.0, 1.0, 4);  // samples at 0, .25, .5, .75
+    EXPECT_DOUBLE_EQ(u[0], 5.0);  // before first point -> clamped
+    EXPECT_NEAR(u[2], 6.0, 1e-12);
+}
+
+TEST(ResampleUniform, NonUniformSourceGrid) {
+    const Vec t{0.0, 0.1, 0.9, 1.0};
+    const Vec x{0.0, 1.0, 9.0, 10.0};  // globally linear y = 10 t
+    const Vec u = resampleUniform(t, x, 0.0, 1.0, 5);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(u[i], 2.0 * i, 1e-10);
+}
+
+}  // namespace
+}  // namespace phlogon::num

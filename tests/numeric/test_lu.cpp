@@ -1,0 +1,149 @@
+#include "numeric/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace phlogon::num {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+    Matrix a{{2, 1}, {1, 3}};
+    auto f = LuFactor::factor(a);
+    ASSERT_TRUE(f.has_value());
+    const Vec x = f->solve(Vec{3, 5});
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RejectsSingular) {
+    Matrix a{{1, 2}, {2, 4}};
+    EXPECT_FALSE(LuFactor::factor(a).has_value());
+}
+
+TEST(Lu, RejectsEmptyAndNonSquare) {
+    EXPECT_FALSE(LuFactor::factor(Matrix()).has_value());
+    EXPECT_FALSE(LuFactor::factor(Matrix(2, 3)).has_value());
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+    Matrix a{{0, 1}, {1, 0}};
+    auto f = LuFactor::factor(a);
+    ASSERT_TRUE(f.has_value());
+    const Vec x = f->solve(Vec{2, 3});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+    Matrix a{{2, 0}, {0, 3}};
+    EXPECT_NEAR(LuFactor::factor(a)->determinant(), 6.0, 1e-12);
+    Matrix b{{0, 1}, {1, 0}};  // permutation, det = -1
+    EXPECT_NEAR(LuFactor::factor(b)->determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, SolveTransposedMatchesExplicitTranspose) {
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + static_cast<std::size_t>(trial % 7);
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+            a(r, r) += 3.0;  // make well conditioned
+        }
+        Vec b(n);
+        for (double& v : b) v = dist(rng);
+        auto f = LuFactor::factor(a);
+        ASSERT_TRUE(f.has_value());
+        const Vec x1 = f->solveTransposed(b);
+        auto ft = LuFactor::factor(a.transposed());
+        ASSERT_TRUE(ft.has_value());
+        const Vec x2 = ft->solve(b);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+    }
+}
+
+TEST(Lu, ResidualSmallOnRandomSystems) {
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 9);
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng) + (r == c ? 2.0 : 0.0);
+        Vec b(n);
+        for (double& v : b) v = dist(rng);
+        auto f = LuFactor::factor(a);
+        ASSERT_TRUE(f.has_value());
+        const Vec x = f->solve(b);
+        const Vec r = a * x - b;
+        EXPECT_LT(normInf(r), 1e-11);
+    }
+}
+
+TEST(Lu, SolveMatrixReproducesInverse) {
+    Matrix a{{4, 1}, {2, 3}};
+    auto inv = inverse(a);
+    ASSERT_TRUE(inv.has_value());
+    const Matrix prod = a * (*inv);
+    EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+    EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+    EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+}
+
+TEST(Lu, SolveLinearConvenience) {
+    const auto x = solveLinear(Matrix{{1, 0}, {0, 2}}, Vec{1, 4});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[1], 2.0, 1e-14);
+    EXPECT_FALSE(solveLinear(Matrix{{1, 1}, {1, 1}}, Vec{1, 1}).has_value());
+}
+
+TEST(Lu, RcondEstimateOrdersWellVsIllConditioned) {
+    const double good = LuFactor::factor(Matrix::identity(3))->rcondEstimate();
+    Matrix bad{{1, 0}, {0, 1e-10}};
+    const double poor = LuFactor::factor(bad)->rcondEstimate();
+    EXPECT_GT(good, 0.5);
+    EXPECT_LT(poor, 1e-9);
+}
+
+TEST(Eigen, InverseIterationFindsNearestEigenpair) {
+    // Symmetric matrix with eigenvalues 1 and 3.
+    Matrix a{{2, 1}, {1, 2}};
+    const auto p1 = inverseIteration(a, 0.9);
+    ASSERT_TRUE(p1.has_value());
+    EXPECT_NEAR(p1->first, 1.0, 1e-8);
+    const auto p3 = inverseIteration(a, 3.2);
+    ASSERT_TRUE(p3.has_value());
+    EXPECT_NEAR(p3->first, 3.0, 1e-8);
+    // Eigenvector of eigenvalue 3 is (1,1)/sqrt(2).
+    EXPECT_NEAR(std::abs(p3->second[0]), std::abs(p3->second[1]), 1e-8);
+}
+
+TEST(Eigen, InverseIterationHandlesExactShift) {
+    Matrix a{{2, 0}, {0, 5}};
+    const auto p = inverseIteration(a, 5.0);  // exactly singular shift: nudged internally
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->first, 5.0, 1e-6);
+}
+
+TEST(Eigen, PowerIterationFindsDominant) {
+    Matrix a{{3, 1}, {0, 1}};
+    const auto p = powerIteration(a);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->first, 3.0, 1e-8);
+}
+
+TEST(Eigen, InverseIterationNullSpace) {
+    // Singular matrix: eigenvalue 0 with eigenvector (1,-1)/sqrt(2).
+    Matrix a{{1, 1}, {1, 1}};
+    const auto p = inverseIteration(a, 0.0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->first, 0.0, 1e-8);
+    EXPECT_NEAR(p->second[0] + p->second[1], 0.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace phlogon::num

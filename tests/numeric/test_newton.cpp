@@ -1,0 +1,119 @@
+#include "numeric/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phlogon::num {
+namespace {
+
+TEST(Newton, SolvesScalarQuadratic) {
+    // x^2 - 4 = 0, starting near the positive root.
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0] * x[0] - 4.0}; };
+    const JacobianFn j = [](const Vec& x) { return Matrix{{2.0 * x[0]}}; };
+    Vec x{3.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 2.0, 1e-8);
+    EXPECT_LT(r.iterations, 12);
+}
+
+TEST(Newton, Solves2dNonlinearSystem) {
+    // x^2 + y^2 = 1, y = x  ->  x = y = 1/sqrt(2).
+    const ResidualFn f = [](const Vec& v) {
+        return Vec{v[0] * v[0] + v[1] * v[1] - 1.0, v[1] - v[0]};
+    };
+    const JacobianFn j = [](const Vec& v) {
+        return Matrix{{2.0 * v[0], 2.0 * v[1]}, {-1.0, 1.0}};
+    };
+    Vec x{1.0, 0.5};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(x[1], 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Newton, QuadraticConvergenceIsFast) {
+    const ResidualFn f = [](const Vec& x) { return Vec{std::exp(x[0]) - 2.0}; };
+    const JacobianFn j = [](const Vec& x) { return Matrix{{std::exp(x[0])}}; };
+    Vec x{0.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], std::log(2.0), 1e-10);
+    EXPECT_LE(r.iterations, 8);
+}
+
+TEST(Newton, DampingRescuesOvershoot) {
+    // atan has a famously divergent undamped Newton from |x0| > ~1.39.
+    const ResidualFn f = [](const Vec& x) { return Vec{std::atan(x[0])}; };
+    const JacobianFn j = [](const Vec& x) { return Matrix{{1.0 / (1.0 + x[0] * x[0])}}; };
+    Vec x{3.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 0.0, 1e-8);
+}
+
+TEST(Newton, ReportsSingularJacobian) {
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0] * x[0] + 1.0}; };
+    const JacobianFn j = [](const Vec&) { return Matrix{{0.0}}; };
+    Vec x{1.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.message, "singular Jacobian");
+}
+
+TEST(Newton, MaxIterationsReported) {
+    // No real root: x^2 + 1 = 0.
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0] * x[0] + 1.0}; };
+    const JacobianFn j = [](const Vec& x) { return Matrix{{2.0 * x[0]}}; };
+    Vec x{1.0};
+    NewtonOptions opt;
+    opt.maxIter = 15;
+    const NewtonResult r = newtonSolve(f, j, x, opt);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(Newton, MaxStepClampRespected) {
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0] - 100.0}; };
+    const JacobianFn j = [](const Vec&) { return Matrix{{1.0}}; };
+    Vec x{0.0};
+    NewtonOptions opt;
+    opt.maxStep = 10.0;
+    opt.maxIter = 30;
+    const NewtonResult r = newtonSolve(f, j, x, opt);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 100.0, 1e-8);
+    EXPECT_GE(r.iterations, 10);  // clamped to <= 10 per step
+}
+
+TEST(Newton, AlreadyConvergedReturnsImmediately) {
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0]}; };
+    const JacobianFn j = [](const Vec&) { return Matrix{{1.0}}; };
+    Vec x{0.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(FdJacobian, MatchesAnalyticOnSmoothSystem) {
+    const ResidualFn f = [](const Vec& v) {
+        return Vec{std::sin(v[0]) + v[1] * v[1], v[0] * v[1]};
+    };
+    const Vec x{0.3, -0.7};
+    const Matrix j = fdJacobian(f, x);
+    EXPECT_NEAR(j(0, 0), std::cos(0.3), 1e-7);
+    EXPECT_NEAR(j(0, 1), -1.4, 1e-7);
+    EXPECT_NEAR(j(1, 0), -0.7, 1e-7);
+    EXPECT_NEAR(j(1, 1), 0.3, 1e-7);
+}
+
+TEST(FdJacobian, HandlesRectangularOutput) {
+    const ResidualFn f = [](const Vec& v) { return Vec{v[0], 2.0 * v[0], 3.0 * v[0]}; };
+    const Matrix j = fdJacobian(f, Vec{1.0});
+    ASSERT_EQ(j.rows(), 3u);
+    ASSERT_EQ(j.cols(), 1u);
+    EXPECT_NEAR(j(2, 0), 3.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace phlogon::num

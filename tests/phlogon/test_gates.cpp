@@ -1,0 +1,138 @@
+#include "phlogon/gates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dcop.hpp"
+#include "circuit/dae.hpp"
+#include "common/osc_fixture.hpp"
+
+namespace phlogon::logic {
+namespace {
+
+TEST(MajorityBit, UnweightedThreeInput) {
+    EXPECT_EQ(majorityBit({0, 0, 0}), 0);
+    EXPECT_EQ(majorityBit({1, 0, 0}), 0);
+    EXPECT_EQ(majorityBit({1, 1, 0}), 1);
+    EXPECT_EQ(majorityBit({1, 1, 1}), 1);
+}
+
+TEST(MajorityBit, FiveInputXorIdentity) {
+    // sum = MAJ(a, b, c, ~cout, ~cout) == a ^ b ^ c for all 8 combinations.
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c) {
+                const int cout = majorityBit({a, b, c});
+                const int sum = majorityBit({a, b, c, notBit(cout), notBit(cout)});
+                EXPECT_EQ(sum, a ^ b ^ c) << a << b << c;
+            }
+}
+
+TEST(MajorityBit, WeightsBias) {
+    EXPECT_EQ(majorityBit({1, 0, 0}, {5.0, 1.0, 1.0}), 1);
+    EXPECT_EQ(majorityBit({0, 1, 1}, {5.0, 1.0, 1.0}), 0);
+}
+
+TEST(MajorityBit, Validation) {
+    EXPECT_THROW(majorityBit({}), std::invalid_argument);
+    EXPECT_THROW(majorityBit({1, 0}, {1.0}), std::invalid_argument);
+}
+
+TEST(NotBit, Inverts) {
+    EXPECT_EQ(notBit(0), 1);
+    EXPECT_EQ(notBit(1), 0);
+}
+
+TEST(ClippedFundamental, LinearBelowClip) {
+    EXPECT_NEAR(clippedFundamental(0.01, 1.0), 0.01, 1e-4);
+}
+
+TEST(ClippedFundamental, SaturatesNearFourOverPi) {
+    // Hard clipping a large sine: fundamental -> (4/pi) * clip.
+    EXPECT_NEAR(clippedFundamental(100.0, 0.5), 0.5 * 4.0 / std::numbers::pi, 1e-3);
+}
+
+TEST(ClippedFundamental, MonotoneInInputAmplitude) {
+    double prev = 0.0;
+    for (double a = 0.1; a < 5.0; a += 0.3) {
+        const double cur = clippedFundamental(a, 0.5);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(ClippedFundamental, NoClipPassthrough) {
+    EXPECT_DOUBLE_EQ(clippedFundamental(2.5, 0.0), 2.5);
+}
+
+TEST(PhaseGates, MajorityOfPhasorsPicksMajorityPhase) {
+    // Three unit phasors at phase1/phase1/phase0 -> output in phase with the
+    // majority (phase1).
+    const auto& ref = testutil::sharedDesign().reference;
+    core::PhaseSystem sys;
+    const auto a = sys.addExternal(ref.refSignal(1));
+    const auto b = sys.addExternal(ref.refSignal(1));
+    const auto c = sys.addExternal(ref.refSignal(0));
+    const auto m = addMajorityGate(sys, {{a, 1.0}, {b, 1.0}, {c, 1.0}}, 1.0);
+    const auto r1 = sys.addExternal(ref.refSignal(1));
+    // Correlate over one cycle.
+    double corr = 0.0;
+    for (int i = 0; i < 64; ++i) {
+        const double t = i / 64.0 / ref.f1;
+        corr += sys.signalValue(m, t, ref.f1, {}) * sys.signalValue(r1, t, ref.f1, {});
+    }
+    EXPECT_GT(corr, 0.0);
+}
+
+TEST(PhaseGates, NotGateInvertsPhase) {
+    const auto& ref = testutil::sharedDesign().reference;
+    core::PhaseSystem sys;
+    const auto a = sys.addExternal(ref.refSignal(1));
+    const auto n = addNotGate(sys, a);
+    for (double t = 0.0; t < 1.0 / ref.f1; t += 0.11 / ref.f1)
+        EXPECT_NEAR(sys.signalValue(n, t, ref.f1, {}), -sys.signalValue(a, t, ref.f1, {}),
+                    1e-12);
+}
+
+TEST(CircuitGates, MajorityGateCircuitTruthTable) {
+    // DC check at the peak instant of the phase-encoding: inputs at 0 / Vdd
+    // represent instantaneous bit levels; the two-stage summer must output
+    // the majority level.
+    const double vdd = 3.0;
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b)
+            for (int c = 0; c < 2; ++c) {
+                ckt::Netlist nl;
+                ckt::addSupply(nl, "vmid", vdd / 2.0);
+                nl.addVoltageSource("va", "a", "0", ckt::Waveform::dc(a ? vdd : 0.0));
+                nl.addVoltageSource("vb", "b", "0", ckt::Waveform::dc(b ? vdd : 0.0));
+                nl.addVoltageSource("vc", "c", "0", ckt::Waveform::dc(c ? vdd : 0.0));
+                buildMajorityGateCircuit(nl, "maj", {{"a", 1.0}, {"b", 1.0}, {"c", 1.0}},
+                                         "out", "vmid");
+                ckt::Dae dae(nl);
+                an::DcopOptions opt;
+                opt.newton.maxIter = 300;
+                const an::DcopResult r = an::dcOperatingPoint(dae, opt);
+                ASSERT_TRUE(r.ok) << r.message;
+                const double vout = r.x[static_cast<std::size_t>(nl.findNode("out"))];
+                if (majorityBit({a, b, c}))
+                    EXPECT_GT(vout, vdd / 2.0) << a << b << c;
+                else
+                    EXPECT_LT(vout, vdd / 2.0) << a << b << c;
+            }
+}
+
+TEST(CircuitGates, NotGateCircuitInverts) {
+    ckt::Netlist nl;
+    ckt::addSupply(nl, "vmid", 1.5);
+    nl.addVoltageSource("vin", "in", "0", ckt::Waveform::dc(2.5));  // +1.0 above bias
+    buildNotGateCircuit(nl, "inv", "in", "out", "vmid");
+    ckt::Dae dae(nl);
+    const an::DcopResult r = an::dcOperatingPoint(dae);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(nl.findNode("out"))], 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace phlogon::logic

@@ -1,0 +1,84 @@
+#include "phlogon/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace phlogon::logic {
+namespace {
+
+TEST(GoldenDLatch, TransparentWhenEnabled) {
+    GoldenDLatch l(0);
+    EXPECT_EQ(l.update(1, 1), 1);
+    EXPECT_EQ(l.update(0, 1), 0);
+}
+
+TEST(GoldenDLatch, HoldsWhenDisabled) {
+    GoldenDLatch l(1);
+    EXPECT_EQ(l.update(0, 0), 1);
+    EXPECT_EQ(l.q(), 1);
+}
+
+TEST(GoldenDff, UpdatesOnFallingEdgeSemantics) {
+    GoldenDff ff(0);
+    // clk=1: master captures, slave holds.
+    ff.update(1, 1);
+    EXPECT_EQ(ff.q1(), 1);
+    EXPECT_EQ(ff.q2(), 0);
+    // clk=0: slave copies master.
+    ff.update(0, 0);
+    EXPECT_EQ(ff.q2(), 1);
+    // Master opaque at clk=0: D changes ignored.
+    ff.update(0, 0);
+    EXPECT_EQ(ff.q1(), 1);
+}
+
+TEST(GoldenFullAdder, TruthTable) {
+    // (a, b, c) -> (sum, cout)
+    const int expected[8][2] = {{0, 0}, {1, 0}, {1, 0}, {0, 1},
+                                {1, 0}, {0, 1}, {0, 1}, {1, 1}};
+    for (int i = 0; i < 8; ++i) {
+        const int a = (i >> 2) & 1, b = (i >> 1) & 1, c = i & 1;
+        const auto [s, co] = goldenFullAdder(a, b, c);
+        EXPECT_EQ(s, expected[i][0]) << a << b << c;
+        EXPECT_EQ(co, expected[i][1]) << a << b << c;
+    }
+}
+
+TEST(GoldenSerialAdd, KnownSums) {
+    // 3 + 3 = 6: LSB-first 11 + 11 = 011 (3 bits).
+    Bits couts;
+    const Bits s = goldenSerialAdd({1, 1, 0}, {1, 1, 0}, 0, &couts);
+    EXPECT_EQ(s, (Bits{0, 1, 1}));
+    EXPECT_EQ(couts, (Bits{1, 1, 0}));
+}
+
+TEST(GoldenSerialAdd, InitialCarryHonored) {
+    const Bits s = goldenSerialAdd({0, 0}, {0, 0}, 1);
+    EXPECT_EQ(s, (Bits{1, 0}));
+}
+
+TEST(GoldenSerialAdd, LengthMismatchThrows) {
+    EXPECT_THROW(goldenSerialAdd({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(GoldenSerialAdd, MatchesIntegerAdditionProperty) {
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int width = 1 + static_cast<int>(rng() % 10);
+        const unsigned a = rng() & ((1u << width) - 1);
+        const unsigned b = rng() & ((1u << width) - 1);
+        Bits ab, bb;
+        for (int k = 0; k < width; ++k) {
+            ab.push_back((a >> k) & 1);
+            bb.push_back((b >> k) & 1);
+        }
+        const Bits s = goldenSerialAdd(ab, bb);
+        unsigned sum = 0;
+        for (int k = 0; k < width; ++k) sum |= static_cast<unsigned>(s[k]) << k;
+        EXPECT_EQ(sum, (a + b) & ((1u << width) - 1)) << "a=" << a << " b=" << b;
+    }
+}
+
+}  // namespace
+}  // namespace phlogon::logic

@@ -1,0 +1,122 @@
+#include "phlogon/serial_adder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/osc_fixture.hpp"
+#include "phlogon/encoding.hpp"
+
+namespace phlogon::logic {
+namespace {
+
+struct AdderRun {
+    core::PhaseSystem sys;
+    PhaseSerialAdder adder;
+    core::PhaseSystem::Result res;
+};
+
+AdderRun runAdder(const SyncLatchDesign& d, const Bits& a, const Bits& b) {
+    AdderRun run;
+    run.adder = buildPhaseSerialAdder(run.sys, d, a, b);
+    const auto& ref = d.reference;
+    run.res = run.sys.simulate(d.f1, 0.0, a.size() * run.adder.bitPeriod,
+                               num::Vec{ref.phase0 + 0.02, ref.phase0 + 0.02}, 64, 8);
+    return run;
+}
+
+TEST(PhaseSerialAdder, BuildValidatesStreams) {
+    core::PhaseSystem sys;
+    EXPECT_THROW(buildPhaseSerialAdder(sys, testutil::sharedFsmDesign(), {1, 0}, {1}),
+                 std::invalid_argument);
+    core::PhaseSystem sys2;
+    EXPECT_THROW(buildPhaseSerialAdder(sys2, testutil::sharedFsmDesign(), {}, {}),
+                 std::invalid_argument);
+}
+
+TEST(PhaseSerialAdder, StructureHasTwoLatches) {
+    core::PhaseSystem sys;
+    buildPhaseSerialAdder(sys, testutil::sharedFsmDesign(), {0, 1}, {0, 1});
+    EXPECT_EQ(sys.latchCount(), 2u);
+}
+
+TEST(PhaseSerialAdder, PaperCaseAEqualsBEquals101) {
+    // The paper's Fig. 16 adds a = b = 101 sequentially (plus a leading
+    // reset slot clearing the carry).
+    const auto& d = testutil::sharedFsmDesign();
+    const Bits a{0, 1, 0, 1}, b{0, 1, 0, 1};
+    AdderRun run = runAdder(d, a, b);
+    ASSERT_TRUE(run.res.ok);
+    const auto [sums, couts] = decodeSerialAdderRun(run.sys, run.adder, run.res, d.reference);
+    Bits gc;
+    const Bits gs = goldenSerialAdd(a, b, 0, &gc);
+    EXPECT_EQ(sums, gs);
+    EXPECT_EQ(couts, gc);
+}
+
+class SerialAdderStreams : public ::testing::TestWithParam<std::pair<Bits, Bits>> {};
+
+TEST_P(SerialAdderStreams, MatchesGoldenModel) {
+    const auto& d = testutil::sharedFsmDesign();
+    const auto& [a, b] = GetParam();
+    AdderRun run = runAdder(d, a, b);
+    ASSERT_TRUE(run.res.ok);
+    const auto [sums, couts] = decodeSerialAdderRun(run.sys, run.adder, run.res, d.reference);
+    Bits gc;
+    const Bits gs = goldenSerialAdd(a, b, 0, &gc);
+    EXPECT_EQ(sums, gs);
+    EXPECT_EQ(couts, gc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CarryPatterns, SerialAdderStreams,
+    ::testing::Values(std::make_pair(Bits{0, 1, 1, 0}, Bits{0, 1, 0, 1}),
+                      std::make_pair(Bits{0, 1, 1, 1, 1}, Bits{0, 1, 0, 0, 0}),  // carry chain
+                      std::make_pair(Bits{0, 0, 0, 0}, Bits{0, 0, 0, 0}),
+                      std::make_pair(Bits{0, 1, 0, 0, 1}, Bits{0, 0, 1, 0, 1}),
+                      std::make_pair(Bits{0, 1, 1}, Bits{0, 1, 1})));
+
+TEST(PhaseSerialAdder, RandomStreamsProperty) {
+    // Property sweep: random 5-bit additions (leading reset slot).
+    const auto& d = testutil::sharedFsmDesign();
+    std::mt19937 rng(3);
+    for (int trial = 0; trial < 3; ++trial) {
+        Bits a{0}, b{0};
+        for (int k = 0; k < 4; ++k) {
+            a.push_back(static_cast<int>(rng() & 1));
+            b.push_back(static_cast<int>(rng() & 1));
+        }
+        AdderRun run = runAdder(d, a, b);
+        ASSERT_TRUE(run.res.ok);
+        const auto [sums, couts] =
+            decodeSerialAdderRun(run.sys, run.adder, run.res, d.reference);
+        Bits gc;
+        const Bits gs = goldenSerialAdd(a, b, 0, &gc);
+        EXPECT_EQ(sums, gs) << "trial " << trial;
+        EXPECT_EQ(couts, gc) << "trial " << trial;
+    }
+}
+
+TEST(DphiAt, InterpolatesAndClamps) {
+    core::PhaseSystem::Result res;
+    res.ok = true;
+    res.t = {0.0, 1.0};
+    res.dphi = {{0.0, 1.0}, {2.0, 4.0}};
+    const num::Vec mid = dphiAt(res, 0.5);
+    EXPECT_NEAR(mid[0], 0.5, 1e-12);
+    EXPECT_NEAR(mid[1], 3.0, 1e-12);
+    EXPECT_NEAR(dphiAt(res, -5.0)[1], 2.0, 1e-12);
+    EXPECT_NEAR(dphiAt(res, 5.0)[1], 4.0, 1e-12);
+}
+
+TEST(DecodeSignalBit, DecodesPureReferences) {
+    const auto& d = testutil::sharedFsmDesign();
+    core::PhaseSystem sys;
+    const auto s1 = sys.addExternal(d.reference.refSignal(1));
+    const auto s0 = sys.addExternal(d.reference.refSignal(0));
+    EXPECT_EQ(decodeSignalBit(sys, s1, d.reference, 1e-3, {}), 1);
+    EXPECT_EQ(decodeSignalBit(sys, s0, d.reference, 1e-3, {}), 0);
+}
+
+}  // namespace
+}  // namespace phlogon::logic

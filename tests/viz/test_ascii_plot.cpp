@@ -1,0 +1,70 @@
+#include "viz/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phlogon::viz {
+namespace {
+
+TEST(AsciiPlot, ContainsTitleAndLegend) {
+    Chart c("My Title", "time", "volts");
+    c.add("trace1", {0, 1, 2}, {0, 1, 0});
+    const std::string s = asciiPlot(c);
+    EXPECT_NE(s.find("My Title"), std::string::npos);
+    EXPECT_NE(s.find("trace1"), std::string::npos);
+    EXPECT_NE(s.find("volts"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersGlyphsForData) {
+    Chart c;
+    c.add("a", {0, 1}, {0, 1});
+    const std::string s = asciiPlot(c);
+    EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesDistinctGlyphs) {
+    Chart c;
+    c.add("a", {0, 1}, {0, 0});
+    c.add("b", {0, 1}, {1, 1});
+    const std::string s = asciiPlot(c);
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, RespectsDimensions) {
+    Chart c;
+    c.add("a", {0, 1}, {0, 1});
+    AsciiPlotOptions opt;
+    opt.width = 40;
+    opt.height = 10;
+    opt.drawLegend = false;
+    const std::string s = asciiPlot(c, opt);
+    // Count plot rows (lines containing " |").
+    std::size_t rows = 0, pos = 0;
+    while ((pos = s.find(" |", pos)) != std::string::npos) {
+        ++rows;
+        pos += 2;
+    }
+    EXPECT_EQ(rows, 10u);
+}
+
+TEST(AsciiPlot, HandlesConstantSeries) {
+    Chart c;
+    c.add("flat", {0, 1, 2}, {5, 5, 5});
+    EXPECT_NO_THROW(asciiPlot(c));
+}
+
+TEST(AsciiPlot, HandlesNonFiniteGracefully) {
+    Chart c;
+    c.add("nan", {0, 1, 2}, {0.0, std::nan(""), 1.0});
+    EXPECT_NO_THROW(asciiPlot(c));
+}
+
+TEST(AsciiPlot, ConvenienceOverload) {
+    const std::string s = asciiPlot("quick", {0, 1, 2}, {1, 0, 1});
+    EXPECT_NE(s.find("quick"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phlogon::viz

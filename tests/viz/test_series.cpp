@@ -1,0 +1,55 @@
+#include "viz/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace phlogon::viz {
+namespace {
+
+TEST(Series, ConstructionValidatesSizes) {
+    EXPECT_NO_THROW(Series("s", {1, 2}, {3, 4}));
+    EXPECT_THROW(Series("s", {1, 2}, {3}), std::invalid_argument);
+}
+
+TEST(Series, SizeAndEmpty) {
+    Series s("s", {1, 2, 3}, {4, 5, 6});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(Series().empty());
+}
+
+TEST(Chart, AddChainsAndStores) {
+    Chart c("t", "x", "y");
+    c.add("a", {0, 1}, {0, 1}).add("b", {0, 1}, {2, 3});
+    EXPECT_EQ(c.series.size(), 2u);
+    EXPECT_EQ(c.series[1].name, "b");
+}
+
+TEST(Chart, ExtentsSpanAllSeries) {
+    Chart c;
+    c.add("a", {0.0, 1.0}, {-2.0, 5.0});
+    c.add("b", {-1.0, 3.0}, {0.0, 1.0});
+    double xMin, xMax, yMin, yMax;
+    c.extents(xMin, xMax, yMin, yMax);
+    EXPECT_DOUBLE_EQ(xMin, -1.0);
+    EXPECT_DOUBLE_EQ(xMax, 3.0);
+    EXPECT_DOUBLE_EQ(yMin, -2.0);
+    EXPECT_DOUBLE_EQ(yMax, 5.0);
+}
+
+TEST(Chart, ExtentsOfEmptyChartAreSane) {
+    Chart c;
+    double xMin, xMax, yMin, yMax;
+    c.extents(xMin, xMax, yMin, yMax);
+    EXPECT_LT(xMin, xMax);
+    EXPECT_LT(yMin, yMax);
+}
+
+TEST(Scatter, BuildsFromPairs) {
+    const Series s = scatter("pts", {{1.0, 2.0}, {3.0, 4.0}});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.x[1], 3.0);
+    EXPECT_DOUBLE_EQ(s.y[0], 2.0);
+}
+
+}  // namespace
+}  // namespace phlogon::viz
