@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fsm.dir/bench_ablation_fsm.cpp.o"
+  "CMakeFiles/bench_ablation_fsm.dir/bench_ablation_fsm.cpp.o.d"
+  "bench_ablation_fsm"
+  "bench_ablation_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

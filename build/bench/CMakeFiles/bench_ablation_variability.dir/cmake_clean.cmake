@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_variability.dir/bench_ablation_variability.cpp.o"
+  "CMakeFiles/bench_ablation_variability.dir/bench_ablation_variability.cpp.o.d"
+  "bench_ablation_variability"
+  "bench_ablation_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

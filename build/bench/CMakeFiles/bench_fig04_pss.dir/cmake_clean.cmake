@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_pss.dir/bench_fig04_pss.cpp.o"
+  "CMakeFiles/bench_fig04_pss.dir/bench_fig04_pss.cpp.o.d"
+  "bench_fig04_pss"
+  "bench_fig04_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_shil_solutions.dir/bench_fig05_shil_solutions.cpp.o"
+  "CMakeFiles/bench_fig05_shil_solutions.dir/bench_fig05_shil_solutions.cpp.o.d"
+  "bench_fig05_shil_solutions"
+  "bench_fig05_shil_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_shil_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_ppv.dir/bench_fig06_ppv.cpp.o"
+  "CMakeFiles/bench_fig06_ppv.dir/bench_fig06_ppv.cpp.o.d"
+  "bench_fig06_ppv"
+  "bench_fig06_ppv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ppv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_locking_range.dir/bench_fig07_locking_range.cpp.o"
+  "CMakeFiles/bench_fig07_locking_range.dir/bench_fig07_locking_range.cpp.o.d"
+  "bench_fig07_locking_range"
+  "bench_fig07_locking_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_locking_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

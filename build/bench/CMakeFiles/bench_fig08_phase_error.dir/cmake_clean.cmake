@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_phase_error.dir/bench_fig08_phase_error.cpp.o"
+  "CMakeFiles/bench_fig08_phase_error.dir/bench_fig08_phase_error.cpp.o.d"
+  "bench_fig08_phase_error"
+  "bench_fig08_phase_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_phase_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

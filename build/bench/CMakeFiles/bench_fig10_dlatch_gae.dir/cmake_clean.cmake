@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dlatch_gae.dir/bench_fig10_dlatch_gae.cpp.o"
+  "CMakeFiles/bench_fig10_dlatch_gae.dir/bench_fig10_dlatch_gae.cpp.o.d"
+  "bench_fig10_dlatch_gae"
+  "bench_fig10_dlatch_gae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dlatch_gae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

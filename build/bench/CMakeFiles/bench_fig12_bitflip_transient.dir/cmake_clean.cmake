@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bitflip_transient.dir/bench_fig12_bitflip_transient.cpp.o"
+  "CMakeFiles/bench_fig12_bitflip_transient.dir/bench_fig12_bitflip_transient.cpp.o.d"
+  "bench_fig12_bitflip_transient"
+  "bench_fig12_bitflip_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bitflip_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_srlatch.dir/bench_fig14_srlatch.cpp.o"
+  "CMakeFiles/bench_fig14_srlatch.dir/bench_fig14_srlatch.cpp.o.d"
+  "bench_fig14_srlatch"
+  "bench_fig14_srlatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_srlatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_serial_adder.dir/bench_fig16_serial_adder.cpp.o"
+  "CMakeFiles/bench_fig16_serial_adder.dir/bench_fig16_serial_adder.cpp.o.d"
+  "bench_fig16_serial_adder"
+  "bench_fig16_serial_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_serial_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

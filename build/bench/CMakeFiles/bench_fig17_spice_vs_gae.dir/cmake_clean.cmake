@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_spice_vs_gae.dir/bench_fig17_spice_vs_gae.cpp.o"
+  "CMakeFiles/bench_fig17_spice_vs_gae.dir/bench_fig17_spice_vs_gae.cpp.o.d"
+  "bench_fig17_spice_vs_gae"
+  "bench_fig17_spice_vs_gae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_spice_vs_gae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_20_breadboard.dir/bench_fig19_20_breadboard.cpp.o"
+  "CMakeFiles/bench_fig19_20_breadboard.dir/bench_fig19_20_breadboard.cpp.o.d"
+  "bench_fig19_20_breadboard"
+  "bench_fig19_20_breadboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_breadboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

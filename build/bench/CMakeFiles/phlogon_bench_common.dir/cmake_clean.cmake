@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_bench_common.dir/common.cpp.o"
+  "CMakeFiles/phlogon_bench_common.dir/common.cpp.o.d"
+  "libphlogon_bench_common.a"
+  "libphlogon_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphlogon_bench_common.a"
+)

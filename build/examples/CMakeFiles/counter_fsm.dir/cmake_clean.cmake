@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_fsm.dir/counter_fsm.cpp.o"
+  "CMakeFiles/counter_fsm.dir/counter_fsm.cpp.o.d"
+  "counter_fsm"
+  "counter_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

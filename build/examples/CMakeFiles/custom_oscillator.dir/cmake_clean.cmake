@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_oscillator.dir/custom_oscillator.cpp.o"
+  "CMakeFiles/custom_oscillator.dir/custom_oscillator.cpp.o.d"
+  "custom_oscillator"
+  "custom_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_design.dir/latch_design.cpp.o"
+  "CMakeFiles/latch_design.dir/latch_design.cpp.o.d"
+  "latch_design"
+  "latch_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

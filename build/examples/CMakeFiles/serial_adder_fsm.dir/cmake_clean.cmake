@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serial_adder_fsm.dir/serial_adder_fsm.cpp.o"
+  "CMakeFiles/serial_adder_fsm.dir/serial_adder_fsm.cpp.o.d"
+  "serial_adder_fsm"
+  "serial_adder_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serial_adder_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_deck_flow.dir/spice_deck_flow.cpp.o"
+  "CMakeFiles/spice_deck_flow.dir/spice_deck_flow.cpp.o.d"
+  "spice_deck_flow"
+  "spice_deck_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_deck_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ternary_logic.dir/ternary_logic.cpp.o"
+  "CMakeFiles/ternary_logic.dir/ternary_logic.cpp.o.d"
+  "ternary_logic"
+  "ternary_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ternary_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

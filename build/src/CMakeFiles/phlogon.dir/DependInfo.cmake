@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dcop.cpp" "src/CMakeFiles/phlogon.dir/analysis/dcop.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/dcop.cpp.o.d"
+  "/root/repo/src/analysis/hb.cpp" "src/CMakeFiles/phlogon.dir/analysis/hb.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/hb.cpp.o.d"
+  "/root/repo/src/analysis/ppv.cpp" "src/CMakeFiles/phlogon.dir/analysis/ppv.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/ppv.cpp.o.d"
+  "/root/repo/src/analysis/pss.cpp" "src/CMakeFiles/phlogon.dir/analysis/pss.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/pss.cpp.o.d"
+  "/root/repo/src/analysis/transient.cpp" "src/CMakeFiles/phlogon.dir/analysis/transient.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/transient.cpp.o.d"
+  "/root/repo/src/analysis/waveform.cpp" "src/CMakeFiles/phlogon.dir/analysis/waveform.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/analysis/waveform.cpp.o.d"
+  "/root/repo/src/circuit/dae.cpp" "src/CMakeFiles/phlogon.dir/circuit/dae.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/dae.cpp.o.d"
+  "/root/repo/src/circuit/device.cpp" "src/CMakeFiles/phlogon.dir/circuit/device.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/device.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/CMakeFiles/phlogon.dir/circuit/mosfet.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/phlogon.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/opamp.cpp" "src/CMakeFiles/phlogon.dir/circuit/opamp.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/opamp.cpp.o.d"
+  "/root/repo/src/circuit/sources.cpp" "src/CMakeFiles/phlogon.dir/circuit/sources.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/sources.cpp.o.d"
+  "/root/repo/src/circuit/spice_parser.cpp" "src/CMakeFiles/phlogon.dir/circuit/spice_parser.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/spice_parser.cpp.o.d"
+  "/root/repo/src/circuit/subckt.cpp" "src/CMakeFiles/phlogon.dir/circuit/subckt.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/circuit/subckt.cpp.o.d"
+  "/root/repo/src/core/gae.cpp" "src/CMakeFiles/phlogon.dir/core/gae.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/gae.cpp.o.d"
+  "/root/repo/src/core/gae_sweep.cpp" "src/CMakeFiles/phlogon.dir/core/gae_sweep.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/gae_sweep.cpp.o.d"
+  "/root/repo/src/core/gae_transient.cpp" "src/CMakeFiles/phlogon.dir/core/gae_transient.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/gae_transient.cpp.o.d"
+  "/root/repo/src/core/injection.cpp" "src/CMakeFiles/phlogon.dir/core/injection.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/injection.cpp.o.d"
+  "/root/repo/src/core/noise.cpp" "src/CMakeFiles/phlogon.dir/core/noise.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/noise.cpp.o.d"
+  "/root/repo/src/core/phase_system.cpp" "src/CMakeFiles/phlogon.dir/core/phase_system.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/phase_system.cpp.o.d"
+  "/root/repo/src/core/ppv_model.cpp" "src/CMakeFiles/phlogon.dir/core/ppv_model.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/core/ppv_model.cpp.o.d"
+  "/root/repo/src/numeric/fft.cpp" "src/CMakeFiles/phlogon.dir/numeric/fft.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/fft.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/CMakeFiles/phlogon.dir/numeric/interp.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/interp.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "src/CMakeFiles/phlogon.dir/numeric/lu.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/lu.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/CMakeFiles/phlogon.dir/numeric/matrix.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/matrix.cpp.o.d"
+  "/root/repo/src/numeric/newton.cpp" "src/CMakeFiles/phlogon.dir/numeric/newton.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/newton.cpp.o.d"
+  "/root/repo/src/numeric/ode.cpp" "src/CMakeFiles/phlogon.dir/numeric/ode.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/ode.cpp.o.d"
+  "/root/repo/src/numeric/roots.cpp" "src/CMakeFiles/phlogon.dir/numeric/roots.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/numeric/roots.cpp.o.d"
+  "/root/repo/src/phlogon/encoding.cpp" "src/CMakeFiles/phlogon.dir/phlogon/encoding.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/encoding.cpp.o.d"
+  "/root/repo/src/phlogon/flipflop.cpp" "src/CMakeFiles/phlogon.dir/phlogon/flipflop.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/flipflop.cpp.o.d"
+  "/root/repo/src/phlogon/gates.cpp" "src/CMakeFiles/phlogon.dir/phlogon/gates.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/gates.cpp.o.d"
+  "/root/repo/src/phlogon/golden.cpp" "src/CMakeFiles/phlogon.dir/phlogon/golden.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/golden.cpp.o.d"
+  "/root/repo/src/phlogon/latch.cpp" "src/CMakeFiles/phlogon.dir/phlogon/latch.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/latch.cpp.o.d"
+  "/root/repo/src/phlogon/reference.cpp" "src/CMakeFiles/phlogon.dir/phlogon/reference.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/reference.cpp.o.d"
+  "/root/repo/src/phlogon/serial_adder.cpp" "src/CMakeFiles/phlogon.dir/phlogon/serial_adder.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/phlogon/serial_adder.cpp.o.d"
+  "/root/repo/src/viz/ascii_plot.cpp" "src/CMakeFiles/phlogon.dir/viz/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/viz/ascii_plot.cpp.o.d"
+  "/root/repo/src/viz/series.cpp" "src/CMakeFiles/phlogon.dir/viz/series.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/viz/series.cpp.o.d"
+  "/root/repo/src/viz/writers.cpp" "src/CMakeFiles/phlogon.dir/viz/writers.cpp.o" "gcc" "src/CMakeFiles/phlogon.dir/viz/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_dcop.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_dcop.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_dcop.cpp.o.d"
+  "/root/repo/tests/analysis/test_hb.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_hb.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_hb.cpp.o.d"
+  "/root/repo/tests/analysis/test_ppv.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_ppv.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_ppv.cpp.o.d"
+  "/root/repo/tests/analysis/test_pss.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_pss.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_pss.cpp.o.d"
+  "/root/repo/tests/analysis/test_transient.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_transient.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_transient.cpp.o.d"
+  "/root/repo/tests/analysis/test_vdp_adler.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_vdp_adler.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_vdp_adler.cpp.o.d"
+  "/root/repo/tests/analysis/test_waveform.cpp" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/phlogon_analysis_tests.dir/analysis/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

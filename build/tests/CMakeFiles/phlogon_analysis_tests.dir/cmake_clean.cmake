@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_dcop.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_dcop.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_hb.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_hb.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_ppv.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_ppv.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_pss.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_pss.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_transient.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_transient.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_vdp_adler.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_vdp_adler.cpp.o.d"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_waveform.cpp.o"
+  "CMakeFiles/phlogon_analysis_tests.dir/analysis/test_waveform.cpp.o.d"
+  "phlogon_analysis_tests"
+  "phlogon_analysis_tests.pdb"
+  "phlogon_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit/test_devices.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_devices.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_devices.cpp.o.d"
+  "/root/repo/tests/circuit/test_mosfet.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_mosfet.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_mosfet.cpp.o.d"
+  "/root/repo/tests/circuit/test_netlist.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_netlist.cpp.o.d"
+  "/root/repo/tests/circuit/test_opamp.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_opamp.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_opamp.cpp.o.d"
+  "/root/repo/tests/circuit/test_spice_parser.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_spice_parser.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_spice_parser.cpp.o.d"
+  "/root/repo/tests/circuit/test_subckt.cpp" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_subckt.cpp.o" "gcc" "tests/CMakeFiles/phlogon_circuit_tests.dir/circuit/test_subckt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_devices.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_devices.cpp.o.d"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_mosfet.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_mosfet.cpp.o.d"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_netlist.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_netlist.cpp.o.d"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_opamp.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_opamp.cpp.o.d"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_spice_parser.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_spice_parser.cpp.o.d"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_subckt.cpp.o"
+  "CMakeFiles/phlogon_circuit_tests.dir/circuit/test_subckt.cpp.o.d"
+  "phlogon_circuit_tests"
+  "phlogon_circuit_tests.pdb"
+  "phlogon_circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

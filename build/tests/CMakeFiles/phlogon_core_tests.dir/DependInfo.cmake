@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_gae.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae.cpp.o.d"
+  "/root/repo/tests/core/test_gae_sweep.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae_sweep.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae_sweep.cpp.o.d"
+  "/root/repo/tests/core/test_gae_transient.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae_transient.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_gae_transient.cpp.o.d"
+  "/root/repo/tests/core/test_injection.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_injection.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_injection.cpp.o.d"
+  "/root/repo/tests/core/test_noise.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_noise.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_noise.cpp.o.d"
+  "/root/repo/tests/core/test_phase_system.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_phase_system.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_phase_system.cpp.o.d"
+  "/root/repo/tests/core/test_ppv_model.cpp" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_ppv_model.cpp.o" "gcc" "tests/CMakeFiles/phlogon_core_tests.dir/core/test_ppv_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

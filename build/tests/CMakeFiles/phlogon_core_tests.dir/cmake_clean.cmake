@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae_sweep.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae_sweep.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae_transient.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_gae_transient.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_injection.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_injection.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_noise.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_noise.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_phase_system.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_phase_system.cpp.o.d"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_ppv_model.cpp.o"
+  "CMakeFiles/phlogon_core_tests.dir/core/test_ppv_model.cpp.o.d"
+  "phlogon_core_tests"
+  "phlogon_core_tests.pdb"
+  "phlogon_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_fsm_circuit.cpp" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_fsm_circuit.cpp.o" "gcc" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_fsm_circuit.cpp.o.d"
+  "/root/repo/tests/integration/test_pipeline.cpp" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_pipeline.cpp.o.d"
+  "/root/repo/tests/integration/test_spice_vs_gae.cpp" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_spice_vs_gae.cpp.o" "gcc" "tests/CMakeFiles/phlogon_integration_tests.dir/integration/test_spice_vs_gae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

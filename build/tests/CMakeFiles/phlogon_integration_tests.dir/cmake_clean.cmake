@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_fsm_circuit.cpp.o"
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_fsm_circuit.cpp.o.d"
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_pipeline.cpp.o"
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_pipeline.cpp.o.d"
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_spice_vs_gae.cpp.o"
+  "CMakeFiles/phlogon_integration_tests.dir/integration/test_spice_vs_gae.cpp.o.d"
+  "phlogon_integration_tests"
+  "phlogon_integration_tests.pdb"
+  "phlogon_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phlogon/test_encoding.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_encoding.cpp.o.d"
+  "/root/repo/tests/phlogon/test_flipflop.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_flipflop.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_flipflop.cpp.o.d"
+  "/root/repo/tests/phlogon/test_gates.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_gates.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_gates.cpp.o.d"
+  "/root/repo/tests/phlogon/test_golden.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_golden.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_golden.cpp.o.d"
+  "/root/repo/tests/phlogon/test_latch.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_latch.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_latch.cpp.o.d"
+  "/root/repo/tests/phlogon/test_reference.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_reference.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_reference.cpp.o.d"
+  "/root/repo/tests/phlogon/test_serial_adder.cpp" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_serial_adder.cpp.o" "gcc" "tests/CMakeFiles/phlogon_logic_tests.dir/phlogon/test_serial_adder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

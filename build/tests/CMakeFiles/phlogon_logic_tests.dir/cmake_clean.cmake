@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_encoding.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_encoding.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_flipflop.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_flipflop.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_gates.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_gates.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_golden.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_golden.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_latch.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_latch.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_reference.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_reference.cpp.o.d"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_serial_adder.cpp.o"
+  "CMakeFiles/phlogon_logic_tests.dir/phlogon/test_serial_adder.cpp.o.d"
+  "phlogon_logic_tests"
+  "phlogon_logic_tests.pdb"
+  "phlogon_logic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_logic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

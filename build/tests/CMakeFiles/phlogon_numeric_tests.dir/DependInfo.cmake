@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/numeric/test_fft.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_fft.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_fft.cpp.o.d"
+  "/root/repo/tests/numeric/test_interp.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_interp.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_interp.cpp.o.d"
+  "/root/repo/tests/numeric/test_lu.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_lu.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_lu.cpp.o.d"
+  "/root/repo/tests/numeric/test_matrix.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_matrix.cpp.o.d"
+  "/root/repo/tests/numeric/test_newton.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_newton.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_newton.cpp.o.d"
+  "/root/repo/tests/numeric/test_ode.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_ode.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_ode.cpp.o.d"
+  "/root/repo/tests/numeric/test_roots.cpp" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_roots.cpp.o" "gcc" "tests/CMakeFiles/phlogon_numeric_tests.dir/numeric/test_roots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

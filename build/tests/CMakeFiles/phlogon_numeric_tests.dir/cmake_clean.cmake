@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_fft.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_fft.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_interp.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_interp.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_lu.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_lu.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_matrix.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_matrix.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_newton.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_newton.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_ode.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_ode.cpp.o.d"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_roots.cpp.o"
+  "CMakeFiles/phlogon_numeric_tests.dir/numeric/test_roots.cpp.o.d"
+  "phlogon_numeric_tests"
+  "phlogon_numeric_tests.pdb"
+  "phlogon_numeric_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_numeric_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

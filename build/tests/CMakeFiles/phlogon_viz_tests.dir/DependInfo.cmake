@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/viz/test_ascii_plot.cpp" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_ascii_plot.cpp.o" "gcc" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_ascii_plot.cpp.o.d"
+  "/root/repo/tests/viz/test_series.cpp" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_series.cpp.o" "gcc" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_series.cpp.o.d"
+  "/root/repo/tests/viz/test_writers.cpp" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_writers.cpp.o" "gcc" "tests/CMakeFiles/phlogon_viz_tests.dir/viz/test_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phlogon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_ascii_plot.cpp.o"
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_ascii_plot.cpp.o.d"
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_series.cpp.o"
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_series.cpp.o.d"
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_writers.cpp.o"
+  "CMakeFiles/phlogon_viz_tests.dir/viz/test_writers.cpp.o.d"
+  "phlogon_viz_tests"
+  "phlogon_viz_tests.pdb"
+  "phlogon_viz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phlogon_viz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/phlogon_numeric_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_circuit_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_logic_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/phlogon_integration_tests[1]_include.cmake")
