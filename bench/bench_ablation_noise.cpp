@@ -18,6 +18,7 @@ using namespace phlogon;
 
 int main() {
     bench::banner("Ablation (noise)", "bit-loss probability vs noise and SYNC amplitude");
+    bench::threadInfo();
     const auto& osc = bench::osc1n1p();
     const auto& model = osc.model();
     const std::size_t inj = osc.outputUnknown();
@@ -36,32 +37,37 @@ int main() {
     std::printf("  c [s] \\ SYNC |   50uA   100uA   200uA   400uA\n");
     std::printf("  -------------+--------------------------------\n");
 
+    // Each (SYNC, c) cell is one Monte-Carlo ensemble whose trials run in
+    // parallel inside holdErrorProbability; compute the grid once and reuse
+    // it for both the chart and the table.
+    const std::vector<double> syncs{50e-6, 100e-6, 200e-6, 400e-6};
+    const std::vector<double> cs{2e-8, 6e-8, 2e-7, 6e-7};
+    std::vector<std::vector<double>> lossRate(syncs.size(), std::vector<double>(cs.size()));
+    for (std::size_t s = 0; s < syncs.size(); ++s) {
+        const core::Gae gae(model, bench::kF1,
+                            {core::Injection::tone(inj, syncs[s], 2)});
+        const double start = gae.stableEquilibria()[0].dphi;
+        for (std::size_t k = 0; k < cs.size(); ++k)
+            lossRate[s][k] =
+                core::holdErrorProbability(gae, cs[k], start, holdTime, trials).errorRate();
+    }
+
     viz::Chart chart("Noise ablation — bit-loss rate vs diffusion, per SYNC amplitude",
                      "log10(c)", "bit-loss probability");
-    for (double sync : {50e-6, 100e-6, 200e-6, 400e-6}) {
+    for (std::size_t s = 0; s < syncs.size(); ++s) {
         num::Vec xs, ys;
-        for (double c : {2e-8, 6e-8, 2e-7, 6e-7}) {
-            const core::Gae gae(model, bench::kF1,
-                                {core::Injection::tone(inj, sync, 2)});
-            const auto r = core::holdErrorProbability(gae, c, gae.stableEquilibria()[0].dphi,
-                                                      holdTime, trials);
-            xs.push_back(std::log10(c));
-            ys.push_back(r.errorRate());
+        for (std::size_t k = 0; k < cs.size(); ++k) {
+            xs.push_back(std::log10(cs[k]));
+            ys.push_back(lossRate[s][k]);
         }
         char label[24];
-        std::snprintf(label, sizeof label, "SYNC=%.0fuA", sync * 1e6);
+        std::snprintf(label, sizeof label, "SYNC=%.0fuA", syncs[s] * 1e6);
         chart.add(label, xs, ys);
     }
     // Table rows by noise level.
-    for (double c : {2e-8, 6e-8, 2e-7, 6e-7}) {
-        std::printf("  %.0e      |", c);
-        for (double sync : {50e-6, 100e-6, 200e-6, 400e-6}) {
-            const core::Gae gae(model, bench::kF1,
-                                {core::Injection::tone(inj, sync, 2)});
-            const auto r = core::holdErrorProbability(gae, c, gae.stableEquilibria()[0].dphi,
-                                                      holdTime, trials);
-            std::printf("  %5.3f ", r.errorRate());
-        }
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+        std::printf("  %.0e      |", cs[k]);
+        for (std::size_t s = 0; s < syncs.size(); ++s) std::printf("  %5.3f ", lossRate[s][k]);
         std::printf("\n");
     }
     std::printf("\n");

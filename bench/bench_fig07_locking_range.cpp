@@ -15,15 +15,16 @@ using namespace phlogon;
 
 int main() {
     bench::banner("Fig. 7", "SHIL locking range vs SYNC amplitude (1N1P vs 2N1P)");
+    bench::threadInfo();
 
     num::Vec amps;
     for (double a = 10e-6; a <= 200e-6; a += 10e-6) amps.push_back(a);
 
     viz::Chart chart("Fig. 7 — locking range boundaries vs SYNC amplitude", "A_SYNC (uA)",
                      "(f1 - f0)/f0");
-    std::printf("A [uA] | 1N1P width [Hz] | 2N1P width [Hz] | ratio\n");
-    std::printf("-------+-----------------+-----------------+------\n");
 
+    // One (parallel) sweep per oscillator variant; reused for chart + table.
+    std::vector<std::vector<core::LockingRangePoint>> sweeps;
     double w1AtMax = 0.0, w2AtMax = 0.0;
     for (const auto* o : {&bench::osc1n1p(), &bench::osc2n1p()}) {
         const bool is1 = (o == &bench::osc1n1p());
@@ -41,19 +42,14 @@ int main() {
             w1AtMax = pts.back().range.width();
         else
             w2AtMax = pts.back().range.width();
+        sweeps.push_back(pts);
     }
-    {
-        const auto p1 = core::lockingRangeVsAmplitude(
-            bench::osc1n1p().model(),
-            core::Injection::tone(bench::osc1n1p().outputUnknown(), 1.0, 2), amps);
-        const auto p2 = core::lockingRangeVsAmplitude(
-            bench::osc2n1p().model(),
-            core::Injection::tone(bench::osc2n1p().outputUnknown(), 1.0, 2), amps);
-        for (std::size_t i = 0; i < amps.size(); i += 2) {
-            std::printf("%6.0f | %15.1f | %15.1f | %.2f\n", amps[i] * 1e6,
-                        p1[i].range.width(), p2[i].range.width(),
-                        p2[i].range.width() / std::max(p1[i].range.width(), 1e-12));
-        }
+    std::printf("A [uA] | 1N1P width [Hz] | 2N1P width [Hz] | ratio\n");
+    std::printf("-------+-----------------+-----------------+------\n");
+    for (std::size_t i = 0; i < amps.size(); i += 2) {
+        std::printf("%6.0f | %15.1f | %15.1f | %.2f\n", amps[i] * 1e6,
+                    sweeps[0][i].range.width(), sweeps[1][i].range.width(),
+                    sweeps[1][i].range.width() / std::max(sweeps[0][i].range.width(), 1e-12));
     }
     std::printf("\n");
     bench::paperVsMeasured("2N1P locking range wider than 1N1P", "yes",

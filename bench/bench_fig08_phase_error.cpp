@@ -14,6 +14,7 @@ using namespace phlogon;
 
 int main() {
     bench::banner("Fig. 8", "lock-phase error across the SHIL locking range");
+    bench::threadInfo();
 
     const auto& osc = bench::osc1n1p();
     const auto& model = osc.model();

@@ -7,20 +7,107 @@
 // D latch writing a bit over 40 reference cycles, and the serial adder over
 // one bit slot.
 
+// A second axis of efficiency is added by the deterministic parallel sweep
+// engine (numeric/parallel.hpp): the figure sweeps and Monte-Carlo ensembles
+// are embarrassingly parallel, and the slot-per-index discipline keeps their
+// results bitwise identical at any thread count — so the serial-vs-parallel
+// comparison below is purely a wall-clock statement, not a numerics one.
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "analysis/dcop.hpp"
 #include "analysis/transient.hpp"
 #include "common.hpp"
+#include "core/gae_sweep.hpp"
 #include "core/gae_transient.hpp"
+#include "core/noise.hpp"
+#include "numeric/parallel.hpp"
 #include "phlogon/encoding.hpp"
 #include "phlogon/serial_adder.hpp"
 
 using namespace phlogon;
 
 namespace {
+
+num::Vec speedupAmps() {
+    num::Vec amps;
+    for (double a = 5e-6; a <= 200e-6; a += 5e-6) amps.push_back(a);  // 40 points
+    return amps;
+}
+
+// Fig. 7 locking-range sweep with one GAE built per amplitude (the exact
+// variant — real per-point work), at state.range(0) threads.
+void BM_Fig07LockingRangeSweep(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const core::Injection unit = core::Injection::tone(d.injUnknown, 1.0, 2);
+    const num::Vec amps = speedupAmps();
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto pts = core::lockingRangeVsAmplitudeExact(d.model, unit, amps, 1024, threads);
+        benchmark::DoNotOptimize(pts.back().range.fHigh);
+    }
+}
+BENCHMARK(BM_Fig07LockingRangeSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Fig. 8 phase-error sweep (one GAE per detuning point).
+void BM_Fig08PhaseErrorSweep(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const std::vector<core::Injection> inj{d.sync()};
+    const core::LockingRange r = core::lockingRange(d.model, inj);
+    num::Vec grid;
+    for (std::size_t i = 0; i < 40; ++i)
+        grid.push_back(r.fLow + r.width() * (0.02 + 0.96 * static_cast<double>(i) / 39.0));
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto pts = core::lockPhaseErrorSweep(d.model, inj, grid, 1024, threads);
+        benchmark::DoNotOptimize(pts.back().f1);
+    }
+}
+BENCHMARK(BM_Fig08PhaseErrorSweep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Monte-Carlo noise-escape ensemble (the noise-immunity ablation workload).
+void BM_EscapeTrialsEnsemble(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const core::Gae gae(d.model, d.f1, {d.sync()});
+    core::StochasticGaeOptions opt;
+    opt.seed = 7;
+    opt.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto r = core::holdErrorProbability(gae, 2e-7, gae.stableEquilibria()[0].dphi,
+                                                  60.0 / d.f1, 64, opt);
+        benchmark::DoNotOptimize(r.errors);
+    }
+}
+BENCHMARK(BM_EscapeTrialsEnsemble)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// One-shot wall-clock comparison printed before the benchmark table: the
+// headline serial-vs-parallel number for the Fig. 7 sweep.
+void reportSweepSpeedup() {
+    const auto& d = bench::design100();
+    const core::Injection unit = core::Injection::tone(d.injUnknown, 1.0, 2);
+    const num::Vec amps = speedupAmps();
+    const auto wallMs = [&](unsigned threads) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto pts = core::lockingRangeVsAmplitudeExact(d.model, unit, amps, 1024, threads);
+        benchmark::DoNotOptimize(pts.back().range.fHigh);
+        return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    wallMs(1);  // warm caches so the serial number is not penalized
+    const double serial = wallMs(1);
+    const unsigned threads = std::max(4u, num::defaultThreadCount());
+    const double parallel = wallMs(threads);
+    std::printf("Fig. 7 locking-range sweep (%zu amplitudes, one GAE each):\n", amps.size());
+    std::printf("  serial (1 thread):    %8.2f ms\n", serial);
+    std::printf("  parallel (%u threads): %8.2f ms  -> speedup x%.2f\n", threads, parallel,
+                serial / parallel);
+    std::printf("  (identical results by construction; %u hardware core(s) visible)\n\n",
+                std::thread::hardware_concurrency());
+}
 
 void BM_LatchSpiceTransient(benchmark::State& state) {
     const auto& d = bench::design100();
@@ -119,10 +206,12 @@ BENCHMARK(BM_AdderSpicePerSlot)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
     bench::banner("Speedup", "phase macromodels vs SPICE-level transient (paper Secs. 2/4)");
+    bench::threadInfo();
     std::printf("Workloads: D-latch bit write over 40 cycles; serial adder over one %d-cycle\n",
                 80);
     std::printf("bit slot.  Expect the GAE (scalar ODE) to be orders of magnitude faster\n");
     std::printf("and the non-averaged phase system to sit in between.\n\n");
+    reportSweepSpeedup();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,6 +1,9 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "numeric/parallel.hpp"
 
 namespace phlogon::bench {
 
@@ -31,6 +34,12 @@ void banner(const std::string& figure, const std::string& description) {
     std::printf("=======================================================================\n");
     std::printf("%s — %s\n", figure.c_str(), description.c_str());
     std::printf("=======================================================================\n");
+}
+
+void threadInfo() {
+    const char* env = std::getenv("PHLOGON_THREADS");
+    std::printf("[sweep engine: %u thread(s)%s%s — results are bitwise identical at any count]\n",
+                num::defaultThreadCount(), env ? ", PHLOGON_THREADS=" : "", env ? env : "");
 }
 
 void showChart(const viz::Chart& chart, const std::string& stem) {

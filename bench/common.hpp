@@ -29,6 +29,10 @@ const logic::SyncLatchDesign& design100();
 /// Print a figure banner.
 void banner(const std::string& figure, const std::string& description);
 
+/// Print the sweep-engine threading configuration (PHLOGON_THREADS /
+/// hardware_concurrency resolution) so recorded figures state how they ran.
+void threadInfo();
+
 /// Print an ASCII plot of the chart and export CSV/gnuplot to bench_out/.
 void showChart(const viz::Chart& chart, const std::string& stem);
 

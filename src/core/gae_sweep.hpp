@@ -33,11 +33,26 @@ struct LockingRangePoint {
 };
 
 /// Fig. 7: sweep the amplitude of `unitInjection` (given at amplitude 1) and
-/// report the locking range at each amplitude.
+/// report the locking range at each amplitude.  `threads` follows the
+/// numeric/parallel.hpp convention used by every sweep in this header: 0
+/// resolves PHLOGON_THREADS / hardware_concurrency, 1 forces the exact
+/// serial loop, and results are bitwise identical at any value.
 std::vector<LockingRangePoint> lockingRangeVsAmplitude(const PpvModel& model,
                                                        const Injection& unitInjection,
                                                        const Vec& amplitudes,
-                                                       std::size_t gridSize = 1024);
+                                                       std::size_t gridSize = 1024,
+                                                       unsigned threads = 0);
+
+/// Exact per-amplitude variant of the Fig. 7 sweep: builds one GAE per
+/// amplitude instead of scaling a single unit-injection GAE.  Agrees with
+/// lockingRangeVsAmplitude to rounding for single-tone injections (g is
+/// linear in the amplitude) but does real per-point work, which is what the
+/// serial-vs-parallel speedup bench measures.
+std::vector<LockingRangePoint> lockingRangeVsAmplitudeExact(const PpvModel& model,
+                                                            const Injection& unitInjection,
+                                                            const Vec& amplitudes,
+                                                            std::size_t gridSize = 1024,
+                                                            unsigned threads = 0);
 
 struct PhaseErrorPoint {
     double f1 = 0.0;
@@ -54,7 +69,8 @@ struct PhaseErrorPoint {
 /// phase lists.
 std::vector<PhaseErrorPoint> lockPhaseErrorSweep(const PpvModel& model,
                                                  const std::vector<Injection>& injections,
-                                                 const Vec& f1Grid, std::size_t gridSize = 1024);
+                                                 const Vec& f1Grid, std::size_t gridSize = 1024,
+                                                 unsigned threads = 0);
 
 struct AmplitudeSweepPoint {
     double amplitude = 0.0;
@@ -68,7 +84,8 @@ std::vector<AmplitudeSweepPoint> sweepInjectionAmplitude(const PpvModel& model, 
                                                          const std::vector<Injection>& fixed,
                                                          const Injection& unitVarying,
                                                          const Vec& amplitudes,
-                                                         std::size_t gridSize = 1024);
+                                                         std::size_t gridSize = 1024,
+                                                         unsigned threads = 0);
 
 struct IntersectionSummary {
     double amplitude = 0.0;
@@ -81,6 +98,7 @@ struct IntersectionSummary {
 /// (Fig. 5: A ~ 70 uA -> 4 intersections, 2 stable) falls out directly.
 std::vector<IntersectionSummary> countIntersectionsVsAmplitude(
     const PpvModel& model, double f1, const std::vector<Injection>& fixed,
-    const Injection& unitInjection, const Vec& amplitudes, std::size_t gridSize = 1024);
+    const Injection& unitInjection, const Vec& amplitudes, std::size_t gridSize = 1024,
+    unsigned threads = 0);
 
 }  // namespace phlogon::core

@@ -6,8 +6,25 @@
 
 #include "core/gae_sweep.hpp"
 #include "numeric/interp.hpp"
+#include "numeric/parallel.hpp"
 
 namespace phlogon::core {
+
+namespace {
+constexpr std::uint64_t kSeedIncrement = 0x9e3779b97f4a7c15ull;  // 2^64 / golden ratio
+}
+
+std::uint64_t mixSeed(std::uint64_t seed) {
+    // SplitMix64 (Steele, Lea & Flood 2014) finalizer.
+    std::uint64_t z = seed + kSeedIncrement;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t deriveTrialSeed(std::uint64_t base, std::uint64_t trial) {
+    return mixSeed(base + kSeedIncrement * trial);
+}
 
 double phaseDiffusion(const PpvModel& model, const std::vector<NoiseSource>& sources) {
     if (!model.valid()) throw std::invalid_argument("phaseDiffusion: invalid model");
@@ -41,7 +58,10 @@ StochasticGaeResult stochasticGaeTransient(const Gae& gae, double cSeconds, doub
     // Noise term in cycles: alpha diffuses with c [s]; dphi = f0 * alpha.
     const double sigma = f0 * std::sqrt(std::max(cSeconds, 0.0));
 
-    std::mt19937_64 rng(opt.seed);
+    // One engine per path, seeded through the SplitMix64 mix — the same
+    // per-trial derived-seed scheme the ensemble loop uses (a raw nearby
+    // seed like base+k would give correlated mt19937_64 streams).
+    std::mt19937_64 rng(mixSeed(opt.seed));
     std::normal_distribution<double> gauss(0.0, 1.0);
 
     const std::size_t nSteps =
@@ -75,26 +95,39 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
     for (const auto& e : stable)
         if (phaseDistance(e.dphi, dphi0) < phaseDistance(start, dphi0)) start = e.dphi;
 
-    StochasticGaeOptions o = opt;
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-        o.seed = opt.seed + 0x9e3779b97f4a7c15ull * (trial + 1);
-        o.storeEvery = 1u << 20;  // end point only
-        const StochasticGaeResult r = stochasticGaeTransient(gae, cSeconds, start, 0.0,
-                                                             holdTime, o);
-        if (!r.ok) continue;
-        ++out.trials;
-        // Decode: nearest stable phase to the (wrapped) end point.
-        const double end = r.dphi.back();
-        double best = 1e9;
-        double bestPhase = start;
-        for (const auto& e : stable) {
-            const double dist = phaseDistance(e.dphi, end);
-            if (dist < best) {
-                best = dist;
-                bestPhase = e.dphi;
+    // One outcome slot per trial; the serial reduction below then sees the
+    // same values in the same order at any thread count.
+    enum : unsigned char { kFailed = 0, kHeld = 1, kLost = 2 };
+    std::vector<unsigned char> outcome(trials, kFailed);
+    num::parallelFor(
+        trials,
+        [&](std::size_t trial) {
+            StochasticGaeOptions o = opt;
+            // Counter-based per-trial seed: stochasticGaeTransient mixes the
+            // seed, so the engine runs on deriveTrialSeed(opt.seed, trial).
+            o.seed = opt.seed + kSeedIncrement * trial;
+            o.storeEvery = 1u << 20;  // end point only
+            const StochasticGaeResult r = stochasticGaeTransient(gae, cSeconds, start, 0.0,
+                                                                 holdTime, o);
+            if (!r.ok) return;
+            // Decode: nearest stable phase to the (wrapped) end point.
+            const double end = r.dphi.back();
+            double best = 1e9;
+            double bestPhase = start;
+            for (const auto& e : stable) {
+                const double dist = phaseDistance(e.dphi, end);
+                if (dist < best) {
+                    best = dist;
+                    bestPhase = e.dphi;
+                }
             }
-        }
-        if (phaseDistance(bestPhase, start) > 1e-9) ++out.errors;
+            outcome[trial] = phaseDistance(bestPhase, start) > 1e-9 ? kLost : kHeld;
+        },
+        opt.threads);
+    for (unsigned char oc : outcome) {
+        if (oc == kFailed) continue;
+        ++out.trials;
+        if (oc == kLost) ++out.errors;
     }
     return out;
 }

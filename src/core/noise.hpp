@@ -40,10 +40,23 @@ double phaseDiffusion(const PpvModel& model, const std::vector<NoiseSource>& sou
 /// Thermal-noise helper: PSD of a resistor's current noise, 4kT/R.
 double resistorCurrentPsd(double ohms, double temperatureK = 300.0);
 
+/// SplitMix64 finalizer.  Every stochastic path seeds its own mt19937_64
+/// from mixSeed(seed), never from the raw seed, so that nearby user seeds
+/// (1, 2, 3, ... or base + k*increment) yield decorrelated streams.
+std::uint64_t mixSeed(std::uint64_t seed);
+
+/// Engine seed of ensemble trial `trial` under base seed `base`:
+/// mixSeed(base + 0x9e3779b97f4a7c15 * trial).  Counter-based — it
+/// depends only on (base, trial), never on execution order or a shared
+/// engine — which is what makes parallel Monte-Carlo trials bitwise
+/// reproducible at any thread count.
+std::uint64_t deriveTrialSeed(std::uint64_t base, std::uint64_t trial);
+
 struct StochasticGaeOptions {
     double dt = 0.0;        ///< Euler-Maruyama step; 0 = (20 f0)^-1
     std::uint64_t seed = 1;
     std::size_t storeEvery = 8;
+    unsigned threads = 0;  ///< ensemble loops: 0 = PHLOGON_THREADS/auto, 1 = serial
 };
 
 struct StochasticGaeResult {
@@ -68,7 +81,10 @@ struct HoldErrorResult {
 
 /// Monte-Carlo bit-retention experiment: start `trials` paths at the stable
 /// phase nearest `dphi0`, integrate for `holdTime` under noise, and count
-/// paths that decode to a different stable phase at the end.
+/// paths that decode to a different stable phase at the end.  Trial k runs
+/// with engine seed deriveTrialSeed(opt.seed, k); trials execute in parallel
+/// per opt.threads with one outcome slot per trial, so the counts are
+/// bitwise identical at any thread count.
 HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dphi0,
                                      double holdTime, std::size_t trials,
                                      const StochasticGaeOptions& opt = {});

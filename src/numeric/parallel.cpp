@@ -1,0 +1,194 @@
+#include "numeric/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace phlogon::num {
+
+namespace {
+
+// Set while a pool worker (or a caller draining a parallel job) is executing
+// job bodies; nested parallelFor calls check it and run serially.
+thread_local bool tlInParallelJob = false;
+
+unsigned parseThreadsEnv() {
+    const char* env = std::getenv("PHLOGON_THREADS");
+    if (env && *env) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 &&
+            v <= std::numeric_limits<unsigned>::max())
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+}  // namespace
+
+unsigned defaultThreadCount() {
+    const unsigned fromEnv = parseThreadsEnv();
+    if (fromEnv) return fromEnv;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned resolveThreadCount(unsigned requested) {
+    return requested ? requested : defaultThreadCount();
+}
+
+struct ThreadPool::Impl {
+    std::mutex mx;
+    std::condition_variable wake;   // workers sleep here between jobs
+    std::condition_variable done;   // run() sleeps here until the job drains
+    std::vector<std::thread> workers;
+    bool stop = false;
+
+    // Current job (guarded by mx for installation; indices claimed lock-free).
+    std::uint64_t generation = 0;
+    bool jobDone = true;  // set under mx before run() returns, so a worker
+                          // waking late cannot enter a dead job's state
+    std::size_t jobN = 0;
+    const std::function<void(std::size_t)>* jobFn = nullptr;
+    unsigned workerCap = 0;               // workers allowed into this job
+    std::atomic<unsigned> tickets{0};     // workers admitted so far
+    std::atomic<std::size_t> next{0};     // next unclaimed index
+    std::atomic<std::size_t> completed{0};
+    unsigned activeWorkers = 0;  // workers currently draining (guarded by mx)
+
+    // First-failing-index exception, for deterministic propagation.
+    std::mutex errMx;
+    std::exception_ptr err;
+    std::size_t errIndex = 0;
+
+    // Serializes concurrent run() calls from distinct caller threads.
+    std::mutex runMx;
+
+    void record(std::size_t i, std::exception_ptr e) {
+        std::lock_guard<std::mutex> lk(errMx);
+        if (!err || i < errIndex) {
+            err = std::move(e);
+            errIndex = i;
+        }
+    }
+
+    // Claim and execute indices until the job is exhausted.
+    void drain() {
+        tlInParallelJob = true;
+        const std::function<void(std::size_t)>& fn = *jobFn;
+        const std::size_t n = jobN;
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            try {
+                fn(i);
+            } catch (...) {
+                record(i, std::current_exception());
+            }
+            completed.fetch_add(1);
+        }
+        tlInParallelJob = false;
+    }
+
+    void workerLoop() {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(mx);
+        while (true) {
+            wake.wait(lk, [&] { return stop || generation != seen; });
+            if (stop) return;
+            seen = generation;
+            if (jobDone) continue;  // woke after the job already drained
+            if (tickets.fetch_add(1) >= workerCap) continue;  // job is full
+            ++activeWorkers;
+            lk.unlock();
+            drain();
+            lk.lock();
+            --activeWorkers;
+            if (activeWorkers == 0 && completed.load() == jobN)
+                done.notify_all();
+        }
+    }
+
+    void ensureWorkers(unsigned count) {  // callers hold mx
+        while (workers.size() < count)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(new Impl), threads_(threads ? threads : 1) {}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lk(impl_->mx);
+        impl_->stop = true;
+    }
+    impl_->wake.notify_all();
+    for (std::thread& t : impl_->workers) t.join();
+    delete impl_;
+}
+
+bool ThreadPool::insideWorker() { return tlInParallelJob; }
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn,
+                     unsigned threads) {
+    if (n == 0) return;
+    const unsigned want = threads ? threads : threads_;
+    // The exact serial path: a plain loop, no pool machinery, exceptions
+    // propagate directly.  Nested calls also land here (deadlock-free).
+    if (want <= 1 || n == 1 || tlInParallelJob) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    Impl& im = *impl_;
+    std::lock_guard<std::mutex> runLk(im.runMx);
+    {
+        std::lock_guard<std::mutex> lk(im.mx);
+        im.jobN = n;
+        im.jobFn = &fn;
+        im.workerCap = want - 1;  // the caller is the want-th thread
+        im.tickets.store(0);
+        im.next.store(0);
+        im.completed.store(0);
+        im.err = nullptr;
+        im.jobDone = false;
+        ++im.generation;
+        const std::size_t maxUseful = n - 1;  // caller takes at least one
+        im.ensureWorkers(static_cast<unsigned>(
+            std::min<std::size_t>(im.workerCap, maxUseful)));
+    }
+    im.wake.notify_all();
+    im.drain();  // the caller participates
+    {
+        std::unique_lock<std::mutex> lk(im.mx);
+        im.done.wait(lk, [&] {
+            return im.activeWorkers == 0 && im.completed.load() == im.jobN;
+        });
+        im.jobDone = true;
+        im.jobFn = nullptr;
+    }
+    if (im.err) {
+        std::exception_ptr e;
+        {
+            std::lock_guard<std::mutex> lk(im.errMx);
+            e = im.err;
+            im.err = nullptr;
+        }
+        std::rethrow_exception(e);
+    }
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads) {
+    ThreadPool::global().run(n, fn, resolveThreadCount(threads));
+}
+
+}  // namespace phlogon::num

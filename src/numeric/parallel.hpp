@@ -1,0 +1,100 @@
+#pragma once
+// Deterministic parallel execution layer.
+//
+// The design tools are dominated by embarrassingly parallel loops — GAE
+// amplitude/detuning sweeps (Figs. 5-8, 11, 14) and Monte-Carlo noise-escape
+// ensembles — whose iterations are independent by construction.  This layer
+// runs such loops on a persistent thread pool while keeping the results
+// *bitwise identical* at any thread count:
+//
+//   * slot-per-index: `parallelFor(n, fn)` calls fn(i) exactly once for each
+//     i in [0, n) and the caller writes each index's result into a pre-sized
+//     output slot, so completion order cannot reorder (or re-reduce) results;
+//   * no shared mutable state inside fn: any per-iteration randomness must be
+//     derived from the index (see core::deriveTrialSeed), never drawn from a
+//     shared engine;
+//   * threads == 1 takes the exact serial code path (a plain loop on the
+//     calling thread, no pool, no scheduling) so "serial" is not a special
+//     configuration of the parallel code but literally the sequential loop.
+//
+// Thread count resolution: an explicit `threads` argument wins; `0` defers to
+// the PHLOGON_THREADS environment variable; unset/invalid falls back to
+// std::thread::hardware_concurrency().  Work-stealing is deliberately absent:
+// workers claim indices from a single atomic counter, which is scheduling-
+// nondeterministic but result-deterministic because of the slot discipline.
+//
+// Exception policy: if one or more fn(i) throw, the exception thrown for the
+// *lowest* index is rethrown on the caller after the loop drains — the same
+// exception a serial run would have surfaced first, so error behaviour is
+// deterministic too.  Nested parallelFor calls (fn itself calling
+// parallelFor) execute the inner loop serially on the worker thread, which
+// keeps nesting deadlock-free without changing results.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace phlogon::num {
+
+/// Thread count implied by the environment: PHLOGON_THREADS if set to a
+/// positive integer, else std::thread::hardware_concurrency() (at least 1).
+unsigned defaultThreadCount();
+
+/// Resolve a requested thread count: 0 -> defaultThreadCount(); otherwise the
+/// request itself (clamped to >= 1).
+unsigned resolveThreadCount(unsigned requested);
+
+/// Run fn(i) for every i in [0, n), using `threads` OS threads (resolved via
+/// resolveThreadCount).  Deterministic per the slot-per-index contract above.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 unsigned threads = 0);
+
+/// Map `fn` over `items` into an index-aligned result vector.  Each result is
+/// written to its own slot, so the output is bitwise independent of thread
+/// count.  `R = fn(const T&)` must be default-constructible.
+template <typename T, typename F>
+auto parallelMap(const std::vector<T>& items, F&& fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(items[std::size_t{0}]))> {
+    std::vector<decltype(fn(items[std::size_t{0}]))> out(items.size());
+    parallelFor(
+        items.size(), [&](std::size_t i) { out[i] = fn(items[i]); }, threads);
+    return out;
+}
+
+/// Persistent worker pool behind parallelFor.  Normally used through the
+/// free functions; exposed for tests and for callers that want to control
+/// pool lifetime explicitly.
+class ThreadPool {
+public:
+    /// Pool that runs jobs with up to `threads` concurrent OS threads (the
+    /// caller participates, so `threads - 1` workers are spawned lazily).
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Concurrency this pool was built for.
+    unsigned threadCount() const { return threads_; }
+
+    /// Run fn(i) for i in [0, n) with at most `threads` concurrent threads
+    /// (0 = the pool's own threadCount()).  Grows the worker set on demand,
+    /// so a request above the construction size is honoured (useful for
+    /// determinism tests that oversubscribe a small machine).
+    void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+             unsigned threads = 0);
+
+    /// The process-wide pool used by parallelFor; sized from
+    /// defaultThreadCount() on first use and grown on demand.
+    static ThreadPool& global();
+
+    /// True when the calling thread is one of this process's pool workers
+    /// (used to serialize nested parallel calls).
+    static bool insideWorker();
+
+private:
+    struct Impl;
+    Impl* impl_;
+    unsigned threads_;
+};
+
+}  // namespace phlogon::num

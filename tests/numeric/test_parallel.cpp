@@ -1,0 +1,158 @@
+#include "numeric/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace phlogon::num {
+namespace {
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+    EXPECT_EQ(resolveThreadCount(1), 1u);
+    EXPECT_EQ(resolveThreadCount(7), 7u);
+}
+
+TEST(ResolveThreadCount, ZeroUsesEnvironment) {
+    ::setenv("PHLOGON_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    EXPECT_EQ(resolveThreadCount(0), 3u);
+    ::setenv("PHLOGON_THREADS", "not-a-number", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);  // falls back to hardware_concurrency
+    ::unsetenv("PHLOGON_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const std::size_t n = 257;  // deliberately not a multiple of anything
+        std::vector<std::atomic<int>> hits(n);
+        parallelFor(
+            n, [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+}
+
+TEST(ParallelFor, SlotPerIndexResultsMatchSerial) {
+    const std::size_t n = 100;
+    std::vector<double> serial(n), parallel4(n);
+    const auto body = [](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k <= i; ++k) acc += 1.0 / static_cast<double>(k + 1);
+        return acc;
+    };
+    parallelFor(
+        n, [&](std::size_t i) { serial[i] = body(i); }, 1);
+    parallelFor(
+        n, [&](std::size_t i) { parallel4[i] = body(i); }, 4);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], parallel4[i]);
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+    int calls = 0;
+    parallelFor(
+        0, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+    parallelFor(
+        1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesLowestIndexException) {
+    // Indices 10 and 40 both throw; the serial-equivalent (lowest-index)
+    // exception must surface regardless of thread count.
+    for (unsigned threads : {1u, 4u}) {
+        try {
+            parallelFor(
+                64,
+                [](std::size_t i) {
+                    if (i == 40) throw std::runtime_error("idx 40");
+                    if (i == 10) throw std::runtime_error("idx 10");
+                },
+                threads);
+            FAIL() << "expected an exception at " << threads << " threads";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "idx 10");
+        }
+    }
+}
+
+TEST(ParallelFor, PoolUsableAfterException) {
+    EXPECT_THROW(parallelFor(
+                     8, [](std::size_t) { throw std::logic_error("boom"); }, 4),
+                 std::logic_error);
+    std::vector<int> out(16, 0);
+    parallelFor(
+        16, [&](std::size_t i) { out[i] = static_cast<int>(i); }, 4);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 120);
+}
+
+TEST(ParallelFor, NestedCallsRunSeriallyAndComplete) {
+    const std::size_t outer = 8, inner = 8;
+    std::vector<std::vector<int>> hits(outer, std::vector<int>(inner, 0));
+    parallelFor(
+        outer,
+        [&](std::size_t i) {
+            EXPECT_TRUE(ThreadPool::insideWorker());
+            // Inner call must neither deadlock nor hand work to other
+            // workers (the inner loop writes plain ints — safe only if it
+            // stays on this thread).
+            parallelFor(
+                inner, [&](std::size_t j) { hits[i][j] += 1; }, 4);
+        },
+        4);
+    for (const auto& row : hits)
+        for (int h : row) EXPECT_EQ(h, 1);
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+TEST(ParallelMap, OrderMatchesInput) {
+    std::vector<int> items(50);
+    std::iota(items.begin(), items.end(), 0);
+    const auto sq = [](const int& v) { return v * v; };
+    const auto serial = parallelMap(items, sq, 1);
+    const auto par = parallelMap(items, sq, 4);
+    ASSERT_EQ(serial.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_EQ(serial[i], items[i] * items[i]);
+        EXPECT_EQ(par[i], serial[i]);
+    }
+}
+
+TEST(ParallelMap, NonTrivialResultType) {
+    const std::vector<int> items{3, 1, 2};
+    const auto out = parallelMap(
+        items, [](const int& v) { return std::string(static_cast<std::size_t>(v), 'x'); }, 4);
+    EXPECT_EQ(out[0], "xxx");
+    EXPECT_EQ(out[1], "x");
+    EXPECT_EQ(out[2], "xx");
+}
+
+TEST(ThreadPool, DedicatedPoolRunsJobs) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+    std::vector<int> out(32, 0);
+    pool.run(32, [&](std::size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 32);
+    // Oversubscription: a request above the construction size is honoured.
+    pool.run(
+        32, [&](std::size_t i) { out[i] += 1; }, 6);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 64);
+}
+
+TEST(ThreadPool, ManySmallJobsBackToBack) {
+    // Stresses job installation/completion handshakes on the persistent pool.
+    std::atomic<long> total{0};
+    for (int rep = 0; rep < 200; ++rep)
+        parallelFor(
+            5, [&](std::size_t i) { total.fetch_add(static_cast<long>(i)); }, 4);
+    EXPECT_EQ(total.load(), 200 * (0 + 1 + 2 + 3 + 4));
+}
+
+}  // namespace
+}  // namespace phlogon::num
