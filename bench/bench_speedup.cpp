@@ -17,14 +17,17 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 
 #include "analysis/dcop.hpp"
 #include "analysis/transient.hpp"
+#include "analysis/trap_util.hpp"
 #include "common.hpp"
 #include "core/gae_sweep.hpp"
 #include "core/gae_transient.hpp"
 #include "core/noise.hpp"
+#include "numeric/lu.hpp"
 #include "numeric/parallel.hpp"
 #include "phlogon/encoding.hpp"
 #include "phlogon/serial_adder.hpp"
@@ -33,9 +36,14 @@ using namespace phlogon;
 
 namespace {
 
+/// PHLOGON_BENCH_SMOKE=1 shrinks every one-shot workload so the binary
+/// finishes in seconds — used as a CI smoke test of the bench paths.
+bool smokeMode() { return std::getenv("PHLOGON_BENCH_SMOKE") != nullptr; }
+
 num::Vec speedupAmps() {
     num::Vec amps;
-    for (double a = 5e-6; a <= 200e-6; a += 5e-6) amps.push_back(a);  // 40 points
+    const double step = smokeMode() ? 25e-6 : 5e-6;  // 8 / 40 points
+    for (double a = 5e-6; a <= 200e-6; a += step) amps.push_back(a);
     return amps;
 }
 
@@ -107,6 +115,169 @@ void reportSweepSpeedup() {
                 serial / parallel);
     std::printf("  (identical results by construction; %u hardware core(s) visible)\n\n",
                 std::thread::hardware_concurrency());
+}
+
+// ---------------------------------------------------------------------------
+// Solver strategy table: the same SPICE-level D-latch bit-write transient
+// run under the solver engine's strategies, against a faithful replica of
+// the pre-workspace implementation (per-step allocating callbacks and a
+// fresh Newton scratch + LU for every step), which is the honest "before".
+
+struct LatchWorkload {
+    ckt::Netlist nl;
+    ckt::Dae dae;
+    num::Vec x0;
+    double t1 = 0.0;
+    double dt = 0.0;
+
+    explicit LatchWorkload(double cycles) : dae((buildNetlist(nl), nl)) {
+        const auto& d = bench::design100();
+        const an::DcopResult dc = an::dcOperatingPoint(dae);
+        x0 = dc.x;
+        for (std::size_t i = 0; i < x0.size(); ++i)
+            x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+        dt = 1.0 / (d.f1 * 300.0);
+        t1 = cycles / d.f1;
+    }
+
+    static void buildNetlist(ckt::Netlist& nl) {
+        const auto& d = bench::design100();
+        logic::buildDLatchEnCircuit(nl, "dl", ckt::RingOscSpec{}, d.syncAmp, d.f1,
+                                    logic::dataCurrentWaveform(d, 150e-6, {1}, 1.0),
+                                    [](double) { return true; });
+    }
+};
+
+/// Pre-workspace transient replica: the exact fixed-step TRAP loop the
+/// analysis layer used before the shared ImplicitStepper existed.  Each step
+/// builds fresh allocating residual/Jacobian lambdas and calls the
+/// allocating newtonSolve overload (per-call Newton scratch + LU).
+an::TransientResult baselineTransient(const ckt::Dae& dae, const num::Vec& x0, double t1,
+                                      double dt, const num::NewtonOptions& newtonOpt) {
+    const auto wallStart = std::chrono::steady_clock::now();
+    an::TransientResult res;
+    num::Vec xk = x0;
+    num::Vec qk = dae.evalQ(0.0, xk);
+    num::Vec fk = dae.evalF(0.0, xk);
+    res.counters.rhsEvals += 2;
+    const std::vector<bool> alg = an::detail::algebraicRows(dae.evalC(0.0, xk));
+    double tk = 0.0;
+    res.t.push_back(tk);
+    res.x.push_back(xk);
+    num::Vec xNew, qNew;
+    std::size_t stepIndex = 0;
+    while (tk < t1 - 0.5 * dt) {
+        double h = std::min(dt, t1 - tk);
+        bool done = false;
+        for (int halving = 0; halving <= 8; ++halving) {
+            const double tNew = tk + h;
+            num::Vec q, f;
+            num::Matrix c, g;
+            const num::ResidualFn residual = [&](const num::Vec& x) {
+                num::Vec qv, fv;
+                dae.eval(tNew, x, qv, fv, nullptr, nullptr);
+                num::Vec r(qv.size());
+                for (std::size_t i = 0; i < r.size(); ++i) {
+                    const double w = an::detail::newWeight(alg, i, true);
+                    r[i] = (qv[i] - qk[i]) / h + w * fv[i] + (1.0 - w) * fk[i];
+                }
+                return r;
+            };
+            const num::JacobianFn jacobian = [&](const num::Vec& x) {
+                dae.eval(tNew, x, q, f, &c, &g);
+                num::Matrix j = c;
+                j *= 1.0 / h;
+                for (std::size_t r = 0; r < j.rows(); ++r) {
+                    const double w = an::detail::newWeight(alg, r, true);
+                    for (std::size_t cc = 0; cc < j.cols(); ++cc) j(r, cc) += w * g(r, cc);
+                }
+                return j;
+            };
+            xNew = xk;
+            const num::NewtonResult nr = num::newtonSolve(residual, jacobian, xNew, newtonOpt);
+            res.counters += nr.counters;
+            if (nr.converged) {
+                dae.eval(tNew, xNew, qNew, f, nullptr, nullptr);
+                ++res.counters.rhsEvals;
+                done = true;
+                break;
+            }
+            ++res.counters.rejectedSteps;
+            h *= 0.5;
+        }
+        if (!done) {
+            res.message = "Newton failed at t=" + std::to_string(tk);
+            return res;
+        }
+        tk += h;
+        xk = xNew;
+        qk = qNew;
+        fk = dae.evalF(tk, xk);
+        ++res.counters.rhsEvals;
+        ++stepIndex;
+        ++res.counters.steps;
+        if (stepIndex % 16 == 0 || tk >= t1 - 1e-18) {
+            res.t.push_back(tk);
+            res.x.push_back(xk);
+        }
+    }
+    res.ok = true;
+    res.message = "ok";
+    res.counters.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+    res.newtonIterationsTotal = res.counters.newtonIters;
+    return res;
+}
+
+double maxRelDiff(const num::Vec& a, const num::Vec& b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double sc = std::max(std::abs(a[i]), std::abs(b[i]));
+        if (sc > 0.0) m = std::max(m, std::abs(a[i] - b[i]) / sc);
+    }
+    return m;
+}
+
+void reportSolverStrategies() {
+    const double cycles = smokeMode() ? 6.0 : 40.0;
+    LatchWorkload w(cycles);
+
+    struct Row {
+        const char* name;
+        an::TransientResult r;
+    };
+    an::TransientOptions base;
+    base.dt = w.dt;
+    base.storeEvery = 16;
+
+    std::vector<Row> rows;
+    rows.push_back({"baseline (pre-workspace alloc)",
+                    baselineTransient(w.dae, w.x0, w.t1, w.dt, base.newton)});
+    rows.push_back({"full Newton + workspaces", an::transient(w.dae, w.x0, 0.0, w.t1, base)});
+    an::TransientOptions chord = base;
+    chord.newton.jacobianReuse = true;
+    rows.push_back({"chord Newton (LU reuse)", an::transient(w.dae, w.x0, 0.0, w.t1, chord)});
+    an::TransientOptions adaptive = chord;
+    adaptive.adaptive = true;
+    adaptive.lteRelTol = 1e-4;
+    adaptive.lteAbsTol = 1e-7;
+    rows.push_back({"chord + adaptive dt", an::transient(w.dae, w.x0, 0.0, w.t1, adaptive)});
+
+    const auto& b = rows.front().r;
+    std::printf("Solver strategy comparison: D-latch bit write, %.0f cycles of SPICE-level\n",
+                cycles);
+    std::printf("transient (%zu unknowns, dt = T/300):\n", w.dae.size());
+    std::printf("  %-31s %9s %7s %7s %8s %7s %7s %8s %10s\n", "strategy", "wall ms", "steps",
+                "iters", "rhs", "jac", "lu", "speedup", "maxrel");
+    for (const Row& row : rows) {
+        const auto& c = row.r.counters;
+        std::printf("  %-31s %9.2f %7zu %7zu %8zu %7zu %7zu %7.2fx %10.2e\n", row.name,
+                    1e3 * c.wallSeconds, c.steps, c.newtonIters, c.rhsEvals, c.jacEvals,
+                    c.luFactorizations, b.counters.wallSeconds / c.wallSeconds,
+                    row.r.ok && b.ok ? maxRelDiff(row.r.x.back(), b.x.back()) : -1.0);
+    }
+    std::printf("  (maxrel = final-state max relative deviation from the baseline row;\n");
+    std::printf("   the adaptive row trades LTE-controlled accuracy for fewer steps)\n\n");
 }
 
 void BM_LatchSpiceTransient(benchmark::State& state) {
@@ -202,6 +373,66 @@ void BM_AdderSpicePerSlot(benchmark::State& state) {
 }
 BENCHMARK(BM_AdderSpicePerSlot)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Triangular-solve layout micro-benchmark: LuFactor::solveMatrixInto sweeps
+// all RHS columns per pivot row (contiguous rows of the solution matrix),
+// versus the historical column-at-a-time loop.  The n x (n+1) shape matches
+// the PSS shooting sensitivity RHS, the hot multi-RHS path.
+
+num::Matrix luBenchMatrix(std::size_t n) {
+    // Deterministic, diagonally dominant, fully dense.
+    num::Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        double off = 0.0;
+        for (std::size_t c = 0; c < n; ++c) {
+            a(r, c) = std::sin(1.0 + 3.7 * static_cast<double>(r * n + c));
+            off += std::abs(a(r, c));
+        }
+        a(r, r) += off;
+    }
+    return a;
+}
+
+num::Matrix luBenchRhs(std::size_t n, std::size_t m) {
+    num::Matrix b(n, m);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < m; ++c)
+            b(r, c) = std::cos(0.5 + 2.1 * static_cast<double>(r * m + c));
+    return b;
+}
+
+void BM_LuSolveMatrixBlocked(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const num::Matrix a = luBenchMatrix(n);
+    const num::Matrix b = luBenchRhs(n, n + 1);
+    const auto lu = num::LuFactor::factor(a);
+    num::Matrix x;
+    for (auto _ : state) {
+        lu->solveMatrixInto(b, x);
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_LuSolveMatrixBlocked)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+void BM_LuSolveMatrixPerColumn(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const num::Matrix a = luBenchMatrix(n);
+    const num::Matrix b = luBenchRhs(n, n + 1);
+    const auto lu = num::LuFactor::factor(a);
+    num::Matrix x(n, n + 1);
+    num::Vec col(n), sol;
+    for (auto _ : state) {
+        // Historical layout: one triangular solve per RHS column.
+        for (std::size_t c = 0; c <= n; ++c) {
+            for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+            lu->solveInto(col, sol);
+            for (std::size_t r = 0; r < n; ++r) x(r, c) = sol[r];
+        }
+        benchmark::DoNotOptimize(x.data());
+    }
+}
+BENCHMARK(BM_LuSolveMatrixPerColumn)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +443,7 @@ int main(int argc, char** argv) {
     std::printf("bit slot.  Expect the GAE (scalar ODE) to be orders of magnitude faster\n");
     std::printf("and the non-averaged phase system to sit in between.\n\n");
     reportSweepSpeedup();
+    reportSolverStrategies();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

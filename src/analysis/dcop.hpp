@@ -6,6 +6,7 @@
 // before periodic steady state is sought.
 
 #include "circuit/dae.hpp"
+#include "numeric/counters.hpp"
 #include "numeric/newton.hpp"
 
 namespace phlogon::an {
@@ -30,6 +31,9 @@ struct DcopResult {
     bool ok = false;
     Vec x;
     std::string message;
+    /// Work performed across all homotopy stages (and the pseudo-transient
+    /// fallback, whose Levenberg iterations count as Newton iterations).
+    num::SolverCounters counters;
 };
 
 DcopResult dcOperatingPoint(const Dae& dae, const DcopOptions& opt = {});

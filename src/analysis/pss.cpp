@@ -1,11 +1,13 @@
 #include "analysis/pss.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "analysis/dcop.hpp"
+#include "analysis/step_solver.hpp"
 #include "analysis/trap_util.hpp"
 #include "analysis/waveform.hpp"
 #include "numeric/interp.hpp"
@@ -36,94 +38,92 @@ int autoPhaseUnknown(const Dae& dae, const TransientResult& tr) {
     return best;
 }
 
+/// Preallocated state for integratePeriod, reused across shooting
+/// iterations: the implicit stepper (Newton workspace + DAE scratch), the
+/// old-point values and the sensitivity-chain matrices/LU.
+struct PeriodWorkspace {
+    explicit PeriodWorkspace(const Dae& dae)
+        : alg(detail::algebraicRows(dae.evalC(0.0, Vec(dae.size(), 0.0)))),
+          stepper(dae, /*trapezoidal=*/true, alg) {}
+
+    std::vector<bool> alg;
+    detail::ImplicitStepper stepper;
+    Vec qk, fk;
+    Matrix ck, gk;
+    Matrix mMat, nMat, rhs;
+    LuFactor sensLu;
+};
+
 /// Integrate `m` TRAP steps of size h from x0 (autonomous: t arbitrary),
 /// propagating the n x (n+1) sensitivity [dx/dx0 | dx/dT] when `sens` is
 /// non-null.  Fills states (m+1 entries).  Returns false on step failure.
-bool integratePeriod(const Dae& dae, const Vec& x0, double period, std::size_t m,
-                     const num::NewtonOptions& stepNewton, std::vector<Vec>& states,
-                     Matrix* sens) {
+bool integratePeriod(const Dae& dae, PeriodWorkspace& pw, const Vec& x0, double period,
+                     std::size_t m, const num::NewtonOptions& stepNewton,
+                     std::vector<Vec>& states, Matrix* sens, num::SolverCounters& counters) {
     const std::size_t n = dae.size();
     const double h = period / static_cast<double>(m);
-    states.assign(m + 1, Vec());
+    states.resize(m + 1);
     states[0] = x0;
 
-    Vec qk, fk;
-    Matrix ck, gk;
-    dae.eval(0.0, x0, qk, fk, &ck, &gk);
-    const std::vector<bool> alg = detail::algebraicRows(ck);
+    dae.eval(0.0, x0, pw.qk, pw.fk, &pw.ck, &pw.gk);
+    ++counters.rhsEvals;
+    ++counters.jacEvals;
 
     if (sens) {
         sens->resize(n, n + 1);
         for (std::size_t i = 0; i < n; ++i) (*sens)(i, i) = 1.0;
     }
 
-    Vec q1, f1;
-    Matrix c1, g1;
     for (std::size_t k = 0; k < m; ++k) {
-        const Vec& xk = states[k];
         // TRAP residual (algebraic rows collocated at the new point):
         //   (q(x1)-q(xk))/h + w f(x1) + (1-w) f(xk) = 0.
-        const num::ResidualFn residual = [&](const Vec& x) {
-            Vec qv, fv;
-            dae.eval(0.0, x, qv, fv, nullptr, nullptr);
-            Vec r(n);
-            for (std::size_t i = 0; i < n; ++i) {
-                const double w = detail::newWeight(alg, i, true);
-                r[i] = (qv[i] - qk[i]) / h + w * fv[i] + (1.0 - w) * fk[i];
-            }
-            return r;
-        };
-        const num::JacobianFn jacobian = [&](const Vec& x) {
-            dae.eval(0.0, x, q1, f1, &c1, &g1);
-            Matrix j = c1;
-            j *= 1.0 / h;
-            for (std::size_t r = 0; r < n; ++r) {
-                const double w = detail::newWeight(alg, r, true);
-                for (std::size_t c = 0; c < n; ++c) j(r, c) += w * g1(r, c);
-            }
-            return j;
-        };
-        Vec x1 = xk;
-        const num::NewtonResult nr = num::newtonSolve(residual, jacobian, x1, stepNewton);
-        if (!nr.converged) return false;
-        // Refresh q/f/C/G at the converged point.
-        dae.eval(0.0, x1, q1, f1, &c1, &g1);
+        states[k + 1] = states[k];  // predictor: previous value
+        Vec& x1 = states[k + 1];
+        if (!pw.stepper.step(0.0, h, pw.qk, pw.fk, x1, stepNewton, counters,
+                             /*wantMatrices=*/sens != nullptr)) {
+            return false;
+        }
+        ++counters.steps;
 
         if (sens) {
             // M * S1 = N * Sk + extra_T, with per-row weights w:
             //   M = C1/h + w G1,  N = Ck/h - (1-w) Gk,
             //   extra for the T column: (q1 - qk) / (h^2 m)   (since h = T/m).
-            Matrix mMat = c1;
-            mMat *= 1.0 / h;
-            Matrix nMat = ck;
-            nMat *= 1.0 / h;
+            const Matrix& c1 = pw.stepper.c1();
+            const Matrix& g1 = pw.stepper.g1();
+            const Vec& q1 = pw.stepper.q1();
+            pw.mMat = c1;
+            pw.mMat *= 1.0 / h;
+            pw.nMat = pw.ck;
+            pw.nMat *= 1.0 / h;
             for (std::size_t r = 0; r < n; ++r) {
-                const double w = detail::newWeight(alg, r, true);
+                const double w = detail::newWeight(pw.alg, r, true);
                 for (std::size_t c = 0; c < n; ++c) {
-                    mMat(r, c) += w * g1(r, c);
-                    nMat(r, c) -= (1.0 - w) * gk(r, c);
+                    pw.mMat(r, c) += w * g1(r, c);
+                    pw.nMat(r, c) -= (1.0 - w) * pw.gk(r, c);
                 }
             }
-            auto lu = LuFactor::factor(mMat);
-            if (!lu) return false;
-            Matrix rhs(n, n + 1);
+            if (!pw.sensLu.refactor(pw.mMat)) return false;
+            ++counters.luFactorizations;
+            pw.rhs.resize(n, n + 1);
             // rhs = N * sens  (+ T-column extra)
             for (std::size_t r = 0; r < n; ++r)
                 for (std::size_t c = 0; c <= n; ++c) {
                     double s = 0.0;
-                    for (std::size_t j = 0; j < n; ++j) s += nMat(r, j) * (*sens)(j, c);
-                    rhs(r, c) = s;
+                    for (std::size_t j = 0; j < n; ++j) s += pw.nMat(r, j) * (*sens)(j, c);
+                    pw.rhs(r, c) = s;
                 }
             const double hm2 = 1.0 / (h * h * static_cast<double>(m));
-            for (std::size_t r = 0; r < n; ++r) rhs(r, n) += (q1[r] - qk[r]) * hm2;
-            *sens = lu->solveMatrix(rhs);
+            for (std::size_t r = 0; r < n; ++r) pw.rhs(r, n) += (q1[r] - pw.qk[r]) * hm2;
+            // rhs is fully built, so the solve may overwrite *sens directly
+            // (blocked column sweep — the n+1-column hot path of shooting).
+            pw.sensLu.solveMatrixInto(pw.rhs, *sens);
+            pw.ck = c1;
+            pw.gk = pw.stepper.g1();
         }
 
-        states[k + 1] = x1;
-        qk = q1;
-        fk = f1;
-        ck = c1;
-        gk = g1;
+        pw.qk = pw.stepper.q1();
+        pw.fk = pw.stepper.f1();
     }
     return true;
 }
@@ -137,13 +137,20 @@ num::Vec PssResult::column(std::size_t idx) const {
 }
 
 PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
+    const auto wallStart = std::chrono::steady_clock::now();
     PssResult res;
+    const auto finish = [&res, wallStart] {
+        res.counters.wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+    };
     const std::size_t n = dae.size();
 
     // 1. DC operating point + deterministic asymmetric kick.
     const DcopResult dc = dcOperatingPoint(dae);
+    res.counters += dc.counters;
     if (!dc.ok) {
         res.message = "DC operating point failed: " + dc.message;
+        finish();
         return res;
     }
     Vec x = dc.x;
@@ -160,13 +167,16 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
     int phaseIdx = opt.phaseUnknown;
     for (int attempt = 0; attempt < 3; ++attempt) {
         warm = transient(dae, x, 0.0, warmupSpan, trOpt);
+        res.counters += warm.counters;
         if (!warm.ok) {
             res.message = "warmup transient failed: " + warm.message;
+            finish();
             return res;
         }
         if (phaseIdx < 0) phaseIdx = autoPhaseUnknown(dae, warm);
         if (phaseIdx < 0) {
             res.message = "no oscillating unknown found";
+            finish();
             return res;
         }
         const Vec sig = warm.column(static_cast<std::size_t>(phaseIdx));
@@ -182,6 +192,7 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
     }
     if (!pe.ok) {
         res.message = "oscillation did not settle during warmup";
+        finish();
         return res;
     }
     res.phaseUnknown = phaseIdx;
@@ -214,18 +225,23 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
 
     // 4. Shooting Newton on (x0, T).
     const std::size_t m = opt.shootingSteps;
+    PeriodWorkspace pw(dae);
     std::vector<Vec> states;
     Matrix sens;
+    Matrix j(n + 1, n + 1);
+    LuFactor borderedLu;
+    Vec bigF(n + 1), dz;
     double fNorm = 0.0;
     bool converged = false;
     for (int it = 0; it < opt.maxShootIter; ++it) {
         res.shootIterations = it + 1;
-        if (!integratePeriod(dae, x0, period, m, opt.stepNewton, states, &sens)) {
+        if (!integratePeriod(dae, pw, x0, period, m, opt.stepNewton, states, &sens,
+                             res.counters)) {
             res.message = "shooting: period integration failed";
+            finish();
             return res;
         }
         // Residual.
-        Vec bigF(n + 1);
         for (std::size_t i = 0; i < n; ++i) bigF[i] = states[m][i] - x0[i];
         bigF[n] = x0[static_cast<std::size_t>(phaseIdx)] - level;
         fNorm = num::normInf(bigF);
@@ -235,22 +251,23 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
             break;
         }
         // Bordered Jacobian: [S_x - I, s_T; e_p^T, 0].
-        Matrix j(n + 1, n + 1);
+        j.fill(0.0);
         for (std::size_t r = 0; r < n; ++r) {
             for (std::size_t c = 0; c < n; ++c) j(r, c) = sens(r, c) - (r == c ? 1.0 : 0.0);
             j(r, n) = sens(r, n);
         }
         j(n, static_cast<std::size_t>(phaseIdx)) = 1.0;
-        auto lu = LuFactor::factor(j);
-        if (!lu) {
+        if (!borderedLu.refactor(j)) {
             if (std::getenv("PHLOGON_DEBUG_PSS")) {
                 std::fprintf(stderr, "[pss] iter %d period=%.6e fNorm=%.3e\nJ=\n%s\n", it, period,
                              fNorm, j.toString(3).c_str());
             }
             res.message = "shooting: singular bordered Jacobian";
+            finish();
             return res;
         }
-        Vec dz = lu->solve(bigF);
+        ++res.counters.luFactorizations;
+        borderedLu.solveInto(bigF, dz);
         // Damp: never change T by more than 20% in one go.
         double damp = 1.0;
         if (std::abs(dz[n]) > 0.2 * period) damp = 0.2 * period / std::abs(dz[n]);
@@ -258,17 +275,21 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
         period -= damp * dz[n];
         if (!(period > 0)) {
             res.message = "shooting: period became non-positive";
+            finish();
             return res;
         }
     }
     if (!converged) {
         res.message = "shooting did not converge (residual " + std::to_string(fNorm) + ")";
+        finish();
         return res;
     }
 
     // 5. Final fine trajectory + uniform resampling.
-    if (!integratePeriod(dae, x0, period, m, opt.stepNewton, states, nullptr)) {
+    if (!integratePeriod(dae, pw, x0, period, m, opt.stepNewton, states, nullptr,
+                         res.counters)) {
         res.message = "final PSS integration failed";
+        finish();
         return res;
     }
     res.period = period;
@@ -284,6 +305,7 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
     }
     res.ok = true;
     res.message = "ok";
+    finish();
     return res;
 }
 

@@ -60,6 +60,10 @@ struct PssResult {
 
     /// Time series of unknown `idx` on the uniform grid.
     num::Vec column(std::size_t idx) const;
+
+    /// Work performed across the whole run (DC op + warmup transients +
+    /// every shooting integration), including wall time.
+    num::SolverCounters counters;
 };
 
 PssResult shootingPss(const Dae& dae, const PssOptions& opt = {});

@@ -1,52 +1,27 @@
 #include "analysis/transient.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "analysis/step_solver.hpp"
 #include "analysis/trap_util.hpp"
-#include "numeric/lu.hpp"
 
 namespace phlogon::an {
 
 namespace {
 
-/// One implicit step from (tk, xk) to tk+h.  Returns Newton convergence.
-/// On success xNew holds the new state.  Algebraic rows are collocated at
-/// the new time point regardless of method (see trap_util.hpp).
-bool implicitStep(const Dae& dae, IntegrationMethod method, const std::vector<bool>& alg,
-                  double tk, double h, const Vec& xk, const Vec& qk, const Vec& fk, Vec& xNew,
-                  Vec& qNew, const num::NewtonOptions& newtonOpt, std::size_t& iterCount) {
-    const double tNew = tk + h;
-    const bool trap = method == IntegrationMethod::Trapezoidal;
-
-    Vec q, f;
-    Matrix c, g;
-    const num::ResidualFn residual = [&](const Vec& x) {
-        Vec qv, fv;
-        dae.eval(tNew, x, qv, fv, nullptr, nullptr);
-        Vec r(qv.size());
-        for (std::size_t i = 0; i < r.size(); ++i) {
-            const double w = detail::newWeight(alg, i, trap);
-            r[i] = (qv[i] - qk[i]) / h + w * fv[i] + (1.0 - w) * fk[i];
-        }
-        return r;
-    };
-    const num::JacobianFn jacobian = [&](const Vec& x) {
-        dae.eval(tNew, x, q, f, &c, &g);
-        Matrix j = c;
-        j *= 1.0 / h;
-        for (std::size_t r = 0; r < j.rows(); ++r) {
-            const double w = detail::newWeight(alg, r, trap);
-            for (std::size_t cc = 0; cc < j.cols(); ++cc) j(r, cc) += w * g(r, cc);
-        }
-        return j;
-    };
-
-    xNew = xk;  // predictor: previous value
-    const num::NewtonResult nr = num::newtonSolve(residual, jacobian, xNew, newtonOpt);
-    iterCount += static_cast<std::size_t>(nr.iterations);
-    if (!nr.converged) return false;
-    dae.eval(tNew, xNew, qNew, f, nullptr, nullptr);
-    return true;
+/// Scaled infinity-norm of the step-doubling error estimate: > 1 means the
+/// local truncation error exceeds tolerance.
+double lteErrorNorm(const Vec& xBig, const Vec& xHalf, double factor, double relTol,
+                    double absTol) {
+    double err = 0.0;
+    for (std::size_t i = 0; i < xBig.size(); ++i) {
+        const double e = std::abs(xBig[i] - xHalf[i]) * factor;
+        const double sc = absTol + relTol * std::max(std::abs(xBig[i]), std::abs(xHalf[i]));
+        err = std::max(err, e / sc);
+    }
+    return err;
 }
 
 }  // namespace
@@ -59,50 +34,136 @@ Vec TransientResult::column(std::size_t idx) const {
 
 TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
                           const TransientOptions& opt) {
+    const auto wallStart = std::chrono::steady_clock::now();
     TransientResult res;
+    const auto finish = [&res, wallStart] {
+        res.counters.wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        res.newtonIterationsTotal = res.counters.newtonIters;
+    };
     if (!(opt.dt > 0)) {
         res.message = "dt must be positive";
+        finish();
         return res;
     }
     Vec xk = x0;
-    Vec qk = dae.evalQ(t0, xk);
-    Vec fk = dae.evalF(t0, xk);
+    Vec qk, fk;
+    dae.eval(t0, xk, qk, fk, nullptr, nullptr);
+    ++res.counters.rhsEvals;
     const std::vector<bool> alg = detail::algebraicRows(dae.evalC(t0, xk));
+    detail::ImplicitStepper stepper(dae, opt.method == IntegrationMethod::Trapezoidal, alg);
     double tk = t0;
     res.t.push_back(tk);
     res.x.push_back(xk);
 
-    Vec xNew, qNew;
+    Vec xNew;
     std::size_t stepIndex = 0;
-    while (tk < t1 - 0.5 * opt.dt) {
-        double h = std::min(opt.dt, t1 - tk);
-        bool done = false;
-        // Retry with halved steps on Newton failure, then sub-step back to
-        // the nominal grid.
-        for (int halving = 0; halving <= opt.maxStepHalvings; ++halving) {
-            if (implicitStep(dae, opt.method, alg, tk, h, xk, qk, fk, xNew, qNew, opt.newton,
-                             res.newtonIterationsTotal)) {
-                done = true;
-                break;
+    const auto store = [&](double t, const Vec& x, bool force) {
+        if (force || stepIndex % opt.storeEvery == 0 || t >= t1 - 1e-18) {
+            res.t.push_back(t);
+            res.x.push_back(x);
+        }
+    };
+
+    if (!opt.adaptive) {
+        // Fixed-step path (bit-for-bit the historical behaviour): march on
+        // the nominal dt grid, halving only to rescue Newton failures.
+        while (tk < t1 - 0.5 * opt.dt) {
+            double h = std::min(opt.dt, t1 - tk);
+            bool done = false;
+            for (int halving = 0; halving <= opt.maxStepHalvings; ++halving) {
+                xNew = xk;  // predictor: previous value
+                if (stepper.step(tk + h, h, qk, fk, xNew, opt.newton, res.counters)) {
+                    done = true;
+                    break;
+                }
+                ++res.counters.rejectedSteps;
+                h *= 0.5;
             }
-            h *= 0.5;
+            if (!done) {
+                res.message = "Newton failed at t=" + std::to_string(tk);
+                finish();
+                return res;
+            }
+            tk += h;
+            xk = xNew;
+            qk = stepper.q1();
+            fk = stepper.f1();
+            ++stepIndex;
+            ++res.counters.steps;
+            store(tk, xk, false);
         }
-        if (!done) {
-            res.message = "Newton failed at t=" + std::to_string(tk);
-            return res;
+        res.ok = true;
+        res.message = "ok";
+        finish();
+        return res;
+    }
+
+    // Adaptive path: step-doubling LTE control.  Each accepted step costs
+    // one h-solve plus two h/2-solves; the h/2 result (more accurate) is
+    // kept and the difference to the h result estimates the LTE.
+    const double span = t1 - t0;
+    const double dtMin = opt.dtMin > 0 ? opt.dtMin : opt.dt / 4096.0;
+    const double dtMax = opt.dtMax > 0 ? opt.dtMax : span;
+    const double order = opt.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0;
+    const double lteFactor = 1.0 / (std::pow(2.0, order) - 1.0);
+    double h = std::clamp(opt.dt, dtMin, dtMax);
+    Vec xBig, qMid, fMid;
+    int consecutiveFailures = 0;
+    while (t1 - tk > 1e-12 * span) {
+        h = std::min(h, t1 - tk);
+        // Full step at h.
+        xBig = xk;
+        bool ok = stepper.step(tk + h, h, qk, fk, xBig, opt.newton, res.counters);
+        // Two half steps (the kept solution).
+        if (ok) {
+            xNew = xk;
+            ok = stepper.step(tk + 0.5 * h, 0.5 * h, qk, fk, xNew, opt.newton, res.counters);
         }
+        if (ok) {
+            qMid = stepper.q1();
+            fMid = stepper.f1();
+            ok = stepper.step(tk + h, 0.5 * h, qMid, fMid, xNew, opt.newton, res.counters);
+        }
+        if (!ok) {
+            ++res.counters.rejectedSteps;
+            if (++consecutiveFailures > opt.maxStepHalvings) {
+                res.message = "Newton failed at t=" + std::to_string(tk) + ": " +
+                              stepper.lastMessage();
+                finish();
+                return res;
+            }
+            h = std::max(0.5 * h, dtMin);
+            continue;
+        }
+        consecutiveFailures = 0;
+
+        const double errNorm = lteErrorNorm(xBig, xNew, lteFactor, opt.lteRelTol, opt.lteAbsTol);
+        const bool atFloor = h <= dtMin * (1.0 + 1e-12);
+        if (errNorm > 1.0 && !atFloor) {
+            // Reject: shrink towards the tolerance-satisfying step.
+            ++res.counters.rejectedSteps;
+            h = std::max(h * std::clamp(0.9 * std::pow(errNorm, -1.0 / (order + 1.0)), 0.1, 0.5),
+                         dtMin);
+            continue;
+        }
+        // Accept the h/2 solution (at the floor, accept even over-tolerance:
+        // the step cannot shrink further and stalling would never finish).
         tk += h;
         xk = xNew;
-        qk = qNew;
-        fk = dae.evalF(tk, xk);
+        qk = stepper.q1();
+        fk = stepper.f1();
         ++stepIndex;
-        if (stepIndex % opt.storeEvery == 0 || tk >= t1 - 1e-18) {
-            res.t.push_back(tk);
-            res.x.push_back(xk);
-        }
+        ++res.counters.steps;
+        store(tk, xk, false);
+        const double grow =
+            errNorm > 0.0 ? 0.9 * std::pow(errNorm, -1.0 / (order + 1.0)) : 4.0;
+        h = std::clamp(h * std::clamp(grow, 0.2, 4.0), dtMin, dtMax);
     }
+    if (res.t.back() < t1 - 1e-18) store(tk, xk, true);
     res.ok = true;
     res.message = "ok";
+    finish();
     return res;
 }
 

@@ -5,11 +5,24 @@
 // which matters when simulating oscillator phase over thousands of cycles);
 // Backward Euler is available for heavily switching circuits and is also
 // used for the first step after a discontinuity.
+//
+// The inner loop runs on the zero-allocation ImplicitStepper: all Newton
+// temporaries live in a workspace reused across steps, and with
+// newton.jacobianReuse the Jacobian LU factorization is carried from step
+// to step (chord Newton) and only refreshed when contraction degrades.
+//
+// Optional adaptive time stepping (opt.adaptive) uses step-doubling local
+// truncation error control: each step is computed once at h and again as
+// two h/2 substeps; the difference estimates the LTE, rejecting the step
+// and shrinking h when it exceeds tolerance, growing h (within
+// [dtMin, dtMax]) when the solution is smooth.  Off by default so all
+// golden figure outputs remain bit-stable.
 
 #include <functional>
 #include <string>
 
 #include "circuit/dae.hpp"
+#include "numeric/counters.hpp"
 #include "numeric/newton.hpp"
 
 namespace phlogon::an {
@@ -21,7 +34,7 @@ using num::Vec;
 enum class IntegrationMethod { BackwardEuler, Trapezoidal };
 
 struct TransientOptions {
-    double dt = 0.0;  ///< fixed time step; required (> 0)
+    double dt = 0.0;  ///< fixed time step (adaptive: initial step); required (> 0)
     IntegrationMethod method = IntegrationMethod::Trapezoidal;
     num::NewtonOptions newton{.maxIter = 50, .absTol = 1e-9, .maxStep = 1.0};
     /// Store every `storeEvery`-th point (1 = all); the initial point and the
@@ -30,6 +43,14 @@ struct TransientOptions {
     /// On a Newton failure the step is retried with dt/2 up to this many
     /// times (then the run aborts).
     int maxStepHalvings = 8;
+
+    /// Step-doubling LTE control (grow/shrink h).  Off by default: the
+    /// fixed-dt path is bit-for-bit the historical behaviour.
+    bool adaptive = false;
+    double dtMin = 0.0;      ///< lower step bound; 0 = dt / 4096
+    double dtMax = 0.0;      ///< upper step bound; 0 = unlimited (the span)
+    double lteRelTol = 1e-5; ///< relative LTE tolerance per step
+    double lteAbsTol = 1e-9; ///< absolute LTE floor (state units)
 };
 
 struct TransientResult {
@@ -37,7 +58,10 @@ struct TransientResult {
     std::string message;
     Vec t;
     std::vector<Vec> x;
-    std::size_t newtonIterationsTotal = 0;
+    std::size_t newtonIterationsTotal = 0;  ///< mirror of counters.newtonIters
+    /// Work performed: steps/rejections, Newton iterations, residual and
+    /// Jacobian evaluations, LU factorizations, wall time.
+    num::SolverCounters counters;
 
     /// Time series of one unknown.
     Vec column(std::size_t idx) const;

@@ -1,6 +1,7 @@
 #include "core/gae_transient.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,7 +23,12 @@ double GaeTransientResult::at(double tq) const {
 GaeTransientResult gaeTransient(const PpvModel& model, double f1,
                                 const std::vector<GaeSegment>& schedule, double dphi0, double t0,
                                 double t1, const num::OdeOptions& opt, std::size_t gridSize) {
+    const auto wallStart = std::chrono::steady_clock::now();
     GaeTransientResult res;
+    const auto finish = [&res, wallStart] {
+        res.counters.wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+    };
     if (schedule.empty()) throw std::invalid_argument("gaeTransient: empty schedule");
     for (std::size_t i = 1; i < schedule.size(); ++i)
         if (schedule[i].tStart < schedule[i - 1].tStart)
@@ -40,9 +46,18 @@ GaeTransientResult gaeTransient(const PpvModel& model, double f1,
             throw std::invalid_argument("gaeTransient: first segment starts after t0");
 
         const Gae gae(model, f1, schedule[s].injections, gridSize);
-        const num::OdeRhs1 rhs = [&gae](double /*t*/, double phi) { return gae.rhs(phi); };
+        num::SolverCounters& cnt = res.counters;
+        const num::OdeRhs1 rhs = [&gae, &cnt](double /*t*/, double phi) {
+            ++cnt.rhsEvals;
+            return gae.rhs(phi);
+        };
         const num::OdeSolution1 sol = num::rkf45Scalar(rhs, phiCur, tCur, segEnd, opt);
-        if (!sol.ok) return res;  // res.ok stays false
+        res.counters.rejectedSteps += sol.rejectedSteps;
+        if (sol.t.size() > 1) res.counters.steps += sol.t.size() - 1;
+        if (!sol.ok) {
+            finish();
+            return res;  // res.ok stays false
+        }
         for (std::size_t i = 1; i < sol.t.size(); ++i) {
             res.t.push_back(sol.t[i]);
             res.dphi.push_back(sol.y[i]);
@@ -52,6 +67,7 @@ GaeTransientResult gaeTransient(const PpvModel& model, double f1,
         if (tCur >= t1) break;
     }
     res.ok = true;
+    finish();
     return res;
 }
 

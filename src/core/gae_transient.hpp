@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/gae.hpp"
+#include "numeric/counters.hpp"
 #include "numeric/ode.hpp"
 
 namespace phlogon::core {
@@ -21,6 +22,9 @@ struct GaeTransientResult {
     bool ok = false;
     Vec t;
     Vec dphi;  ///< unwrapped phase difference in cycles
+    /// RKF45 work over all schedule segments: rhsEvals counts g(dphi)
+    /// evaluations, steps/rejectedSteps the accepted/rejected RK steps.
+    num::SolverCounters counters;
 
     /// dphi at time tq (linear interpolation).
     double at(double tq) const;

@@ -1,0 +1,52 @@
+#pragma once
+// Per-analysis performance counters for the nonlinear-solver hot path.
+//
+// Every analysis (DC, transient, shooting PSS, GAE transient) accumulates
+// one SolverCounters instance into its result struct, so callers — and the
+// bench_speedup strategy table — can see exactly where the work went:
+// residual evaluations, Jacobian evaluations (device sweeps with matrix
+// stamping, roughly 2x a residual eval), LU factorizations (the cost chord
+// Newton amortizes away), Newton iterations, accepted/rejected time steps
+// and wall time.
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+namespace phlogon::num {
+
+struct SolverCounters {
+    std::size_t rhsEvals = 0;         ///< residual / RHS evaluations
+    std::size_t jacEvals = 0;         ///< Jacobian (C/G stamp) evaluations
+    std::size_t luFactorizations = 0; ///< dense LU factorizations
+    std::size_t newtonIters = 0;      ///< Newton iterations (all solves)
+    std::size_t dampingEvents = 0;    ///< damping-exhausted fallback accepts
+    std::size_t steps = 0;            ///< accepted time steps
+    std::size_t rejectedSteps = 0;    ///< steps rejected by LTE/step control
+    double wallSeconds = 0.0;         ///< wall-clock time of the analysis
+
+    SolverCounters& operator+=(const SolverCounters& o) {
+        rhsEvals += o.rhsEvals;
+        jacEvals += o.jacEvals;
+        luFactorizations += o.luFactorizations;
+        newtonIters += o.newtonIters;
+        dampingEvents += o.dampingEvents;
+        steps += o.steps;
+        rejectedSteps += o.rejectedSteps;
+        wallSeconds += o.wallSeconds;
+        return *this;
+    }
+
+    /// One-line summary, e.g. for logs and bench tables.
+    std::string summary() const {
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "steps=%zu(+%zu rej) newton=%zu rhs=%zu jac=%zu lu=%zu damp=%zu "
+                      "wall=%.3fms",
+                      steps, rejectedSteps, newtonIters, rhsEvals, jacEvals, luFactorizations,
+                      dampingEvents, wallSeconds * 1e3);
+        return buf;
+    }
+};
+
+}  // namespace phlogon::num

@@ -5,16 +5,17 @@
 
 namespace phlogon::num {
 
-std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
-    if (a.rows() != a.cols() || a.rows() == 0) return std::nullopt;
+bool LuFactor::refactor(const Matrix& a, double pivotTol) {
+    valid_ = false;
+    if (a.rows() != a.cols() || a.rows() == 0) return false;
     const std::size_t n = a.rows();
-    LuFactor f;
-    f.lu_ = a;
-    f.perm_.resize(n);
-    std::iota(f.perm_.begin(), f.perm_.end(), std::size_t{0});
+    lu_ = a;  // reuses existing storage when the size is unchanged
+    perm_.resize(n);
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+    permSign_ = 1;
     const double tol = pivotTol * std::max(a.normMax(), 1e-300);
 
-    Matrix& lu = f.lu_;
+    Matrix& lu = lu_;
     for (std::size_t k = 0; k < n; ++k) {
         // Pivot search in column k.
         std::size_t p = k;
@@ -26,11 +27,11 @@ std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
                 p = i;
             }
         }
-        if (best < tol) return std::nullopt;
+        if (best < tol) return false;
         if (p != k) {
             for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(p, j));
-            std::swap(f.perm_[k], f.perm_[p]);
-            f.permSign_ = -f.permSign_;
+            std::swap(perm_[k], perm_[p]);
+            permSign_ = -permSign_;
         }
         const double inv = 1.0 / lu(k, k);
         for (std::size_t i = k + 1; i < n; ++i) {
@@ -40,26 +41,39 @@ std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
             for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
         }
     }
+    valid_ = true;
+    return true;
+}
+
+std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
+    LuFactor f;
+    if (!f.refactor(a, pivotTol)) return std::nullopt;
     return f;
 }
 
-Vec LuFactor::solve(const Vec& b) const {
+void LuFactor::solveInto(const Vec& b, Vec& x) const {
     const std::size_t n = size();
     assert(b.size() == n);
-    Vec y(n);
-    // Forward substitution with permutation: L y = P b.
+    assert(&b != &x);
+    x.resize(n);
+    // Forward substitution with permutation: L y = P b (y stored in x).
     for (std::size_t i = 0; i < n; ++i) {
         double s = b[perm_[i]];
-        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * y[j];
-        y[i] = s;
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+        x[i] = s;
     }
     // Back substitution: U x = y.
     for (std::size_t ii = n; ii-- > 0;) {
-        double s = y[ii];
-        for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * y[j];
-        y[ii] = s / lu_(ii, ii);
+        double s = x[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+        x[ii] = s / lu_(ii, ii);
     }
-    return y;
+}
+
+Vec LuFactor::solve(const Vec& b) const {
+    Vec x;
+    solveInto(b, x);
+    return x;
 }
 
 Vec LuFactor::solveTransposed(const Vec& b) const {
@@ -83,15 +97,43 @@ Vec LuFactor::solveTransposed(const Vec& b) const {
     return x;
 }
 
-Matrix LuFactor::solveMatrix(const Matrix& b) const {
-    assert(b.rows() == size());
-    Matrix x(b.rows(), b.cols());
-    Vec col(b.rows());
-    for (std::size_t c = 0; c < b.cols(); ++c) {
-        for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-        const Vec sol = solve(col);
-        for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+void LuFactor::solveMatrixInto(const Matrix& b, Matrix& x) const {
+    const std::size_t n = size();
+    assert(b.rows() == n);
+    assert(&b != &x);
+    const std::size_t m = b.cols();
+    x.resize(n, m);
+    // Forward substitution, all RHS columns per pivot row: row i of x is a
+    // contiguous m-vector, so the j < i updates stream through memory
+    // instead of striding column-by-column.
+    for (std::size_t i = 0; i < n; ++i) {
+        double* xi = x.data() + i * m;
+        const std::size_t bi = perm_[i];
+        for (std::size_t c = 0; c < m; ++c) xi[c] = b(bi, c);
+        for (std::size_t j = 0; j < i; ++j) {
+            const double l = lu_(i, j);
+            if (l == 0.0) continue;
+            const double* xj = x.data() + j * m;
+            for (std::size_t c = 0; c < m; ++c) xi[c] -= l * xj[c];
+        }
     }
+    // Back substitution, same row-sweep layout.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double* xi = x.data() + ii * m;
+        for (std::size_t j = ii + 1; j < n; ++j) {
+            const double u = lu_(ii, j);
+            if (u == 0.0) continue;
+            const double* xj = x.data() + j * m;
+            for (std::size_t c = 0; c < m; ++c) xi[c] -= u * xj[c];
+        }
+        const double pivot = lu_(ii, ii);
+        for (std::size_t c = 0; c < m; ++c) xi[c] /= pivot;
+    }
+}
+
+Matrix LuFactor::solveMatrix(const Matrix& b) const {
+    Matrix x;
+    solveMatrixInto(b, x);
     return x;
 }
 

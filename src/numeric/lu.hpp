@@ -11,23 +11,48 @@ namespace phlogon::num {
 /// Partial-pivoted LU factorization of a square matrix.
 ///
 /// Stores L and U packed in a single matrix plus the row-permutation.  A
-/// factorization is immutable after construction; `solve` can be called any
-/// number of times (this matters for the PPV backward-adjoint iteration where
-/// the same step Jacobians are reused every period).
+/// factorization is immutable between `refactor` calls; `solve` can be
+/// called any number of times (this matters for the PPV backward-adjoint
+/// iteration where the same step Jacobians are reused every period, and for
+/// chord Newton, where one factorization serves many iterations/steps).
+///
+/// Two usage styles:
+///   * one-shot: `auto lu = LuFactor::factor(a);` (allocates fresh storage);
+///   * hot path: a default-constructed LuFactor kept alive across steps and
+///     re-filled with `refactor(a)`, which reuses the internal storage and
+///     performs no allocation once warmed up.
 class LuFactor {
 public:
+    /// Empty factorization; call `refactor` before solving.
+    LuFactor() = default;
+
     /// Factor `a`; returns std::nullopt when the matrix is numerically
     /// singular (pivot below `pivotTol * normMax`).
     static std::optional<LuFactor> factor(const Matrix& a, double pivotTol = 1e-14);
+
+    /// Re-factor `a` in place, reusing existing storage (no allocation when
+    /// the size is unchanged).  Returns false — and leaves the object
+    /// invalid — when `a` is non-square, empty, or numerically singular.
+    bool refactor(const Matrix& a, double pivotTol = 1e-14);
+
+    /// True after a successful factor/refactor.
+    bool valid() const { return valid_; }
 
     std::size_t size() const { return lu_.rows(); }
 
     /// Solve A x = b.
     Vec solve(const Vec& b) const;
+    /// Solve A x = b into caller-owned storage (resized; must not alias b).
+    void solveInto(const Vec& b, Vec& x) const;
     /// Solve A^T x = b (needed by adjoint/PPV computations).
     Vec solveTransposed(const Vec& b) const;
-    /// Solve A X = B column-by-column.
+    /// Solve A X = B for a multi-column RHS.
     Matrix solveMatrix(const Matrix& b) const;
+    /// Solve A X = B into caller-owned storage (resized; must not alias b).
+    /// The substitution sweeps all RHS columns per pivot row — contiguous
+    /// row-major accesses instead of the strided column-by-column walk —
+    /// which is what the (n+1)-column PSS sensitivity chain hits every step.
+    void solveMatrixInto(const Matrix& b, Matrix& x) const;
 
     /// Determinant of A (with pivot sign).
     double determinant() const;
@@ -36,10 +61,10 @@ public:
     double rcondEstimate() const;
 
 private:
-    LuFactor() = default;
     Matrix lu_;
     std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
     int permSign_ = 1;
+    bool valid_ = false;
 };
 
 /// One-shot convenience: solve A x = b; nullopt when singular.

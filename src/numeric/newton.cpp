@@ -5,45 +5,61 @@
 
 namespace phlogon::num {
 
-NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
-                         const NewtonOptions& opt) {
+NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
+                         NewtonWorkspace& ws, const NewtonOptions& opt) {
     NewtonResult res;
-    Vec fx = f(x);
-    double fn = normInf(fx);
+    // Terminal bookkeeping: mirror iterations into the counters and flag
+    // damping-exhausted fallbacks in the message (they mean the result sits
+    // on a residual ridge the line search could not descend).
+    const auto finalize = [&res](bool converged, double fn, std::string msg) {
+        res.converged = converged;
+        res.residualNorm = fn;
+        if (res.counters.dampingEvents > 0) msg += " (damping exhausted)";
+        res.message = std::move(msg);
+        res.counters.newtonIters = static_cast<std::size_t>(res.iterations);
+    };
+
+    f(x, ws.fx_);
+    ++res.counters.rhsEvals;
+    double fn = normInf(ws.fx_);
     for (int it = 0; it < opt.maxIter; ++it) {
         res.iterations = it + 1;
         if (fn <= opt.absTol) {
-            res.converged = true;
-            res.residualNorm = fn;
-            res.message = "converged on residual";
+            finalize(true, fn, "converged on residual");
             return res;
         }
-        const Matrix j = jac(x);
-        auto lu = LuFactor::factor(j);
-        if (!lu) {
-            res.residualNorm = fn;
-            res.message = "singular Jacobian";
-            return res;
+        // Chord/bypass: reuse the workspace's factorization when allowed and
+        // still trusted; otherwise stamp a fresh Jacobian and refactorize.
+        const bool stale = opt.jacobianReuse && ws.luValid_;
+        if (!stale) {
+            jac(x, ws.jac_);
+            ++res.counters.jacEvals;
+            if (!ws.lu_.refactor(ws.jac_)) {
+                ws.luValid_ = false;
+                finalize(false, fn, "singular Jacobian");
+                return res;
+            }
+            ++res.counters.luFactorizations;
+            ws.luValid_ = true;
         }
-        Vec dx = lu->solve(fx);
-        for (double& d : dx) d = -d;
+        ws.lu_.solveInto(ws.fx_, ws.dx_);
+        for (double& d : ws.dx_) d = -d;
         if (opt.maxStep > 0.0) {
-            const double dn = normInf(dx);
-            if (dn > opt.maxStep) dx *= opt.maxStep / dn;
+            const double dn = normInf(ws.dx_);
+            if (dn > opt.maxStep) ws.dx_ *= opt.maxStep / dn;
         }
 
         // Damped update: halve until the residual shrinks (or give up damping
         // and accept the full step; Newton sometimes needs to climb a ridge).
         double lambda = 1.0;
-        Vec xTrial = x;
-        Vec fTrial;
         double fnTrial = 0.0;
         bool accepted = false;
         for (int d = 0; d <= opt.maxDampings; ++d) {
-            xTrial = x;
-            axpy(lambda, dx, xTrial);
-            fTrial = f(xTrial);
-            fnTrial = normInf(fTrial);
+            ws.xTrial_ = x;
+            axpy(lambda, ws.dx_, ws.xTrial_);
+            f(ws.xTrial_, ws.fTrial_);
+            ++res.counters.rhsEvals;
+            fnTrial = normInf(ws.fTrial_);
             if (std::isfinite(fnTrial) && (fnTrial < fn || opt.maxDampings == 0)) {
                 accepted = true;
                 break;
@@ -51,30 +67,50 @@ NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
             lambda *= 0.5;
         }
         if (!accepted) {
-            // Accept the most-damped step anyway if finite; otherwise fail.
+            if (stale) {
+                // The stale-Jacobian direction wasted the damping budget (or
+                // ran non-finite): refresh and redo from the same point.
+                ws.luValid_ = false;
+                continue;
+            }
             if (!std::isfinite(fnTrial)) {
-                res.residualNorm = fn;
-                res.message = "residual became non-finite";
+                finalize(false, fn, "residual became non-finite");
                 return res;
             }
+            // Accept the most-damped step anyway; record that the damping
+            // budget was exhausted so callers can see the solve struggled.
+            ++res.counters.dampingEvents;
         }
 
-        const double stepNorm = lambda * normInf(dx);
-        x = xTrial;
-        fx = std::move(fTrial);
+        const double stepNorm = lambda * normInf(ws.dx_);
+        x = ws.xTrial_;
+        std::swap(ws.fx_, ws.fTrial_);
+        const double fnOld = fn;
         fn = fnTrial;
 
+        if (opt.jacobianReuse) {
+            // Refresh next iteration when contraction degraded past the
+            // threshold or the step needed damping at all.
+            if (lambda < 1.0 || (fnOld > 0.0 && fn > opt.contractionTol * fnOld))
+                ws.luValid_ = false;
+        }
+
         if (stepNorm <= opt.stepTol * (normInf(x) + 1.0) && fn <= std::sqrt(opt.absTol)) {
-            res.converged = true;
-            res.residualNorm = fn;
-            res.message = "converged on step size";
+            finalize(true, fn, "converged on step size");
             return res;
         }
     }
-    res.converged = fn <= opt.absTol;
-    res.residualNorm = fn;
-    res.message = res.converged ? "converged on residual" : "max iterations reached";
+    finalize(fn <= opt.absTol, fn,
+             fn <= opt.absTol ? "converged on residual" : "max iterations reached");
     return res;
+}
+
+NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
+                         const NewtonOptions& opt) {
+    NewtonWorkspace ws;
+    const ResidualInPlaceFn fi = [&f](const Vec& xv, Vec& out) { out = f(xv); };
+    const JacobianInPlaceFn ji = [&jac](const Vec& xv, Matrix& out) { out = jac(xv); };
+    return newtonSolve(fi, ji, x, ws, opt);
 }
 
 Matrix fdJacobian(const ResidualFn& f, const Vec& x, double relStep) {

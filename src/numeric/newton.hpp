@@ -4,10 +4,30 @@
 // Used for DC operating points, implicit transient steps and PSS shooting.
 // The caller supplies residual and Jacobian callbacks; the solver owns the
 // damping / convergence policy.
+//
+// Two call styles:
+//   * the classic allocating interface (ResidualFn/JacobianFn returning
+//     fresh containers) — convenient for tests and one-off solves;
+//   * the hot-path interface: in-place callbacks writing into caller-owned
+//     buffers plus a NewtonWorkspace that preallocates every temporary
+//     (residual, step, trial point, Jacobian storage, LU scratch) and can be
+//     carried across solves — e.g. across the time steps of a transient —
+//     so the inner loop performs no heap allocation at all.
+//
+// Chord/bypass Newton (opt.jacobianReuse): the LU factorization of the
+// Jacobian is kept across iterations — and, via the persistent workspace,
+// across time steps — and only refreshed when the residual-norm contraction
+// rate degrades past opt.contractionTol (the classic SPICE "Jacobian
+// bypass").  A stale factorization still yields a descent-quality step on
+// the mildly nonlinear per-step systems of implicit integration; when it
+// does not, the damping loop fails, the factorization is invalidated and
+// the iteration is retried with a fresh Jacobian, so robustness matches
+// full Newton.
 
 #include <functional>
 #include <string>
 
+#include "numeric/counters.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
 
@@ -24,6 +44,14 @@ struct NewtonOptions {
     /// keep exponential/quadratic device models from overflowing).  <=0
     /// disables clamping.
     double maxStep = 0.0;
+    /// Chord/bypass Newton: reuse the Jacobian LU factorization across
+    /// iterations (and across solves sharing a workspace) while the residual
+    /// keeps contracting.  Off = classic full Newton (refactor every
+    /// iteration), which is bit-for-bit the historical behaviour.
+    bool jacobianReuse = false;
+    /// With jacobianReuse: refactorize when ||F_new|| / ||F_old|| exceeds
+    /// this contraction threshold (or when the step needed damping).
+    double contractionTol = 0.5;
 };
 
 struct NewtonResult {
@@ -31,6 +59,9 @@ struct NewtonResult {
     int iterations = 0;
     double residualNorm = 0.0;
     std::string message;
+    /// Work performed by this solve (rhsEvals/jacEvals/luFactorizations/
+    /// newtonIters/dampingEvents; step fields unused here).
+    SolverCounters counters;
 };
 
 /// Callback evaluating the residual F(x).
@@ -38,7 +69,38 @@ using ResidualFn = std::function<Vec(const Vec&)>;
 /// Callback evaluating the Jacobian dF/dx.
 using JacobianFn = std::function<Matrix(const Vec&)>;
 
-/// Solve F(x) = 0 starting from `x` (updated in place).
+/// In-place residual: write F(x) into `fx` (callback sizes the output).
+using ResidualInPlaceFn = std::function<void(const Vec& x, Vec& fx)>;
+/// In-place Jacobian: write dF/dx into `j` (callback sizes the output).
+using JacobianInPlaceFn = std::function<void(const Vec& x, Matrix& j)>;
+
+/// Preallocated scratch for newtonSolve.  Create once, pass to every solve
+/// in a loop; all buffers (and the Jacobian LU) are reused.  With
+/// NewtonOptions::jacobianReuse the LU carried here warm-starts the next
+/// solve (chord across time steps); call invalidateJacobian() whenever the
+/// underlying system changes shape or scaling (e.g. the step size changed).
+class NewtonWorkspace {
+public:
+    /// Drop the cached factorization (forces a fresh Jacobian next solve).
+    void invalidateJacobian() { luValid_ = false; }
+    bool hasFactorization() const { return luValid_; }
+
+private:
+    friend NewtonResult newtonSolve(const ResidualInPlaceFn&, const JacobianInPlaceFn&, Vec&,
+                                    NewtonWorkspace&, const NewtonOptions&);
+    Vec fx_, dx_, xTrial_, fTrial_;
+    Matrix jac_;
+    LuFactor lu_;
+    bool luValid_ = false;
+};
+
+/// Solve F(x) = 0 starting from `x` (updated in place), reusing `ws` for all
+/// temporaries.  Zero heap allocation once the workspace is warm.
+NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
+                         NewtonWorkspace& ws, const NewtonOptions& opt = {});
+
+/// Solve F(x) = 0 starting from `x` (updated in place).  Allocating
+/// convenience wrapper over the workspace interface.
 NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,
                          const NewtonOptions& opt = {});
 

@@ -115,6 +115,7 @@ OdeSolution1 rkf45Scalar(const OdeRhs1& f, double y0, double t0, double t1,
     const OdeSolution s = rkf45(wrap, Vec{y0}, t0, t1, opt);
     OdeSolution1 out;
     out.ok = s.ok;
+    out.rejectedSteps = s.rejectedSteps;
     out.t = s.t;
     out.y.reserve(s.y.size());
     for (const Vec& v : s.y) out.y.push_back(v[0]);

@@ -35,6 +35,7 @@ struct OdeSolution1 {
     Vec t;
     Vec y;
     bool ok = false;
+    std::size_t rejectedSteps = 0;
 };
 
 /// Adaptive Runge-Kutta-Fehlberg 4(5) over [t0, t1].

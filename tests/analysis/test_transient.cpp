@@ -139,6 +139,99 @@ TEST(Transient, ColumnExtraction) {
     EXPECT_DOUBLE_EQ(col[0], 1.0);
 }
 
+TEST(Transient, AdaptiveRcMeetsToleranceWithFewerSteps) {
+    // Linear RC discharge: the step-doubling LTE controller must keep the
+    // solution within tolerance of the analytic exponential while taking
+    // far fewer accepted steps than the fixed-dt run, growing h as the
+    // transient decays.
+    Netlist nl;
+    nl.addResistor("r", "n", "0", 1e3);
+    nl.addCapacitor("c", "n", "0", 1e-6);  // tau = 1 ms
+    ckt::Dae dae(nl);
+
+    TransientOptions fixed;
+    fixed.dt = 1e-6;  // 3000 fixed steps over 3 tau
+    const TransientResult rf = transient(dae, Vec{1.0}, 0.0, 3e-3, fixed);
+    ASSERT_TRUE(rf.ok) << rf.message;
+
+    TransientOptions ad = fixed;
+    ad.adaptive = true;
+    ad.lteRelTol = 1e-6;
+    ad.lteAbsTol = 1e-10;
+    const TransientResult ra = transient(dae, Vec{1.0}, 0.0, 3e-3, ad);
+    ASSERT_TRUE(ra.ok) << ra.message;
+
+    // Accuracy: every stored point near the analytic solution.
+    for (std::size_t i = 0; i < ra.t.size(); ++i)
+        EXPECT_NEAR(ra.x[i][0], std::exp(-ra.t[i] / 1e-3), 1e-4) << "t=" << ra.t[i];
+    // Efficiency: the controller grows h well past the fixed dt.
+    EXPECT_LT(ra.counters.steps * 4, rf.counters.steps);
+    // The endpoint is reached exactly.
+    EXPECT_NEAR(ra.t.back(), 3e-3, 1e-9);
+    EXPECT_NEAR(ra.x.back()[0], std::exp(-3.0), 1e-4);
+}
+
+TEST(Transient, AdaptiveRejectsOnSourceStep) {
+    // A sharp PWL edge must force step rejections (LTE spike) and the run
+    // must still track the response afterwards.
+    Netlist nl;
+    nl.addVoltageSource("v", "in", "0",
+                        Waveform::pwl({{0.0, 0.0}, {1e-3, 0.0}, {1.02e-3, 2.0}}));
+    nl.addResistor("r", "in", "n", 1e3);
+    nl.addCapacitor("c", "n", "0", 1e-6);
+    ckt::Dae dae(nl);
+    TransientOptions opt;
+    opt.dt = 1e-5;
+    opt.adaptive = true;
+    opt.dtMax = 2e-4;
+    const TransientResult r = transient(dae, Vec{0.0, 0.0, 0.0}, 0.0, 6e-3, opt);
+    ASSERT_TRUE(r.ok) << r.message;
+    EXPECT_GT(r.counters.rejectedSteps, 0u);
+    const int n = nl.findNode("n");
+    EXPECT_NEAR(r.x.back()[static_cast<std::size_t>(n)], 2.0 * (1.0 - std::exp(-5.0)), 5e-3);
+}
+
+TEST(Transient, DefaultCountersAreConsistent) {
+    Netlist nl;
+    nl.addResistor("r", "n", "0", 1e3);
+    nl.addCapacitor("c", "n", "0", 1e-6);
+    ckt::Dae dae(nl);
+    TransientOptions opt;
+    opt.dt = 1e-5;
+    const TransientResult r = transient(dae, Vec{1.0}, 0.0, 1e-3, opt);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.counters.steps, 100u);
+    EXPECT_EQ(r.counters.newtonIters, r.newtonIterationsTotal);
+    EXPECT_GE(r.counters.rhsEvals, r.counters.newtonIters);
+    // Full Newton: one factorization per Jacobian evaluation.
+    EXPECT_EQ(r.counters.jacEvals, r.counters.luFactorizations);
+    EXPECT_GT(r.counters.wallSeconds, 0.0);
+}
+
+TEST(Transient, ChordMatchesFullNewtonOnRc) {
+    // On a linear circuit the chord iteration is exact after the first
+    // factorization: identical trajectory, one LU for the whole run.
+    Netlist nl;
+    nl.addResistor("r", "n", "0", 1e3);
+    nl.addCapacitor("c", "n", "0", 1e-6);
+    ckt::Dae dae(nl);
+    TransientOptions full;
+    full.dt = 1e-5;
+    TransientOptions chord = full;
+    chord.newton.jacobianReuse = true;
+    const TransientResult rf = transient(dae, Vec{1.0}, 0.0, 2e-3, full);
+    const TransientResult rc = transient(dae, Vec{1.0}, 0.0, 2e-3, chord);
+    ASSERT_TRUE(rf.ok && rc.ok);
+    ASSERT_EQ(rf.t.size(), rc.t.size());
+    for (std::size_t i = 0; i < rf.t.size(); ++i)
+        EXPECT_NEAR(rc.x[i][0], rf.x[i][0], 1e-12);
+    // One factorization for the whole run, plus at most one more when the
+    // final step's h = t1 - tk differs from dt by rounding (the stepper
+    // correctly drops the chord LU on any step-size change).
+    EXPECT_LE(rc.counters.luFactorizations, 2u);
+    EXPECT_GT(rf.counters.luFactorizations, 100u);
+}
+
 TEST(Transient, AlgebraicNodeDoesNotRing) {
     // A node with no capacitance (op-amp summer internal node) must follow
     // its algebraic constraint without trapezoidal ringing after a source

@@ -101,6 +101,78 @@ TEST(Lu, SolveLinearConvenience) {
     EXPECT_FALSE(solveLinear(Matrix{{1, 1}, {1, 1}}, Vec{1, 1}).has_value());
 }
 
+TEST(Lu, RefactorReusesStorageAndMatchesFactor) {
+    LuFactor f;
+    EXPECT_FALSE(f.valid());
+    Matrix a{{2, 1}, {1, 3}};
+    ASSERT_TRUE(f.refactor(a));
+    EXPECT_TRUE(f.valid());
+    Vec x;
+    f.solveInto(Vec{3, 5}, x);
+    EXPECT_NEAR(x[0], 0.8, 1e-12);
+    EXPECT_NEAR(x[1], 1.4, 1e-12);
+
+    // Refactor a different same-size matrix in place.
+    Matrix b{{0, 1}, {1, 0}};
+    ASSERT_TRUE(f.refactor(b));
+    f.solveInto(Vec{2, 3}, x);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+
+    // A singular refactor invalidates the object.
+    Matrix s{{1, 2}, {2, 4}};
+    EXPECT_FALSE(f.refactor(s));
+    EXPECT_FALSE(f.valid());
+}
+
+TEST(Lu, SolveIntoMatchesSolveBitwise) {
+    std::mt19937 rng(11);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 6);
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng) + (r == c ? 3.0 : 0.0);
+        Vec b(n);
+        for (double& v : b) v = dist(rng);
+        auto f = LuFactor::factor(a);
+        ASSERT_TRUE(f.has_value());
+        const Vec x1 = f->solve(b);
+        Vec x2;
+        f->solveInto(b, x2);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x1[i], x2[i]);
+    }
+}
+
+TEST(Lu, SolveMatrixIntoMatchesColumnwiseSolves) {
+    // The blocked row-sweep multi-RHS path must agree with one triangular
+    // solve per column to the last bit (identical per-element op chains).
+    std::mt19937 rng(23);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 2 + static_cast<std::size_t>(trial % 7);
+        const std::size_t m = n + 1;  // PSS sensitivity shape
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng) + (r == c ? 3.0 : 0.0);
+        Matrix b(n, m);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < m; ++c) b(r, c) = dist(rng);
+        auto f = LuFactor::factor(a);
+        ASSERT_TRUE(f.has_value());
+        Matrix x;
+        f->solveMatrixInto(b, x);
+        ASSERT_EQ(x.rows(), n);
+        ASSERT_EQ(x.cols(), m);
+        Vec col(n), sol;
+        for (std::size_t c = 0; c < m; ++c) {
+            for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+            f->solveInto(col, sol);
+            for (std::size_t r = 0; r < n; ++r) EXPECT_DOUBLE_EQ(x(r, c), sol[r]);
+        }
+    }
+}
+
 TEST(Lu, RcondEstimateOrdersWellVsIllConditioned) {
     const double good = LuFactor::factor(Matrix::identity(3))->rcondEstimate();
     Matrix bad{{1, 0}, {0, 1e-10}};

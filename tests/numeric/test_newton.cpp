@@ -95,6 +95,132 @@ TEST(Newton, AlreadyConvergedReturnsImmediately) {
     EXPECT_EQ(r.iterations, 1);
 }
 
+TEST(Newton, DampingExhaustedFallbackIsCountedAndReported) {
+    // A constant nonzero residual can never shrink: every iteration burns
+    // the whole damping budget, accepts the most-damped step anyway, and
+    // must say so distinctly in the message and the counters.
+    const ResidualFn f = [](const Vec&) { return Vec{1.0}; };
+    const JacobianFn j = [](const Vec&) { return Matrix{{1.0}}; };
+    Vec x{0.0};
+    NewtonOptions opt;
+    opt.maxIter = 3;
+    opt.maxDampings = 2;
+    const NewtonResult r = newtonSolve(f, j, x, opt);
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(r.counters.dampingEvents, 3u);  // one per iteration
+    EXPECT_NE(r.message.find("damping exhausted"), std::string::npos) << r.message;
+}
+
+TEST(Newton, CleanFailureMessageHasNoDampingSuffix) {
+    const ResidualFn f = [](const Vec& x) { return Vec{x[0] * x[0] + 1.0}; };
+    const JacobianFn j = [](const Vec&) { return Matrix{{0.0}}; };
+    Vec x{1.0};
+    const NewtonResult r = newtonSolve(f, j, x);
+    EXPECT_EQ(r.counters.dampingEvents, 0u);
+    EXPECT_EQ(r.message, "singular Jacobian");
+}
+
+TEST(Newton, WorkspaceOverloadMatchesAllocatingOverload) {
+    const auto resid = [](const Vec& v) {
+        return Vec{v[0] * v[0] + v[1] * v[1] - 1.0, v[1] - v[0]};
+    };
+    const auto jacob = [](const Vec& v) {
+        return Matrix{{2.0 * v[0], 2.0 * v[1]}, {-1.0, 1.0}};
+    };
+    Vec xa{1.0, 0.5};
+    const NewtonResult ra = newtonSolve(ResidualFn(resid), JacobianFn(jacob), xa);
+
+    const ResidualInPlaceFn fi = [&resid](const Vec& v, Vec& out) { out = resid(v); };
+    const JacobianInPlaceFn ji = [&jacob](const Vec& v, Matrix& out) { out = jacob(v); };
+    NewtonWorkspace ws;
+    Vec xw{1.0, 0.5};
+    const NewtonResult rw = newtonSolve(fi, ji, xw, ws);
+
+    EXPECT_TRUE(ra.converged && rw.converged);
+    EXPECT_EQ(ra.iterations, rw.iterations);
+    EXPECT_DOUBLE_EQ(xa[0], xw[0]);
+    EXPECT_DOUBLE_EQ(xa[1], xw[1]);
+}
+
+TEST(Newton, ChordReusesFactorizationAcrossSolves) {
+    // Linear system: the first solve factorizes once; a second solve through
+    // the same workspace in chord mode reuses the LU and evaluates no
+    // Jacobian at all.
+    int jacCalls = 0;
+    const ResidualInPlaceFn f = [](const Vec& v, Vec& out) {
+        out.resize(2);
+        out[0] = 2.0 * v[0] + v[1] - 3.0;
+        out[1] = v[0] + 3.0 * v[1] - 5.0;
+    };
+    const JacobianInPlaceFn j = [&jacCalls](const Vec&, Matrix& out) {
+        ++jacCalls;
+        out = Matrix{{2.0, 1.0}, {1.0, 3.0}};
+    };
+    NewtonOptions opt;
+    opt.jacobianReuse = true;
+    NewtonWorkspace ws;
+    Vec x{0.0, 0.0};
+    const NewtonResult r1 = newtonSolve(f, j, x, ws, opt);
+    ASSERT_TRUE(r1.converged);
+    EXPECT_EQ(jacCalls, 1);
+    EXPECT_TRUE(ws.hasFactorization());
+
+    Vec y{10.0, -7.0};
+    const NewtonResult r2 = newtonSolve(f, j, y, ws, opt);
+    ASSERT_TRUE(r2.converged);
+    EXPECT_EQ(jacCalls, 1);  // carried across solves
+    EXPECT_EQ(r2.counters.luFactorizations, 0u);
+    EXPECT_NEAR(y[0], 0.8, 1e-9);
+    EXPECT_NEAR(y[1], 1.4, 1e-9);
+}
+
+TEST(Newton, ChordConvergesOnNonlinearProblem) {
+    // x^2 = 4: the chord iteration with the x0-Jacobian contracts linearly;
+    // the engine must refresh when contraction degrades and still land on
+    // the root.
+    const ResidualInPlaceFn f = [](const Vec& v, Vec& out) {
+        out.resize(1);
+        out[0] = v[0] * v[0] - 4.0;
+    };
+    const JacobianInPlaceFn j = [](const Vec& v, Matrix& out) {
+        out.resize(1, 1);
+        out(0, 0) = 2.0 * v[0];
+    };
+    NewtonOptions opt;
+    opt.jacobianReuse = true;
+    NewtonWorkspace ws;
+    Vec x{3.0};
+    const NewtonResult r = newtonSolve(f, j, x, ws, opt);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(x[0], 2.0, 1e-8);
+    // Fewer factorizations than iterations is the whole point.
+    EXPECT_LT(r.counters.luFactorizations, static_cast<std::size_t>(r.iterations));
+}
+
+TEST(Newton, InvalidateJacobianForcesRefresh) {
+    int jacCalls = 0;
+    const ResidualInPlaceFn f = [](const Vec& v, Vec& out) {
+        out.resize(1);
+        out[0] = v[0] - 1.0;
+    };
+    const JacobianInPlaceFn j = [&jacCalls](const Vec&, Matrix& out) {
+        ++jacCalls;
+        out.resize(1, 1);
+        out(0, 0) = 1.0;
+    };
+    NewtonOptions opt;
+    opt.jacobianReuse = true;
+    NewtonWorkspace ws;
+    Vec x{5.0};
+    newtonSolve(f, j, x, ws, opt);
+    EXPECT_EQ(jacCalls, 1);
+    ws.invalidateJacobian();
+    EXPECT_FALSE(ws.hasFactorization());
+    Vec y{5.0};
+    newtonSolve(f, j, y, ws, opt);
+    EXPECT_EQ(jacCalls, 2);
+}
+
 TEST(FdJacobian, MatchesAnalyticOnSmoothSystem) {
     const ResidualFn f = [](const Vec& v) {
         return Vec{std::sin(v[0]) + v[1] * v[1], v[0] * v[1]};
