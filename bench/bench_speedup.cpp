@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "analysis/dcop.hpp"
@@ -27,6 +28,8 @@
 #include "core/gae_sweep.hpp"
 #include "core/gae_transient.hpp"
 #include "core/noise.hpp"
+#include "io/checkpoint.hpp"
+#include "io/model_cache.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/parallel.hpp"
 #include "phlogon/encoding.hpp"
@@ -280,6 +283,75 @@ void reportSolverStrategies() {
     std::printf("   the adaptive row trades LTE-controlled accuracy for fewer steps)\n\n");
 }
 
+// ---------------------------------------------------------------------------
+// Artifact cache & checkpointing (io/): cold-vs-warm extraction cost and the
+// overhead of periodic solver snapshots plus a restore.
+
+void reportCacheAndCheckpoint() {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "phlogon_bench_cache";
+    fs::remove_all(dir);
+    const io::ArtifactCache cache(dir);
+
+    // Cold vs warm PSS+PPV characterization through the content-addressed
+    // cache (the latch_design / serial_adder_fsm startup cost).
+    ckt::Netlist nl;
+    ckt::buildRingOscillator(nl, "osc", ckt::RingOscSpec{});
+    ckt::Dae dae(nl);
+    const an::PssOptions pssOpt = logic::RingOscCharacterization::defaultPssOptions();
+    const auto charMs = [&] {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = io::characterizeCached(dae, nl, pssOpt, {}, cache);
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                .count();
+        return std::pair<double, io::CachedCharacterization>(ms, r);
+    };
+    const auto [coldMs, cold] = charMs();
+    const auto [warmMs, warm] = charMs();
+    std::printf("Artifact cache: ring-oscillator PSS+PPV characterization (key %016llx):\n",
+                static_cast<unsigned long long>(cold.key));
+    std::printf("  cold (%-4s): %8.2f ms  (%zu extraction LU factorizations)\n",
+                io::cacheOutcomeName(cold.outcome).c_str(), coldMs,
+                cold.value.pss.counters.luFactorizations);
+    std::printf("  warm (%-4s): %8.2f ms  (%zu extraction LU factorizations) -> speedup x%.1f\n",
+                io::cacheOutcomeName(warm.outcome).c_str(), warmMs,
+                warm.value.pss.counters.luFactorizations, coldMs / warmMs);
+
+    // Checkpoint overhead: the D-latch SPICE transient with and without
+    // periodic snapshots, then a restore from the surviving snapshot.
+    const double cycles = smokeMode() ? 6.0 : 40.0;
+    LatchWorkload w(cycles);
+    an::TransientOptions opt;
+    opt.dt = w.dt;
+    opt.storeEvery = 16;
+    const auto wallMs = [&](const an::TransientOptions& o) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = an::transient(w.dae, w.x0, 0.0, w.t1, o);
+        benchmark::DoNotOptimize(r.ok);
+        return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    wallMs(opt);  // warm up
+    const double plainMs = wallMs(opt);
+    an::TransientOptions ckOpt = opt;
+    ckOpt.checkpoint.interval = w.t1 / 10.0;  // ~10 snapshots over the run
+    ckOpt.checkpoint.path = dir / "latch.ckpt.phlg";
+    const double ckMs = wallMs(ckOpt);
+    const auto resumeT0 = std::chrono::steady_clock::now();
+    const auto resumed = io::resumeTransient(w.dae, ckOpt.checkpoint.path, w.t1, opt);
+    const double resumeMs =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - resumeT0)
+            .count();
+    std::printf("Checkpointing: D-latch SPICE transient, %.0f cycles, ~10 snapshots:\n", cycles);
+    std::printf("  no checkpoints:   %8.2f ms\n", plainMs);
+    std::printf("  with checkpoints: %8.2f ms  -> overhead %+.1f%%\n", ckMs,
+                100.0 * (ckMs - plainMs) / plainMs);
+    std::printf("  resume last snapshot -> t1: %8.2f ms (%s)\n\n", resumeMs,
+                resumed.ok ? "bit-identical tail" : "FAILED");
+    fs::remove_all(dir);
+}
+
 void BM_LatchSpiceTransient(benchmark::State& state) {
     const auto& d = bench::design100();
     ckt::Netlist nl;
@@ -444,6 +516,7 @@ int main(int argc, char** argv) {
     std::printf("and the non-averaged phase system to sit in between.\n\n");
     reportSweepSpeedup();
     reportSolverStrategies();
+    reportCacheAndCheckpoint();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -20,9 +20,14 @@ int main() {
     // ---- 1. Characterize the oscillator ---------------------------------
     std::printf("== stage 1: oscillator characterization ==\n");
     const auto osc = logic::RingOscCharacterization::run(ckt::RingOscSpec{});
-    std::printf("f0 = %.4f kHz, PPV |V1| = %.0f, |V2| = %.0f\n\n", osc.f0() / 1e3,
+    std::printf("f0 = %.4f kHz, PPV |V1| = %.0f, |V2| = %.0f\n", osc.f0() / 1e3,
                 osc.model().ppvHarmonic(osc.outputUnknown(), 1),
                 osc.model().ppvHarmonic(osc.outputUnknown(), 2));
+    // Greppable cache status: a warm PHLOGON_CACHE_DIR run reports "hit" with
+    // zero extraction work (the CI cache-effectiveness job asserts on this).
+    std::printf("characterization cache: %s (extraction LU factorizations = %zu)\n\n",
+                io::cacheOutcomeName(osc.cacheOutcome()).c_str(),
+                osc.pss().counters.luFactorizations);
 
     // ---- 2. Attach SYNC: bit storage ------------------------------------
     std::printf("== stage 2: SYNC and bit storage ==\n");

@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
 
     // Characterize the oscillator and design the latch (FSM-strength SYNC).
     const auto osc = logic::RingOscCharacterization::run(ckt::RingOscSpec{});
+    std::printf("characterization cache: %s (extraction LU factorizations = %zu)\n",
+                io::cacheOutcomeName(osc.cacheOutcome()).c_str(),
+                osc.pss().counters.luFactorizations);
     const auto design = logic::designSyncLatch(osc.model(), osc.outputUnknown(), 9.6e3, 300e-6);
     const auto& ref = design.reference;
 

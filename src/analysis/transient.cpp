@@ -6,6 +6,7 @@
 
 #include "analysis/step_solver.hpp"
 #include "analysis/trap_util.hpp"
+#include "io/checkpoint.hpp"
 
 namespace phlogon::an {
 
@@ -34,10 +35,23 @@ Vec TransientResult::column(std::size_t idx) const {
 
 TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
                           const TransientOptions& opt) {
+    TransientResumeState st;
+    st.t0 = t0;
+    st.t = t0;
+    st.x = x0;
+    return transientResumed(dae, st, t1, opt);
+}
+
+TransientResult transientResumed(const Dae& dae, const TransientResumeState& st, double t1,
+                                 const TransientOptions& opt) {
     const auto wallStart = std::chrono::steady_clock::now();
+    const double t0 = st.t0;
     TransientResult res;
-    const auto finish = [&res, wallStart] {
+    res.counters = st.counters;
+    const double wall0 = st.counters.wallSeconds;
+    const auto finish = [&res, wallStart, wall0] {
         res.counters.wallSeconds =
+            wall0 +
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
         res.newtonIterationsTotal = res.counters.newtonIters;
     };
@@ -46,23 +60,44 @@ TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
         finish();
         return res;
     }
-    Vec xk = x0;
+    Vec xk = st.x;
+    double tk = st.t;
     Vec qk, fk;
-    dae.eval(t0, xk, qk, fk, nullptr, nullptr);
-    ++res.counters.rhsEvals;
-    const std::vector<bool> alg = detail::algebraicRows(dae.evalC(t0, xk));
+    // Re-derive the old-point charges/currents.  The stepper's q1()/f1() are
+    // themselves a fresh dae.eval at the accepted point, so this reproduces
+    // them bitwise on resume; it only counts as work on a fresh start.
+    dae.eval(tk, xk, qk, fk, nullptr, nullptr);
+    if (st.stepIndex == 0) ++res.counters.rhsEvals;
+    const std::vector<bool> alg = detail::algebraicRows(dae.evalC(tk, xk));
     detail::ImplicitStepper stepper(dae, opt.method == IntegrationMethod::Trapezoidal, alg);
-    double tk = t0;
     res.t.push_back(tk);
     res.x.push_back(xk);
 
     Vec xNew;
-    std::size_t stepIndex = 0;
+    std::size_t stepIndex = static_cast<std::size_t>(st.stepIndex);
     const auto store = [&](double t, const Vec& x, bool force) {
         if (force || stepIndex % opt.storeEvery == 0 || t >= t1 - 1e-18) {
             res.t.push_back(t);
             res.x.push_back(x);
         }
+    };
+
+    double lastSnapshotT = tk;
+    const auto snapshot = [&](double hNext) {
+        if (!opt.checkpoint.enabled() || tk - lastSnapshotT < opt.checkpoint.interval) return;
+        io::TransientCheckpoint c;
+        c.t0 = t0;
+        c.t1 = t1;
+        c.t = tk;
+        c.h = hNext;
+        c.stepIndex = stepIndex;
+        c.x = xk;
+        c.counters = res.counters;
+        c.counters.wallSeconds =
+            wall0 +
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        io::saveTransientCheckpoint(opt.checkpoint.path, c);
+        lastSnapshotT = tk;
     };
 
     if (!opt.adaptive) {
@@ -92,6 +127,7 @@ TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
             ++stepIndex;
             ++res.counters.steps;
             store(tk, xk, false);
+            snapshot(0.0);
         }
         res.ok = true;
         res.message = "ok";
@@ -107,7 +143,10 @@ TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
     const double dtMax = opt.dtMax > 0 ? opt.dtMax : span;
     const double order = opt.method == IntegrationMethod::Trapezoidal ? 2.0 : 1.0;
     const double lteFactor = 1.0 / (std::pow(2.0, order) - 1.0);
-    double h = std::clamp(opt.dt, dtMin, dtMax);
+    // A checkpointed h was saved post-clamp with the same span-derived
+    // bounds, so re-clamping is the identity and the resumed controller
+    // state matches the uninterrupted run's exactly.
+    double h = std::clamp(st.h > 0 ? st.h : opt.dt, dtMin, dtMax);
     Vec xBig, qMid, fMid;
     int consecutiveFailures = 0;
     while (t1 - tk > 1e-12 * span) {
@@ -159,6 +198,7 @@ TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
         const double grow =
             errNorm > 0.0 ? 0.9 * std::pow(errNorm, -1.0 / (order + 1.0)) : 4.0;
         h = std::clamp(h * std::clamp(grow, 0.2, 4.0), dtMin, dtMax);
+        snapshot(h);
     }
     if (res.t.back() < t1 - 1e-18) store(tk, xk, true);
     res.ok = true;

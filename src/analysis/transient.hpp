@@ -18,6 +18,8 @@
 // [dtMin, dtMax]) when the solution is smooth.  Off by default so all
 // golden figure outputs remain bit-stable.
 
+#include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <string>
 
@@ -32,6 +34,17 @@ using num::Matrix;
 using num::Vec;
 
 enum class IntegrationMethod { BackwardEuler, Trapezoidal };
+
+/// Periodic solver-state snapshots (io/checkpoint.hpp artifact): every
+/// `interval` of simulated time, after an accepted step, the current
+/// (t, x, step size, stepIndex, counters) is written atomically to `path`.
+/// io::resumeTransient() restarts from the snapshot and reproduces the
+/// uninterrupted run's remaining trajectory bit-for-bit.
+struct CheckpointOptions {
+    double interval = 0.0;        ///< simulated seconds between snapshots; <= 0 disables
+    std::filesystem::path path;   ///< snapshot file, rewritten in place (atomic)
+    bool enabled() const { return interval > 0.0 && !path.empty(); }
+};
 
 struct TransientOptions {
     double dt = 0.0;  ///< fixed time step (adaptive: initial step); required (> 0)
@@ -51,6 +64,9 @@ struct TransientOptions {
     double dtMax = 0.0;      ///< upper step bound; 0 = unlimited (the span)
     double lteRelTol = 1e-5; ///< relative LTE tolerance per step
     double lteAbsTol = 1e-9; ///< absolute LTE floor (state units)
+
+    /// Optional periodic checkpointing (disabled by default).
+    CheckpointOptions checkpoint;
 };
 
 struct TransientResult {
@@ -70,5 +86,26 @@ struct TransientResult {
 /// Integrate the DAE from consistent initial state x0 over [t0, t1].
 TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
                           const TransientOptions& opt);
+
+/// Mid-run integration state, as captured in a checkpoint.  `t0` is the
+/// original span start (the adaptive path derives dtMin/dtMax defaults from
+/// t1 - t0); `h` is the adaptive next-step proposal (ignored by the
+/// fixed-step path); `stepIndex` preserves the storeEvery phase.
+struct TransientResumeState {
+    double t0 = 0.0;
+    double t = 0.0;
+    Vec x;
+    double h = 0.0;
+    std::uint64_t stepIndex = 0;
+    num::SolverCounters counters;
+};
+
+/// Continue an integration from `st` to t1.  With `st` taken from a
+/// checkpoint written after an accepted step, the produced points and final
+/// state are bit-identical to the tail of the uninterrupted run (the result
+/// starts at the checkpoint point).  transient() is this with a fresh state;
+/// io::resumeTransient() binds it to checkpoint files.
+TransientResult transientResumed(const Dae& dae, const TransientResumeState& st, double t1,
+                                 const TransientOptions& opt);
 
 }  // namespace phlogon::an

@@ -26,6 +26,11 @@ void Resistor::eval(double /*t*/, const Vec& x, Stamps& s) const {
     s.addG(b_, b_, g_);
 }
 
+std::string Resistor::canonicalDesc() const {
+    return "R " + name() + " " + std::to_string(a_) + " " + std::to_string(b_) + " " +
+           canonNum(r_);
+}
+
 Capacitor::Capacitor(std::string name, int a, int b, double farads)
     : Device(std::move(name)), a_(a), b_(b), c_(farads) {
     if (!(farads > 0)) throw std::invalid_argument("Capacitor: non-positive capacitance");
@@ -40,6 +45,11 @@ void Capacitor::eval(double /*t*/, const Vec& x, Stamps& s) const {
     s.addC(a_, b_, -c_);
     s.addC(b_, a_, -c_);
     s.addC(b_, b_, c_);
+}
+
+std::string Capacitor::canonicalDesc() const {
+    return "C " + name() + " " + std::to_string(a_) + " " + std::to_string(b_) + " " +
+           canonNum(c_);
 }
 
 Inductor::Inductor(std::string name, int a, int b, double henries)
@@ -60,6 +70,11 @@ void Inductor::eval(double /*t*/, const Vec& x, Stamps& s) const {
     s.addF(br_, -(nodeVoltage(x, a_) - nodeVoltage(x, b_)));
     s.addG(br_, a_, -1.0);
     s.addG(br_, b_, 1.0);
+}
+
+std::string Inductor::canonicalDesc() const {
+    return "L " + name() + " " + std::to_string(a_) + " " + std::to_string(b_) + " " +
+           std::to_string(br_) + " " + canonNum(l_);
 }
 
 NonlinearConductance::NonlinearConductance(std::string name, int a, int b, Vec coeffs)
@@ -83,6 +98,12 @@ void NonlinearConductance::eval(double /*t*/, const Vec& x, Stamps& s) const {
     s.addG(a_, b_, -di);
     s.addG(b_, a_, -di);
     s.addG(b_, b_, di);
+}
+
+std::string NonlinearConductance::canonicalDesc() const {
+    std::string s = "GNL " + name() + " " + std::to_string(a_) + " " + std::to_string(b_);
+    for (double c : coeffs_) s += " " + canonNum(c);
+    return s;
 }
 
 TimeSwitch::TimeSwitch(std::string name, int a, int b, ControlFn on, double ron, double roff)

@@ -20,10 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include "numeric/canon.hpp"
 #include "numeric/matrix.hpp"
 
 namespace phlogon::ckt {
 
+using num::canonNum;
 using num::Matrix;
 using num::Vec;
 
@@ -85,6 +87,14 @@ public:
     /// Accumulate q, f and (optionally) C, G at state x, time t.
     virtual void eval(double t, const Vec& x, Stamps& s) const = 0;
 
+    /// Canonical one-line description of this device — type, terminals and
+    /// every behaviour-determining parameter, with doubles in exact bit form
+    /// (canonNum).  Empty means the device cannot be described canonically
+    /// (it holds an opaque std::function, e.g. a custom waveform or switch
+    /// control), which makes the owning netlist non-cacheable: the artifact
+    /// cache then recomputes instead of risking a stale hit.
+    virtual std::string canonicalDesc() const { return {}; }
+
 private:
     std::string name_;
 };
@@ -94,6 +104,7 @@ class Resistor : public Device {
 public:
     Resistor(std::string name, int a, int b, double ohms);
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     double resistance() const { return r_; }
     void setResistance(double ohms);
 
@@ -107,6 +118,7 @@ class Capacitor : public Device {
 public:
     Capacitor(std::string name, int a, int b, double farads);
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     double capacitance() const { return c_; }
 
 private:
@@ -124,6 +136,7 @@ public:
     void setBranchIndex(int idx) override { br_ = idx; }
     int branchIndex() const { return br_; }
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
 
 private:
     int a_, b_;
@@ -139,6 +152,7 @@ class NonlinearConductance : public Device {
 public:
     NonlinearConductance(std::string name, int a, int b, Vec coeffs);
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
 
 private:
     int a_, b_;

@@ -88,4 +88,11 @@ void Mosfet::eval(double /*t*/, const Vec& x, Stamps& st) const {
     st.addG(s_, s_, c.gm + c.gds);
 }
 
+std::string Mosfet::canonicalDesc() const {
+    return std::string("M ") + name() + " " + (pol_ == MosPolarity::Nmos ? "n" : "p") + " " +
+           std::to_string(d_) + " " + std::to_string(g_) + " " + std::to_string(s_) + " " +
+           canonNum(params_.vt0) + " " + canonNum(params_.kp) + " " + canonNum(params_.lambda) +
+           " " + canonNum(params_.smoothing) + " " + canonNum(params_.m);
+}
+
 }  // namespace phlogon::ckt

@@ -39,6 +39,7 @@ class Mosfet : public Device {
 public:
     Mosfet(std::string name, MosPolarity pol, int d, int g, int s, MosfetParams params = {});
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     const MosfetParams& params() const { return params_; }
 
 private:

@@ -117,4 +117,15 @@ Device* Netlist::findDevice(const std::string& name) const {
     return nullptr;
 }
 
+std::string Netlist::canonicalForm() const {
+    std::string out = "phlogon-netlist";
+    for (const std::string& n : unknownNames_) out += "\nx " + n;
+    for (const auto& d : devices_) {
+        const std::string desc = d->canonicalDesc();
+        if (desc.empty()) return {};
+        out += "\n" + desc;
+    }
+    return out;
+}
+
 }  // namespace phlogon::ckt

@@ -61,6 +61,13 @@ public:
     const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
     Device* findDevice(const std::string& name) const;
 
+    /// Canonical textual form of the whole circuit: one line per unknown name
+    /// followed by one line per device (Device::canonicalDesc), in allocation
+    /// order.  Returns "" when any device cannot describe itself canonically
+    /// (opaque std::function parameters) — callers must treat an empty form
+    /// as "not cacheable" and recompute.
+    std::string canonicalForm() const;
+
 private:
     template <class T, class... Args>
     T& emplaceDevice(Args&&... args);

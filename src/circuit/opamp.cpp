@@ -35,4 +35,11 @@ void Opamp::eval(double /*t*/, const Vec& x, Stamps& s) const {
     s.addG(out_, inN_, dEdVd * gOut);
 }
 
+std::string Opamp::canonicalDesc() const {
+    return "OP " + name() + " " + std::to_string(inP_) + " " + std::to_string(inN_) + " " +
+           std::to_string(out_) + " " + canonNum(params_.gain) + " " + canonNum(params_.vMin) +
+           " " + canonNum(params_.vMax) + " " + canonNum(params_.rout) + " " +
+           canonNum(params_.railSlope);
+}
+
 }  // namespace phlogon::ckt

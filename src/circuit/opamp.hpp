@@ -30,6 +30,7 @@ class Opamp : public Device {
 public:
     Opamp(std::string name, int inP, int inN, int out, OpampParams params = {});
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     const OpampParams& params() const { return params_; }
 
     /// Internal (pre-Rout) output voltage at differential input vd; exposed

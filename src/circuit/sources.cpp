@@ -12,11 +12,13 @@ constexpr double kTwoPi = 2.0 * std::numbers::pi;
 }
 
 Waveform Waveform::dc(double value) {
-    return Waveform([value](double) { return value; });
+    return Waveform([value](double) { return value; }, "dc " + canonNum(value));
 }
 
 Waveform Waveform::cosine(double amp, double freqHz, double phaseCycles, double offset) {
-    return Waveform([=](double t) { return offset + amp * std::cos(kTwoPi * (freqHz * t - phaseCycles)); });
+    return Waveform([=](double t) { return offset + amp * std::cos(kTwoPi * (freqHz * t - phaseCycles)); },
+                    "cos " + canonNum(amp) + " " + canonNum(freqHz) + " " + canonNum(phaseCycles) +
+                        " " + canonNum(offset));
 }
 
 Waveform Waveform::scheduledCosine(Fn ampAt, double freqHz, Fn phaseAt, double offset) {
@@ -29,6 +31,8 @@ Waveform Waveform::custom(Fn fn) { return Waveform(std::move(fn)); }
 
 Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
     if (points.empty()) throw std::invalid_argument("Waveform::pwl: empty point list");
+    std::string desc = "pwl";
+    for (const auto& [t, v] : points) desc += " " + canonNum(t) + " " + canonNum(v);
     return Waveform([pts = std::move(points)](double t) {
         if (t <= pts.front().first) return pts.front().second;
         if (t >= pts.back().first) return pts.back().second;
@@ -39,7 +43,7 @@ Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
         const double dt = hi.first - lo.first;
         const double f = dt > 0 ? (t - lo.first) / dt : 0.0;
         return lo.second + f * (hi.second - lo.second);
-    });
+    }, std::move(desc));
 }
 
 Waveform::Fn stepSchedule(double before, double after, double tStep) {
@@ -65,6 +69,12 @@ void CurrentSource::eval(double t, const Vec& /*x*/, Stamps& s) const {
     s.addF(n_, -i);
 }
 
+std::string CurrentSource::canonicalDesc() const {
+    if (w_.description().empty()) return {};
+    return "I " + name() + " " + std::to_string(p_) + " " + std::to_string(n_) + " " +
+           w_.description();
+}
+
 VoltageSource::VoltageSource(std::string name, int p, int n, Waveform w)
     : Device(std::move(name)), p_(p), n_(n), w_(std::move(w)) {}
 
@@ -79,6 +89,12 @@ void VoltageSource::eval(double t, const Vec& x, Stamps& s) const {
     s.addF(br_, nodeVoltage(x, p_) - nodeVoltage(x, n_) - w_(t));
     s.addG(br_, p_, 1.0);
     s.addG(br_, n_, -1.0);
+}
+
+std::string VoltageSource::canonicalDesc() const {
+    if (w_.description().empty()) return {};
+    return "V " + name() + " " + std::to_string(p_) + " " + std::to_string(n_) + " " +
+           std::to_string(br_) + " " + w_.description();
 }
 
 }  // namespace phlogon::ckt

@@ -35,9 +35,17 @@ public:
 
     double operator()(double t) const { return fn_(t); }
 
+    /// Canonical textual form of this waveform (parameters in exact bit form,
+    /// see canonNum).  Set only by the closed-form factories dc/cosine/pwl;
+    /// empty for custom/scheduledCosine, whose opaque std::functions cannot
+    /// be fingerprinted — sources carrying such waveforms make their netlist
+    /// non-cacheable (Device::canonicalDesc).
+    const std::string& description() const { return desc_; }
+
 private:
-    explicit Waveform(Fn fn) : fn_(std::move(fn)) {}
+    explicit Waveform(Fn fn, std::string desc = {}) : fn_(std::move(fn)), desc_(std::move(desc)) {}
     Fn fn_;
+    std::string desc_;
 };
 
 /// Step function helper: returns a schedule that is `before` for t < tStep
@@ -55,6 +63,7 @@ class CurrentSource : public Device {
 public:
     CurrentSource(std::string name, int p, int n, Waveform w);
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     double value(double t) const { return w_(t); }
 
 private:
@@ -70,6 +79,7 @@ public:
     void setBranchIndex(int idx) override { br_ = idx; }
     int branchIndex() const { return br_; }
     void eval(double t, const Vec& x, Stamps& s) const override;
+    std::string canonicalDesc() const override;
     double value(double t) const { return w_(t); }
 
 private:

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/gae_sweep.hpp"
+#include "io/checkpoint.hpp"
 
 namespace phlogon::core {
 
@@ -22,7 +23,16 @@ double GaeTransientResult::at(double tq) const {
 
 GaeTransientResult gaeTransient(const PpvModel& model, double f1,
                                 const std::vector<GaeSegment>& schedule, double dphi0, double t0,
-                                double t1, const num::OdeOptions& opt, std::size_t gridSize) {
+                                double t1, const num::OdeOptions& opt, std::size_t gridSize,
+                                const GaeCheckpointOptions& checkpoint) {
+    return gaeTransientFrom(model, f1, schedule, dphi0, t0, t1, opt, gridSize, checkpoint, 0.0);
+}
+
+GaeTransientResult gaeTransientFrom(const PpvModel& model, double f1,
+                                    const std::vector<GaeSegment>& schedule, double phi0,
+                                    double tStart, double t1, const num::OdeOptions& opt,
+                                    std::size_t gridSize, const GaeCheckpointOptions& checkpoint,
+                                    double firstSegInitialStep) {
     const auto wallStart = std::chrono::steady_clock::now();
     GaeTransientResult res;
     const auto finish = [&res, wallStart] {
@@ -34,11 +44,13 @@ GaeTransientResult gaeTransient(const PpvModel& model, double f1,
         if (schedule[i].tStart < schedule[i - 1].tStart)
             throw std::invalid_argument("gaeTransient: schedule not sorted");
 
-    double tCur = t0;
-    double phiCur = dphi0;
+    double tCur = tStart;
+    double phiCur = phi0;
     res.t.push_back(tCur);
     res.dphi.push_back(phiCur);
 
+    bool firstIntegratedSegment = true;
+    double lastSnapshotT = tCur;
     for (std::size_t s = 0; s < schedule.size(); ++s) {
         const double segEnd = (s + 1 < schedule.size()) ? std::min(schedule[s + 1].tStart, t1) : t1;
         if (segEnd <= tCur) continue;
@@ -51,7 +63,30 @@ GaeTransientResult gaeTransient(const PpvModel& model, double f1,
             ++cnt.rhsEvals;
             return gae.rhs(phi);
         };
-        const num::OdeSolution1 sol = num::rkf45Scalar(rhs, phiCur, tCur, segEnd, opt);
+        num::OdeOptions segOpt = opt;
+        if (firstIntegratedSegment && firstSegInitialStep > 0)
+            segOpt.initialStep = firstSegInitialStep;
+        firstIntegratedSegment = false;
+        std::size_t segAccepted = 0;
+        if (checkpoint.enabled()) {
+            // The snapshot hook never perturbs the numerics: it only
+            // observes accepted (t, dphi, hNext) triples.
+            segOpt.onAccept = [&](double t, const Vec& y, double hNext) {
+                ++segAccepted;
+                if (opt.onAccept) opt.onAccept(t, y, hNext);
+                if (t - lastSnapshotT >= checkpoint.interval) {
+                    io::GaeCheckpoint c;
+                    c.t = t;
+                    c.dphi = y[0];
+                    c.h = hNext;
+                    c.counters = res.counters;
+                    c.counters.steps += segAccepted;
+                    io::saveGaeCheckpoint(checkpoint.path, c);
+                    lastSnapshotT = t;
+                }
+            };
+        }
+        const num::OdeSolution1 sol = num::rkf45Scalar(rhs, phiCur, tCur, segEnd, segOpt);
         res.counters.rejectedSteps += sol.rejectedSteps;
         if (sol.t.size() > 1) res.counters.steps += sol.t.size() - 1;
         if (!sol.ok) {

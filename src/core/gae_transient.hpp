@@ -4,6 +4,7 @@
 // injection sets (logic inputs flip phase / switch on and off as piecewise
 // events, and g changes with them).
 
+#include <filesystem>
 #include <vector>
 
 #include "core/gae.hpp"
@@ -16,6 +17,17 @@ namespace phlogon::core {
 struct GaeSegment {
     double tStart = 0.0;
     std::vector<Injection> injections;
+};
+
+/// Periodic snapshots of the GAE integration (io/checkpoint.hpp artifact):
+/// every `interval` of simulated time, after an accepted RK step, the
+/// current (t, dphi, next step size, counters) is written atomically to
+/// `path`.  io::resumeGaeTransient() restarts from the snapshot and
+/// reproduces the uninterrupted trajectory bit-for-bit.
+struct GaeCheckpointOptions {
+    double interval = 0.0;       ///< simulated seconds between snapshots; <= 0 disables
+    std::filesystem::path path;  ///< snapshot file, rewritten in place (atomic)
+    bool enabled() const { return interval > 0.0 && !path.empty(); }
 };
 
 struct GaeTransientResult {
@@ -37,7 +49,19 @@ struct GaeTransientResult {
 GaeTransientResult gaeTransient(const PpvModel& model, double f1,
                                 const std::vector<GaeSegment>& schedule, double dphi0, double t0,
                                 double t1, const num::OdeOptions& opt = {},
-                                std::size_t gridSize = 1024);
+                                std::size_t gridSize = 1024,
+                                const GaeCheckpointOptions& checkpoint = {});
+
+/// Shared engine behind gaeTransient and io::resumeGaeTransient: integrate
+/// from (tStart, phi0), skipping schedule segments that end at or before
+/// tStart.  `firstSegInitialStep` (> 0) overrides the RK initial step inside
+/// the segment containing tStart — passing a checkpoint's saved step there
+/// makes the resumed tail bit-identical; later segments use `opt` untouched.
+GaeTransientResult gaeTransientFrom(const PpvModel& model, double f1,
+                                    const std::vector<GaeSegment>& schedule, double phi0,
+                                    double tStart, double t1, const num::OdeOptions& opt,
+                                    std::size_t gridSize, const GaeCheckpointOptions& checkpoint,
+                                    double firstSegInitialStep);
 
 /// Time at which the trajectory first settles within `tol` cycles of
 /// `target` and stays there; returns t1-end if it never settles.

@@ -1,0 +1,106 @@
+#include "io/cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "io/hash.hpp"
+#include "io/serialize.hpp"
+
+namespace phlogon::io {
+
+namespace fs = std::filesystem;
+
+ArtifactCache::ArtifactCache(fs::path dir, std::uintmax_t maxBytes)
+    : dir_(std::move(dir)), maxBytes_(maxBytes) {}
+
+ArtifactCache ArtifactCache::fromEnv() {
+    const char* dir = std::getenv("PHLOGON_CACHE_DIR");
+    if (!dir || !*dir) return ArtifactCache();
+    std::uintmax_t maxBytes = kDefaultMaxBytes;
+    if (const char* mb = std::getenv("PHLOGON_CACHE_MAX_MB"); mb && *mb) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(mb, &end, 10);
+        if (end && *end == '\0' && v > 0) maxBytes = v * 1024ull * 1024ull;
+    }
+    return ArtifactCache(fs::path(dir), maxBytes);
+}
+
+const ArtifactCache& ArtifactCache::global() {
+    static const ArtifactCache cache = fromEnv();
+    return cache;
+}
+
+fs::path ArtifactCache::entryPath(std::uint64_t key) const {
+    return dir_ / (hashHex(key) + ".phlg");
+}
+
+std::optional<std::vector<std::uint8_t>> ArtifactCache::fetch(std::uint64_t key,
+                                                              std::uint32_t type) const {
+    if (!enabled()) return std::nullopt;
+    const fs::path path = entryPath(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return std::nullopt;
+    ArtifactReadResult r = readArtifactFile(path, type);
+    if (!r.ok()) {
+        // Corrupt / stale-version / mistyped entry: drop it so the slot is
+        // clean for the recompute-and-store that follows.  WrongType means a
+        // (vanishingly unlikely) key collision across artifact kinds — also
+        // best removed.
+        fs::remove(path, ec);
+        return std::nullopt;
+    }
+    // LRU touch: a hit refreshes the entry's eviction priority.
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return std::move(r.payload);
+}
+
+bool ArtifactCache::store(std::uint64_t key, std::uint32_t type,
+                          const std::vector<std::uint8_t>& payload) const {
+    if (!enabled()) return false;
+    if (!writeArtifactFile(entryPath(key), type, payload)) return false;
+    evictToFit();
+    return true;
+}
+
+std::vector<ArtifactCache::Entry> ArtifactCache::entries() const {
+    std::vector<Entry> out;
+    if (!enabled()) return out;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec) return out;
+    for (const fs::directory_entry& de : it) {
+        if (!de.is_regular_file(ec) || de.path().extension() != ".phlg") continue;
+        Entry e;
+        e.path = de.path();
+        e.key = std::strtoull(de.path().stem().string().c_str(), nullptr, 16);
+        e.fileBytes = de.file_size(ec);
+        e.mtime = de.last_write_time(ec);
+        const ArtifactProbe probe = probeArtifactFile(de.path());
+        e.type = probe.header.type;
+        e.valid = probe.status == ArtifactStatus::Ok;
+        out.push_back(std::move(e));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    return out;
+}
+
+std::size_t ArtifactCache::evictToFit() const {
+    if (!enabled()) return 0;
+    std::vector<Entry> all = entries();
+    std::uintmax_t total = 0;
+    for (const Entry& e : all) total += e.fileBytes;
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const Entry& e : all) {
+        if (total <= maxBytes_) break;
+        if (fs::remove(e.path, ec)) {
+            total -= e.fileBytes;
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+}  // namespace phlogon::io

@@ -1,0 +1,85 @@
+#pragma once
+// Content-addressed artifact cache.
+//
+// Entries live as "<dir>/<16-hex-digit-key>.phlg" artifact files (see
+// io/serialize.hpp for the container layout).  The key is a 64-bit FNV-1a
+// content hash of everything that determines the artifact (io/hash.hpp), so
+// the cache never needs explicit invalidation: change the netlist, an
+// analysis option or the format version and the key changes with it.
+//
+// Robustness policy — the cache may *never* turn a working flow into a
+// failing one:
+//   * disabled (PHLOGON_CACHE_DIR unset/empty, or unwritable dir): every
+//     fetch misses, every store is a no-op;
+//   * corrupt/truncated/stale-version entry on fetch: the entry is deleted
+//     and the fetch reports a miss — the caller recomputes and re-stores;
+//   * store errors (disk full, permissions): silently dropped;
+//   * publication is atomic (write-temp-then-rename), so concurrent
+//     processes sharing one cache directory at worst redo work.
+//
+// Size control: after each store the directory is LRU-pruned to maxBytes
+// (default 256 MiB, override PHLOGON_CACHE_MAX_MB) using file mtimes;
+// fetch hits touch the entry's mtime so hot artifacts survive eviction.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace phlogon::io {
+
+class ArtifactCache {
+public:
+    static constexpr std::uintmax_t kDefaultMaxBytes = 256ull * 1024 * 1024;
+
+    /// Disabled cache (every fetch misses, stores are no-ops).
+    ArtifactCache() = default;
+    /// Cache rooted at `dir` (created on first store).
+    explicit ArtifactCache(std::filesystem::path dir,
+                           std::uintmax_t maxBytes = kDefaultMaxBytes);
+
+    /// Cache configured from the environment: PHLOGON_CACHE_DIR (unset or
+    /// empty => disabled) and PHLOGON_CACHE_MAX_MB.
+    static ArtifactCache fromEnv();
+    /// Process-wide instance built from the environment once.
+    static const ArtifactCache& global();
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::filesystem::path& dir() const { return dir_; }
+    std::uintmax_t maxBytes() const { return maxBytes_; }
+
+    std::filesystem::path entryPath(std::uint64_t key) const;
+
+    /// Payload bytes for `key` if a valid artifact of `type` exists.
+    /// Invalid entries (bad CRC, wrong version, truncated) are removed.
+    std::optional<std::vector<std::uint8_t>> fetch(std::uint64_t key, std::uint32_t type) const;
+
+    /// Publish payload bytes under `key` (atomic), then LRU-prune the
+    /// directory to maxBytes.  Returns false if the entry was not published.
+    bool store(std::uint64_t key, std::uint32_t type,
+               const std::vector<std::uint8_t>& payload) const;
+
+    /// One cache entry as listed by the inspection tool.
+    struct Entry {
+        std::filesystem::path path;
+        std::uint64_t key = 0;
+        std::uint32_t type = 0;
+        std::uintmax_t fileBytes = 0;
+        std::filesystem::file_time_type mtime;
+        bool valid = false;  ///< header + CRC check passed
+    };
+    /// All *.phlg entries in the cache directory, oldest mtime first.
+    std::vector<Entry> entries() const;
+
+    /// Remove oldest entries until the directory is within `maxBytes`.
+    /// Exposed for tests; store() calls it automatically.  Returns the
+    /// number of files removed.
+    std::size_t evictToFit() const;
+
+private:
+    std::filesystem::path dir_;
+    std::uintmax_t maxBytes_ = kDefaultMaxBytes;
+};
+
+}  // namespace phlogon::io

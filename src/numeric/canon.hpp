@@ -1,0 +1,21 @@
+#pragma once
+// Exact textual form of a double for canonical object descriptions: the hex
+// IEEE-754 bit pattern, so two parameter sets compare/hash equal iff they are
+// bit-identical (no formatting or rounding ambiguity).  Used by the artifact
+// cache's canonical forms (DESIGN.md §11).
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace phlogon::num {
+
+inline std::string canonNum(double v) {
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+    return buf;
+}
+
+}  // namespace phlogon::num

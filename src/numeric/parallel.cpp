@@ -1,7 +1,10 @@
 #include "numeric/parallel.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -16,23 +19,58 @@ namespace {
 // job bodies; nested parallelFor calls check it and run serially.
 thread_local bool tlInParallelJob = false;
 
-unsigned parseThreadsEnv() {
-    const char* env = std::getenv("PHLOGON_THREADS");
-    if (env && *env) {
-        char* end = nullptr;
-        const unsigned long v = std::strtoul(env, &end, 10);
-        if (end && *end == '\0' && v >= 1 &&
-            v <= std::numeric_limits<unsigned>::max())
-            return static_cast<unsigned>(v);
-    }
-    return 0;
-}
-
 }  // namespace
 
+ThreadsEnvParse parseThreadsValue(const char* value) {
+    ThreadsEnvParse r;
+    if (!value) return r;
+    const char* p = value;
+    while (*p && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (!*p) return r;  // empty / all-whitespace == unset
+    if (*p == '-') {
+        r.error = "must be a positive integer, got negative value '" + std::string(value) + "'";
+        return r;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) {
+        r.error = "not a number: '" + std::string(value) + "'";
+        return r;
+    }
+    while (*end && std::isspace(static_cast<unsigned char>(*end))) ++end;
+    if (*end) {
+        r.error = "trailing garbage in '" + std::string(value) + "'";
+        return r;
+    }
+    if (errno == ERANGE || v > std::numeric_limits<unsigned>::max()) {
+        r.error = "value out of range: '" + std::string(value) + "'";
+        return r;
+    }
+    if (v == 0) {
+        r.error = "must be >= 1, got '" + std::string(value) + "'";
+        return r;
+    }
+    r.threads = static_cast<unsigned>(v);
+    return r;
+}
+
 unsigned defaultThreadCount() {
-    const unsigned fromEnv = parseThreadsEnv();
-    if (fromEnv) return fromEnv;
+    const ThreadsEnvParse parsed = parseThreadsValue(std::getenv("PHLOGON_THREADS"));
+    if (parsed.threads) return parsed.threads;
+    if (!parsed.error.empty()) {
+        // Warn once per distinct malformed value, not on every resolution.
+        static std::mutex warnMx;
+        static std::string warned;
+        std::lock_guard<std::mutex> lk(warnMx);
+        if (warned != parsed.error) {
+            warned = parsed.error;
+            std::fprintf(stderr,
+                         "phlogon: ignoring PHLOGON_THREADS (%s); "
+                         "using hardware concurrency\n",
+                         parsed.error.c_str());
+        }
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

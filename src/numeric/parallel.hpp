@@ -32,12 +32,28 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace phlogon::num {
 
+/// Result of parsing a PHLOGON_THREADS-style value (exposed for tests).
+struct ThreadsEnvParse {
+    unsigned threads = 0;  ///< parsed count; 0 means "no usable value"
+    std::string error;     ///< non-empty iff the value was present but malformed
+};
+
+/// Parse a thread-count environment value.  nullptr/empty -> {0, ""} (unset,
+/// caller falls back silently).  A positive decimal integer (surrounding
+/// whitespace allowed) -> {n, ""}.  Anything else — trailing garbage,
+/// negative, zero, overflow — -> {0, "<reason>"} so the caller can warn and
+/// fall back to hardware_concurrency() instead of silently misconfiguring.
+ThreadsEnvParse parseThreadsValue(const char* value);
+
 /// Thread count implied by the environment: PHLOGON_THREADS if set to a
 /// positive integer, else std::thread::hardware_concurrency() (at least 1).
+/// A malformed PHLOGON_THREADS prints one warning to stderr (per distinct
+/// value) and falls back rather than being silently ignored.
 unsigned defaultThreadCount();
 
 /// Resolve a requested thread count: 0 -> defaultThreadCount(); otherwise the

@@ -28,10 +28,13 @@ RingOscCharacterization RingOscCharacterization::run(const ckt::RingOscSpec& spe
     c.dae_ = std::make_unique<ckt::Dae>(*c.nl_);
     c.outputUnknown_ = static_cast<std::size_t>(c.nl_->findNode(nodes.out()));
 
-    c.pss_ = an::shootingPss(*c.dae_, pssOpt);
+    io::CachedCharacterization cc = io::characterizeCached(*c.dae_, *c.nl_, pssOpt, ppvOpt);
+    c.cacheOutcome_ = cc.outcome;
+    c.cacheKey_ = cc.key;
+    c.pss_ = std::move(cc.value.pss);
     if (!c.pss_.ok)
         throw std::runtime_error("RingOscCharacterization: PSS failed: " + c.pss_.message);
-    c.ppv_ = an::extractPpvTimeDomain(*c.dae_, c.pss_, ppvOpt);
+    c.ppv_ = std::move(cc.value.ppv);
     if (!c.ppv_.ok)
         throw std::runtime_error("RingOscCharacterization: PPV failed: " + c.ppv_.message);
     c.model_ = core::PpvModel::build(c.pss_, c.ppv_, c.outputUnknown_, c.nl_->unknownNames());

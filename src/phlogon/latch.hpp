@@ -22,6 +22,7 @@
 #include "circuit/dae.hpp"
 #include "circuit/subckt.hpp"
 #include "core/phase_system.hpp"
+#include "io/model_cache.hpp"
 #include "phlogon/reference.hpp"
 
 namespace phlogon::logic {
@@ -29,8 +30,10 @@ namespace phlogon::logic {
 /// End-to-end characterization of a free-running ring oscillator.
 class RingOscCharacterization {
 public:
-    /// Build the netlist from `spec` and run PSS + time-domain PPV.  Throws
-    /// std::runtime_error on analysis failure.
+    /// Build the netlist from `spec` and run PSS + time-domain PPV, consulting
+    /// the process-wide artifact cache (io::ArtifactCache::global) first: a
+    /// valid cached extraction is substituted without touching the solvers.
+    /// Throws std::runtime_error on analysis failure.
     static RingOscCharacterization run(const ckt::RingOscSpec& spec,
                                        an::PssOptions pssOpt = defaultPssOptions(),
                                        an::PpvOptions ppvOpt = {});
@@ -47,6 +50,13 @@ public:
     std::size_t outputUnknown() const { return outputUnknown_; }
     double f0() const { return pss_.f0; }
 
+    /// How the extraction was obtained (hit = substituted from the artifact
+    /// cache; the pss()/ppv() counters then report zero work).
+    io::CacheOutcome cacheOutcome() const { return cacheOutcome_; }
+    bool fromCache() const { return cacheOutcome_ == io::CacheOutcome::Hit; }
+    /// Content key of the characterization (0 when not cacheable).
+    std::uint64_t cacheKey() const { return cacheKey_; }
+
 private:
     RingOscCharacterization() = default;
     std::unique_ptr<ckt::Netlist> nl_;
@@ -55,6 +65,8 @@ private:
     an::PpvResult ppv_;
     core::PpvModel model_;
     std::size_t outputUnknown_ = 0;
+    io::CacheOutcome cacheOutcome_ = io::CacheOutcome::Disabled;
+    std::uint64_t cacheKey_ = 0;
 };
 
 /// Circuit-level SYNC storage latch: ring oscillator + SYNC current source

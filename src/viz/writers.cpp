@@ -1,7 +1,10 @@
 #include "viz/writers.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace phlogon::viz {
 
@@ -11,12 +14,31 @@ std::string sanitize(std::string s) {
         if (c == ',' || c == '\n' || c == '\r') c = ' ';
     return s;
 }
+
+/// Create the parent directory (if any) and open `path` for writing; throws
+/// with the OS error (errno/strerror) folded into the message so failures
+/// name the actual cause (permissions, read-only FS, missing mount, ...).
+std::ofstream openForWrite(const char* who, const std::filesystem::path& path) {
+    if (path.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(path.parent_path(), ec);
+        if (ec)
+            throw std::runtime_error(std::string(who) + ": cannot create directory " +
+                                     path.parent_path().string() + ": " + ec.message());
+    }
+    errno = 0;
+    std::ofstream out(path);
+    if (!out) {
+        const int err = errno;
+        throw std::runtime_error(std::string(who) + ": cannot open " + path.string() + ": " +
+                                 (err ? std::strerror(err) : "unknown error"));
+    }
+    return out;
+}
 }  // namespace
 
 void writeCsv(const Chart& chart, const std::filesystem::path& path) {
-    if (path.has_parent_path()) std::filesystem::create_directories(path.parent_path());
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("writeCsv: cannot open " + path.string());
+    std::ofstream out = openForWrite("writeCsv", path);
     out << "# " << sanitize(chart.title) << "\n";
     std::size_t maxLen = 0;
     for (std::size_t s = 0; s < chart.series.size(); ++s) {
@@ -41,10 +63,7 @@ void writeCsv(const Chart& chart, const std::filesystem::path& path) {
 
 void writeGnuplot(const Chart& chart, const std::filesystem::path& scriptPath,
                   const std::string& csvName) {
-    if (scriptPath.has_parent_path())
-        std::filesystem::create_directories(scriptPath.parent_path());
-    std::ofstream out(scriptPath);
-    if (!out) throw std::runtime_error("writeGnuplot: cannot open " + scriptPath.string());
+    std::ofstream out = openForWrite("writeGnuplot", scriptPath);
     out << "set datafile separator ','\n";
     out << "set key outside\n";
     out << "set title '" << sanitize(chart.title) << "'\n";

@@ -1,0 +1,221 @@
+#include "io/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "circuit/subckt.hpp"
+#include "io/hash.hpp"
+#include "io/model_cache.hpp"
+#include "io/serialize.hpp"
+#include "phlogon/latch.hpp"
+
+namespace phlogon::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CacheTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = fs::temp_directory_path() / "phlogon_io_cache_test";
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+    fs::path dir_;
+};
+
+std::vector<std::uint8_t> bytesOf(std::initializer_list<int> v) {
+    std::vector<std::uint8_t> out;
+    for (int b : v) out.push_back(static_cast<std::uint8_t>(b));
+    return out;
+}
+
+TEST_F(CacheTest, DisabledCacheMissesAndDropsStores) {
+    const ArtifactCache cache;  // no directory
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store(1, kTypeWaveform, bytesOf({1, 2})));
+    EXPECT_FALSE(cache.fetch(1, kTypeWaveform).has_value());
+    EXPECT_TRUE(cache.entries().empty());
+    EXPECT_EQ(cache.evictToFit(), 0u);
+}
+
+TEST_F(CacheTest, StoreThenFetchRoundTrips) {
+    const ArtifactCache cache(dir_);
+    const auto payload = bytesOf({10, 20, 30, 40});
+    ASSERT_TRUE(cache.store(0xABCDEF0123456789ull, kTypePpvModel, payload));
+    EXPECT_TRUE(fs::exists(dir_ / "abcdef0123456789.phlg"));
+    const auto hit = cache.fetch(0xABCDEF0123456789ull, kTypePpvModel);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    // A different key misses without touching the stored entry.
+    EXPECT_FALSE(cache.fetch(0x1111, kTypePpvModel).has_value());
+    EXPECT_TRUE(fs::exists(dir_ / "abcdef0123456789.phlg"));
+}
+
+TEST_F(CacheTest, WrongTypeFetchRemovesEntry) {
+    const ArtifactCache cache(dir_);
+    ASSERT_TRUE(cache.store(7, kTypePssResult, bytesOf({1})));
+    EXPECT_FALSE(cache.fetch(7, kTypePpvModel).has_value());
+    EXPECT_FALSE(fs::exists(cache.entryPath(7)));  // mistyped entry dropped
+}
+
+TEST_F(CacheTest, CorruptEntryIsRemovedAndReportsMiss) {
+    const ArtifactCache cache(dir_);
+    ASSERT_TRUE(cache.store(42, kTypeWaveform, bytesOf({5, 6, 7, 8})));
+    // Flip a payload byte in place.
+    const fs::path p = cache.entryPath(42);
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kHeaderSize + 2));
+    f.put(static_cast<char>(0x7F));
+    f.close();
+    EXPECT_FALSE(cache.fetch(42, kTypeWaveform).has_value());
+    EXPECT_FALSE(fs::exists(p));  // corrupt entry dropped
+    // The slot is clean: a re-store works and fetches again.
+    ASSERT_TRUE(cache.store(42, kTypeWaveform, bytesOf({5, 6, 7, 8})));
+    EXPECT_TRUE(cache.fetch(42, kTypeWaveform).has_value());
+}
+
+TEST_F(CacheTest, EntriesListValidityAndOrder) {
+    const ArtifactCache cache(dir_);
+    ASSERT_TRUE(cache.store(1, kTypeWaveform, bytesOf({1})));
+    ASSERT_TRUE(cache.store(2, kTypePssResult, bytesOf({2, 2})));
+    const auto entries = cache.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    for (const auto& e : entries) EXPECT_TRUE(e.valid);
+    EXPECT_LE(entries[0].mtime, entries[1].mtime);
+}
+
+TEST_F(CacheTest, LruEvictionDropsOldestFirst) {
+    // Cap small enough that three ~1 KiB entries cannot coexist.
+    const std::vector<std::uint8_t> big(1024, 0x5A);
+    const ArtifactCache cache(dir_, 2 * (kHeaderSize + big.size()));
+    ASSERT_TRUE(cache.store(1, kTypeWaveform, big));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(cache.store(2, kTypeWaveform, big));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // Touch entry 1 (fetch refreshes mtime), then overflow: 2 is now oldest.
+    ASSERT_TRUE(cache.fetch(1, kTypeWaveform).has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(cache.store(3, kTypeWaveform, big));
+    EXPECT_TRUE(fs::exists(cache.entryPath(1)));
+    EXPECT_FALSE(fs::exists(cache.entryPath(2)));
+    EXPECT_TRUE(fs::exists(cache.entryPath(3)));
+}
+
+TEST_F(CacheTest, HashHexIs16LowercaseDigits) {
+    EXPECT_EQ(hashHex(0), "0000000000000000");
+    EXPECT_EQ(hashHex(0xABCDEF0123456789ull), "abcdef0123456789");
+}
+
+TEST_F(CacheTest, Fnv1a64MatchesReferenceVectors) {
+    // Standard FNV-1a test vectors (raw byte stream, no length framing).
+    EXPECT_EQ(Fnv1a64().digest(), 0xcbf29ce484222325ull);
+    EXPECT_EQ(Fnv1a64().bytes("a", 1).digest(), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(Fnv1a64().bytes("foobar", 6).digest(), 0x85944171f73967e8ull);
+    // Order and field separation matter: "ab" then "c" != "a" then "bc" is
+    // NOT guaranteed by raw FNV (it is a plain stream), but str() folds the
+    // length so concatenation ambiguity cannot alias keys.
+    EXPECT_NE(Fnv1a64().str("ab").str("c").digest(), Fnv1a64().str("a").str("bc").digest());
+}
+
+// ---- cache-aware characterization flow ------------------------------------
+
+class ModelCacheTest : public CacheTest {};
+
+TEST_F(ModelCacheTest, CharacterizeMissesThenHitsWithZeroedCounters) {
+    ckt::Netlist nl;
+    ckt::buildRingOscillator(nl, "osc", ckt::RingOscSpec{});
+    ckt::Dae dae(nl);
+    const an::PssOptions pssOpt = logic::RingOscCharacterization::defaultPssOptions();
+    const an::PpvOptions ppvOpt{};
+    const ArtifactCache cache(dir_);
+
+    const auto key = characterizationKey(nl, pssOpt, ppvOpt);
+    ASSERT_TRUE(key.has_value());  // ring oscillator devices all canonical
+
+    const auto cold = characterizeCached(dae, nl, pssOpt, ppvOpt, cache);
+    ASSERT_TRUE(cold.value.pss.ok);
+    ASSERT_TRUE(cold.value.ppv.ok);
+    EXPECT_EQ(cold.outcome, CacheOutcome::Miss);
+    EXPECT_EQ(cold.key, *key);
+    EXPECT_GT(cold.value.pss.counters.luFactorizations, 0u);
+
+    const auto warm = characterizeCached(dae, nl, pssOpt, ppvOpt, cache);
+    ASSERT_TRUE(warm.value.pss.ok);
+    EXPECT_EQ(warm.outcome, CacheOutcome::Hit);
+    // Counters report work done *this run*: a hit does none.
+    EXPECT_EQ(warm.value.pss.counters.luFactorizations, 0u);
+    EXPECT_EQ(warm.value.pss.counters.rhsEvals, 0u);
+    // The physics payload is bit-identical to the computed one.
+    EXPECT_EQ(warm.value.pss.period, cold.value.pss.period);
+    ASSERT_EQ(warm.value.ppv.v.size(), cold.value.ppv.v.size());
+    for (std::size_t k = 0; k < cold.value.ppv.v.size(); ++k)
+        for (std::size_t i = 0; i < cold.value.ppv.v[k].size(); ++i)
+            EXPECT_EQ(warm.value.ppv.v[k][i], cold.value.ppv.v[k][i]);
+}
+
+TEST_F(ModelCacheTest, CorruptCacheEntryRecomputesInsteadOfCrashing) {
+    ckt::Netlist nl;
+    ckt::buildRingOscillator(nl, "osc", ckt::RingOscSpec{});
+    ckt::Dae dae(nl);
+    const an::PssOptions pssOpt = logic::RingOscCharacterization::defaultPssOptions();
+    const ArtifactCache cache(dir_);
+
+    const auto cold = characterizeCached(dae, nl, pssOpt, {}, cache);
+    ASSERT_EQ(cold.outcome, CacheOutcome::Miss);
+
+    // Truncate the stored artifact mid-payload.
+    const fs::path p = cache.entryPath(cold.key);
+    ASSERT_TRUE(fs::exists(p));
+    fs::resize_file(p, fs::file_size(p) / 2);
+
+    const auto again = characterizeCached(dae, nl, pssOpt, {}, cache);
+    EXPECT_EQ(again.outcome, CacheOutcome::Miss);  // recomputed, no crash
+    ASSERT_TRUE(again.value.pss.ok);
+    EXPECT_GT(again.value.pss.counters.luFactorizations, 0u);
+    // And the recompute re-published a valid entry.
+    EXPECT_EQ(characterizeCached(dae, nl, pssOpt, {}, cache).outcome, CacheOutcome::Hit);
+}
+
+TEST_F(ModelCacheTest, NonCanonicalNetlistIsNotCacheable) {
+    ckt::Netlist nl;
+    const ckt::RingOscNodes nodes = ckt::buildRingOscillator(nl, "osc", ckt::RingOscSpec{});
+    // A time switch carries an opaque std::function control: no sound key.
+    nl.addSwitch("sw", nodes.out(), "0", [](double) { return false; }, 1.0, 1e9);
+    EXPECT_TRUE(nl.canonicalForm().empty());
+    EXPECT_FALSE(characterizationKey(nl, {}, {}).has_value());
+
+    ckt::Dae dae(nl);
+    const ArtifactCache cache(dir_);
+    const auto r = characterizeCached(dae, nl, logic::RingOscCharacterization::defaultPssOptions(),
+                                      {}, cache);
+    EXPECT_EQ(r.outcome, CacheOutcome::NotCacheable);
+    EXPECT_TRUE(r.value.pss.ok);  // still computes the real answer
+    EXPECT_TRUE(cache.entries().empty());
+}
+
+TEST_F(ModelCacheTest, KeyChangesWithOptionsAndCircuit) {
+    ckt::Netlist nl;
+    ckt::buildRingOscillator(nl, "osc", ckt::RingOscSpec{});
+    const an::PssOptions pssOpt = logic::RingOscCharacterization::defaultPssOptions();
+    an::PssOptions pssOpt2 = pssOpt;
+    pssOpt2.nSamples += 1;
+    const auto k1 = characterizationKey(nl, pssOpt, {});
+    const auto k2 = characterizationKey(nl, pssOpt2, {});
+    ASSERT_TRUE(k1 && k2);
+    EXPECT_NE(*k1, *k2);
+
+    ckt::Netlist nl2;
+    ckt::RingOscSpec spec;
+    spec.capFarads *= 1.0000001;  // tiny parameter change must change the key
+    ckt::buildRingOscillator(nl2, "osc", spec);
+    const auto k3 = characterizationKey(nl2, pssOpt, {});
+    ASSERT_TRUE(k3.has_value());
+    EXPECT_NE(*k1, *k3);
+}
+
+}  // namespace
+}  // namespace phlogon::io

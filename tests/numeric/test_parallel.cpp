@@ -27,6 +27,47 @@ TEST(ResolveThreadCount, ZeroUsesEnvironment) {
     EXPECT_GE(defaultThreadCount(), 1u);
 }
 
+TEST(ParseThreadsValue, UnsetOrEmptyIsSilentFallback) {
+    EXPECT_EQ(parseThreadsValue(nullptr).threads, 0u);
+    EXPECT_TRUE(parseThreadsValue(nullptr).error.empty());
+    EXPECT_EQ(parseThreadsValue("").threads, 0u);
+    EXPECT_TRUE(parseThreadsValue("").error.empty());
+    EXPECT_TRUE(parseThreadsValue("   ").error.empty());
+}
+
+TEST(ParseThreadsValue, AcceptsPositiveIntegers) {
+    EXPECT_EQ(parseThreadsValue("1").threads, 1u);
+    EXPECT_EQ(parseThreadsValue("16").threads, 16u);
+    EXPECT_EQ(parseThreadsValue(" 8 ").threads, 8u);  // surrounding whitespace ok
+    EXPECT_TRUE(parseThreadsValue("16").error.empty());
+}
+
+TEST(ParseThreadsValue, RejectsGarbageWithError) {
+    EXPECT_EQ(parseThreadsValue("banana").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("banana").error.empty());
+    EXPECT_EQ(parseThreadsValue("4cores").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("4cores").error.empty());
+    EXPECT_EQ(parseThreadsValue("3.5").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("3.5").error.empty());
+}
+
+TEST(ParseThreadsValue, RejectsNegativeZeroAndOverflow) {
+    EXPECT_EQ(parseThreadsValue("-2").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("-2").error.empty());
+    EXPECT_EQ(parseThreadsValue("0").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("0").error.empty());
+    EXPECT_EQ(parseThreadsValue("99999999999999999999").threads, 0u);
+    EXPECT_FALSE(parseThreadsValue("99999999999999999999").error.empty());
+}
+
+TEST(ParseThreadsValue, MalformedEnvFallsBackToHardware) {
+    ::setenv("PHLOGON_THREADS", "definitely-not-a-count", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ::setenv("PHLOGON_THREADS", "-4", 1);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ::unsetenv("PHLOGON_THREADS");
+}
+
 TEST(ParallelFor, RunsEveryIndexExactlyOnce) {
     for (unsigned threads : {1u, 2u, 4u, 8u}) {
         const std::size_t n = 257;  // deliberately not a multiple of anything

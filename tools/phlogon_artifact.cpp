@@ -1,0 +1,96 @@
+// phlogon_artifact — inspect binary artifact files and the artifact cache.
+//
+//   phlogon_artifact info <file.phlg>...   print header fields + CRC verdict
+//   phlogon_artifact verify <file.phlg>... exit 1 if any file fails validation
+//   phlogon_artifact cache [dir]           list cache entries (default:
+//                                          PHLOGON_CACHE_DIR), oldest first
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/cache.hpp"
+#include "io/serialize.hpp"
+
+using namespace phlogon;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: phlogon_artifact info <file>...\n"
+                 "       phlogon_artifact verify <file>...\n"
+                 "       phlogon_artifact cache [dir]\n");
+    return 2;
+}
+
+/// Probe one file and print a header line; returns true when fully valid.
+bool describe(const std::filesystem::path& path, bool verbose) {
+    const io::ArtifactProbe p = io::probeArtifactFile(path);
+    const bool ok = p.status == io::ArtifactStatus::Ok;
+    if (verbose) {
+        std::printf("%s:\n", path.string().c_str());
+        if (p.status == io::ArtifactStatus::IoError || p.status == io::ArtifactStatus::BadMagic ||
+            (p.status == io::ArtifactStatus::Truncated && p.header.payloadSize == 0)) {
+            std::printf("  status   %s\n", io::statusName(p.status).c_str());
+            return ok;
+        }
+        std::printf("  format   v%u\n", p.header.version);
+        std::printf("  type     %s\n", io::typeName(p.header.type).c_str());
+        std::printf("  payload  %llu bytes\n",
+                    static_cast<unsigned long long>(p.header.payloadSize));
+        std::printf("  crc32    0x%08x (%s)\n", p.header.crc,
+                    io::statusName(p.status).c_str());
+    } else {
+        std::printf("%-10s %-22s %10llu B  %s\n", io::statusName(p.status).c_str(),
+                    io::typeName(p.header.type).c_str(),
+                    static_cast<unsigned long long>(p.header.payloadSize),
+                    path.string().c_str());
+    }
+    return ok;
+}
+
+int listCache(const io::ArtifactCache& cache) {
+    if (!cache.enabled()) {
+        std::printf("cache disabled (set PHLOGON_CACHE_DIR or pass a directory)\n");
+        return 0;
+    }
+    std::printf("cache dir: %s (max %llu MiB)\n", cache.dir().string().c_str(),
+                static_cast<unsigned long long>(cache.maxBytes() / (1024 * 1024)));
+    const std::vector<io::ArtifactCache::Entry> entries = cache.entries();
+    std::uintmax_t total = 0;
+    for (const io::ArtifactCache::Entry& e : entries) {
+        total += e.fileBytes;
+        const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+            std::filesystem::file_time_type::clock::now() - e.mtime);
+        std::printf("%016llx  %-22s %10llu B  %8llds  %s\n",
+                    static_cast<unsigned long long>(e.key), io::typeName(e.type).c_str(),
+                    static_cast<unsigned long long>(e.fileBytes),
+                    static_cast<long long>(age.count()), e.valid ? "ok" : "INVALID");
+    }
+    std::printf("%zu entries, %llu bytes total\n", entries.size(),
+                static_cast<unsigned long long>(total));
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "info" || cmd == "verify") {
+        if (argc < 3) return usage();
+        bool allOk = true;
+        for (int i = 2; i < argc; ++i) allOk = describe(argv[i], cmd == "info") && allOk;
+        return allOk ? 0 : 1;
+    }
+    if (cmd == "cache") {
+        if (argc > 3) return usage();
+        if (argc == 3) return listCache(io::ArtifactCache(argv[2]));
+        return listCache(io::ArtifactCache::fromEnv());
+    }
+    return usage();
+}
