@@ -32,6 +32,8 @@
 #include "io/model_cache.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "phlogon/encoding.hpp"
 #include "phlogon/serial_adder.hpp"
 
@@ -504,6 +506,58 @@ void BM_LuSolveMatrixPerColumn(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_LuSolveMatrixPerColumn)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMicrosecond);
+
+// ---- observability overhead (DESIGN.md §12 budget) ------------------------
+//
+// The contract for instrumentation left in hot paths: a disabled OBS_SPAN /
+// metric macro costs one relaxed atomic load and a predictable branch.  The
+// CI overhead-guard job asserts the end-to-end effect on bench smoke runs;
+// these microbenchmarks pin down the per-site cost (and its enabled-mode
+// counterpart) so regressions show up at the right granularity.
+
+void BM_ObsDisabledSpan(benchmark::State& state) {
+    obs::Tracer::instance().stop();
+    for (auto _ : state) {
+        OBS_SPAN("bench.disabled");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_ObsDisabledSpan)->Unit(benchmark::kNanosecond);
+
+// Once the 64 Ki per-thread buffer fills, iterations measure the drop path
+// (cheaper than a record); the reported time is a blend, which matches what
+// a saturating trace run actually pays.
+void BM_ObsEnabledSpan(benchmark::State& state) {
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() / "phlogon_bench_trace.json";
+    obs::Tracer::instance().start(path.string());
+    for (auto _ : state) {
+        OBS_SPAN("bench.enabled");
+        benchmark::ClobberMemory();
+    }
+    obs::Tracer::instance().stop();
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_ObsEnabledSpan)->Unit(benchmark::kNanosecond);
+
+void BM_MetricsCounterDisabled(benchmark::State& state) {
+    obs::setMetricsEnabled(false);
+    for (auto _ : state) {
+        PHLOGON_COUNT_METRIC("bench.disabled.count");
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_MetricsCounterDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_MetricsCounterEnabled(benchmark::State& state) {
+    obs::setMetricsEnabled(true);
+    for (auto _ : state) {
+        PHLOGON_COUNT_METRIC("bench.enabled.count");
+        benchmark::ClobberMemory();
+    }
+    obs::setMetricsEnabled(false);
+}
+BENCHMARK(BM_MetricsCounterEnabled)->Unit(benchmark::kNanosecond);
 
 }  // namespace
 

@@ -10,6 +10,7 @@
 
 #include "core/gae_sweep.hpp"
 #include "core/gae_transient.hpp"
+#include "obs/report.hpp"
 #include "phlogon/encoding.hpp"
 #include "phlogon/gates.hpp"
 #include "phlogon/latch.hpp"
@@ -90,5 +91,6 @@ int main() {
             }
     std::printf("\n%s\n", allOk ? "latch verified: behaves as a level-sensitive D latch"
                                 : "latch verification FAILED");
+    obs::maybePrintRunReport(stdout);
     return allOk ? 0 : 1;
 }

@@ -8,6 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/gae_sweep.hpp"
+#include "core/gae_transient.hpp"
+#include "obs/report.hpp"
 #include "phlogon/serial_adder.hpp"
 
 using namespace phlogon;
@@ -41,6 +44,33 @@ int main(int argc, char** argv) {
                 osc.pss().counters.luFactorizations);
     const auto design = logic::designSyncLatch(osc.model(), osc.outputUnknown(), 9.6e3, 300e-6);
     const auto& ref = design.reference;
+
+    // Pre-flight checks on the latch the adder is built from: the Fig. 7
+    // locking-range sweep (thread-pool parallel) and a single-bit write
+    // timed with a GAE transient.  Besides sanity-checking the design they
+    // make PHLOGON_TRACE runs of this example cover every span family:
+    // PSS/PPV above, sweeps + pool tasks + GAE transients here, phase-domain
+    // simulation below.
+    {
+        const core::Injection unit = core::Injection::tone(design.injUnknown, 1.0, 2);
+        num::Vec amps;
+        for (double a = 25e-6; a <= 300e-6; a += 25e-6) amps.push_back(a);
+        // threads=2 keeps the thread pool in the trace even on one-core
+        // machines; sweep results are bitwise identical at any thread count.
+        const auto pts = core::lockingRangeVsAmplitudeExact(design.model, unit, amps, 512, 2);
+        const core::LockingRange atSync = pts.back().range;
+        std::printf("locking range at SYNC amplitude: [%.4f, %.4f] kHz (%zu-point sweep)\n",
+                    atSync.fLow / 1e3, atSync.fHigh / 1e3, pts.size());
+
+        const std::vector<core::GaeSegment> sched{
+            {0.0, {design.sync(), design.dataInjection(150e-6, 1)}}};
+        const auto flip = core::gaeTransient(design.model, ref.f1, sched, ref.phase0 + 0.02,
+                                             0.0, 120.0 / ref.f1);
+        const double settle = core::settleTime(flip, ref.phase1, 0.03);
+        std::printf("bit-write check: 0 -> 1 settles in %.1f reference cycles (%s)\n",
+                    settle * ref.f1, flip.ok ? "ok" : "FAILED");
+        if (!flip.ok) return 1;
+    }
 
     // Bit streams, LSB first, with a leading reset slot (a=b=0 forces the
     // carry to 0 regardless of the machine's wake-up state).
@@ -76,5 +106,6 @@ int main(int argc, char** argv) {
     const unsigned result = fromBits(sumBits);
     std::printf("\n%u + %u = %u (%s)\n", A, B, result,
                 result == A + B ? "correct" : "WRONG");
+    obs::maybePrintRunReport(stdout);
     return result == A + B ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::an {
 
@@ -59,11 +61,13 @@ bool pseudoTransient(const Dae& dae, double t, Vec& x, double absTol, int maxIte
 }  // namespace
 
 DcopResult dcOperatingPoint(const Dae& dae, const DcopOptions& opt) {
+    OBS_SPAN("dcop.solve");
     const auto wallStart = std::chrono::steady_clock::now();
     DcopResult res;
     const auto finish = [&res, wallStart] {
         res.counters.wallSeconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        obs::recordSolverCounters("dcop", res.counters);
     };
     const std::size_t n = dae.size();
     Vec x = opt.initialGuess.empty() ? Vec(n, 0.0) : opt.initialGuess;

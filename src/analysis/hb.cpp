@@ -8,6 +8,7 @@
 #include "numeric/fft.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/lu.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::an {
 
@@ -41,6 +42,7 @@ Vec trigResample(const Vec& samples, std::size_t m) {
 }  // namespace
 
 PssResult harmonicBalancePss(const ckt::Dae& dae, const HbOptions& opt) {
+    OBS_SPAN("hb.solve");
     PssResult res;
     const std::size_t n = dae.size();
     const std::size_t nc = opt.nColloc;

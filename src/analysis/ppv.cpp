@@ -6,6 +6,7 @@
 #include "analysis/trap_util.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/lu.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::an {
 
@@ -49,6 +50,7 @@ num::Vec PpvResult::component(std::size_t idx) const {
 }
 
 PpvResult extractPpvTimeDomain(const ckt::Dae& dae, const PssResult& pss, const PpvOptions& opt) {
+    OBS_SPAN("ppv.extract");
     PpvResult res;
     if (!pss.ok || pss.xFine.size() < 3) {
         res.message = "PSS solution not available";
@@ -180,6 +182,7 @@ PpvResult extractPpvTimeDomain(const ckt::Dae& dae, const PssResult& pss, const 
 
 PpvResult extractPpvFrequencyDomain(const ckt::Dae& dae, const PssResult& pss,
                                     const PpvFdOptions& opt) {
+    OBS_SPAN("ppv.extract_fd");
     PpvResult res;
     if (!pss.ok || pss.xs.empty()) {
         res.message = "PSS solution not available";

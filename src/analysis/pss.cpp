@@ -12,6 +12,8 @@
 #include "analysis/waveform.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::an {
 
@@ -60,6 +62,7 @@ struct PeriodWorkspace {
 bool integratePeriod(const Dae& dae, PeriodWorkspace& pw, const Vec& x0, double period,
                      std::size_t m, const num::NewtonOptions& stepNewton,
                      std::vector<Vec>& states, Matrix* sens, num::SolverCounters& counters) {
+    OBS_SPAN("pss.period");
     const std::size_t n = dae.size();
     const double h = period / static_cast<double>(m);
     states.resize(m + 1);
@@ -137,11 +140,13 @@ num::Vec PssResult::column(std::size_t idx) const {
 }
 
 PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
+    OBS_SPAN("pss.shoot");
     const auto wallStart = std::chrono::steady_clock::now();
     PssResult res;
     const auto finish = [&res, wallStart] {
         res.counters.wallSeconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        obs::recordSolverCounters("pss", res.counters);
     };
     const std::size_t n = dae.size();
 
@@ -166,6 +171,7 @@ PssResult shootingPss(const Dae& dae, const PssOptions& opt) {
     PeriodEstimate pe;
     int phaseIdx = opt.phaseUnknown;
     for (int attempt = 0; attempt < 3; ++attempt) {
+        OBS_SPAN("pss.warmup");
         warm = transient(dae, x, 0.0, warmupSpan, trOpt);
         res.counters += warm.counters;
         if (!warm.ok) {

@@ -7,6 +7,8 @@
 #include "analysis/step_solver.hpp"
 #include "analysis/trap_util.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::an {
 
@@ -44,16 +46,21 @@ TransientResult transient(const Dae& dae, const Vec& x0, double t0, double t1,
 
 TransientResult transientResumed(const Dae& dae, const TransientResumeState& st, double t1,
                                  const TransientOptions& opt) {
+    OBS_SPAN("transient.run");
     const auto wallStart = std::chrono::steady_clock::now();
     const double t0 = st.t0;
     TransientResult res;
-    res.counters = st.counters;
-    const double wall0 = st.counters.wallSeconds;
-    const auto finish = [&res, wallStart, wall0] {
-        res.counters.wallSeconds =
-            wall0 +
+    // This segment's counters accumulate separately from the checkpointed
+    // totals and are folded in with SolverCounters::operator+= at every exit,
+    // so no field can be dropped from the resume aggregation.
+    num::SolverCounters run;
+    const auto finish = [&res, &st, &run, wallStart] {
+        run.wallSeconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        res.counters = st.counters;
+        res.counters += run;
         res.newtonIterationsTotal = res.counters.newtonIters;
+        obs::recordSolverCounters("transient", run);
     };
     if (!(opt.dt > 0)) {
         res.message = "dt must be positive";
@@ -67,7 +74,7 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
     // themselves a fresh dae.eval at the accepted point, so this reproduces
     // them bitwise on resume; it only counts as work on a fresh start.
     dae.eval(tk, xk, qk, fk, nullptr, nullptr);
-    if (st.stepIndex == 0) ++res.counters.rhsEvals;
+    if (st.stepIndex == 0) ++run.rhsEvals;
     const std::vector<bool> alg = detail::algebraicRows(dae.evalC(tk, xk));
     detail::ImplicitStepper stepper(dae, opt.method == IntegrationMethod::Trapezoidal, alg);
     res.t.push_back(tk);
@@ -92,9 +99,10 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
         c.h = hNext;
         c.stepIndex = stepIndex;
         c.x = xk;
-        c.counters = res.counters;
+        c.counters = st.counters;
+        c.counters += run;
         c.counters.wallSeconds =
-            wall0 +
+            st.counters.wallSeconds +
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
         io::saveTransientCheckpoint(opt.checkpoint.path, c);
         lastSnapshotT = tk;
@@ -108,11 +116,11 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
             bool done = false;
             for (int halving = 0; halving <= opt.maxStepHalvings; ++halving) {
                 xNew = xk;  // predictor: previous value
-                if (stepper.step(tk + h, h, qk, fk, xNew, opt.newton, res.counters)) {
+                if (stepper.step(tk + h, h, qk, fk, xNew, opt.newton, run)) {
                     done = true;
                     break;
                 }
-                ++res.counters.rejectedSteps;
+                ++run.rejectedSteps;
                 h *= 0.5;
             }
             if (!done) {
@@ -125,7 +133,7 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
             qk = stepper.q1();
             fk = stepper.f1();
             ++stepIndex;
-            ++res.counters.steps;
+            ++run.steps;
             store(tk, xk, false);
             snapshot(0.0);
         }
@@ -153,19 +161,19 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
         h = std::min(h, t1 - tk);
         // Full step at h.
         xBig = xk;
-        bool ok = stepper.step(tk + h, h, qk, fk, xBig, opt.newton, res.counters);
+        bool ok = stepper.step(tk + h, h, qk, fk, xBig, opt.newton, run);
         // Two half steps (the kept solution).
         if (ok) {
             xNew = xk;
-            ok = stepper.step(tk + 0.5 * h, 0.5 * h, qk, fk, xNew, opt.newton, res.counters);
+            ok = stepper.step(tk + 0.5 * h, 0.5 * h, qk, fk, xNew, opt.newton, run);
         }
         if (ok) {
             qMid = stepper.q1();
             fMid = stepper.f1();
-            ok = stepper.step(tk + h, 0.5 * h, qMid, fMid, xNew, opt.newton, res.counters);
+            ok = stepper.step(tk + h, 0.5 * h, qMid, fMid, xNew, opt.newton, run);
         }
         if (!ok) {
-            ++res.counters.rejectedSteps;
+            ++run.rejectedSteps;
             if (++consecutiveFailures > opt.maxStepHalvings) {
                 res.message = "Newton failed at t=" + std::to_string(tk) + ": " +
                               stepper.lastMessage();
@@ -181,7 +189,7 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
         const bool atFloor = h <= dtMin * (1.0 + 1e-12);
         if (errNorm > 1.0 && !atFloor) {
             // Reject: shrink towards the tolerance-satisfying step.
-            ++res.counters.rejectedSteps;
+            ++run.rejectedSteps;
             h = std::max(h * std::clamp(0.9 * std::pow(errNorm, -1.0 / (order + 1.0)), 0.1, 0.5),
                          dtMin);
             continue;
@@ -193,7 +201,7 @@ TransientResult transientResumed(const Dae& dae, const TransientResumeState& st,
         qk = stepper.q1();
         fk = stepper.f1();
         ++stepIndex;
-        ++res.counters.steps;
+        ++run.steps;
         store(tk, xk, false);
         const double grow =
             errNorm > 0.0 ? 0.9 * std::pow(errNorm, -1.0 / (order + 1.0)) : 4.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numeric/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::core {
 
@@ -14,6 +15,7 @@ double phaseDistance(double a, double b) {
 
 LockingRange lockingRange(const PpvModel& model, const std::vector<Injection>& injections,
                           std::size_t gridSize) {
+    OBS_SPAN("gae.sweep.lockingRange");
     // g does not depend on f1 (only the LHS does), so build the GAE at f0.
     const Gae gae(model, model.f0(), injections, gridSize);
     LockingRange r;
@@ -28,6 +30,7 @@ std::vector<LockingRangePoint> lockingRangeVsAmplitude(const PpvModel& model,
                                                        const Injection& unitInjection,
                                                        const Vec& amplitudes,
                                                        std::size_t gridSize, unsigned threads) {
+    OBS_SPAN("gae.sweep.lockingRangeVsAmplitude");
     // g scales linearly with the injection amplitude; one unit-amplitude GAE
     // gives the range at every amplitude.
     const Gae unit(model, model.f0(), {unitInjection}, gridSize);
@@ -54,6 +57,7 @@ std::vector<LockingRangePoint> lockingRangeVsAmplitudeExact(const PpvModel& mode
                                                             const Vec& amplitudes,
                                                             std::size_t gridSize,
                                                             unsigned threads) {
+    OBS_SPAN("gae.sweep.lockingRangeExact");
     std::vector<LockingRangePoint> out(amplitudes.size());
     num::parallelFor(
         amplitudes.size(),
@@ -71,6 +75,7 @@ std::vector<PhaseErrorPoint> lockPhaseErrorSweep(const PpvModel& model,
                                                  const std::vector<Injection>& injections,
                                                  const Vec& f1Grid, std::size_t gridSize,
                                                  unsigned threads) {
+    OBS_SPAN("gae.sweep.phaseError");
     // Zero-detuning references.
     const Gae ref(model, model.f0(), injections, gridSize);
     std::vector<double> refPhases;
@@ -117,6 +122,7 @@ std::vector<AmplitudeSweepPoint> sweepInjectionAmplitude(const PpvModel& model, 
                                                          const Injection& unitVarying,
                                                          const Vec& amplitudes,
                                                          std::size_t gridSize, unsigned threads) {
+    OBS_SPAN("gae.sweep.injectionAmplitude");
     std::vector<AmplitudeSweepPoint> out(amplitudes.size());
     num::parallelFor(
         amplitudes.size(),
@@ -137,6 +143,7 @@ std::vector<IntersectionSummary> countIntersectionsVsAmplitude(
     const PpvModel& model, double f1, const std::vector<Injection>& fixed,
     const Injection& unitInjection, const Vec& amplitudes, std::size_t gridSize,
     unsigned threads) {
+    OBS_SPAN("gae.sweep.intersections");
     std::vector<IntersectionSummary> out(amplitudes.size());
     num::parallelFor(
         amplitudes.size(),

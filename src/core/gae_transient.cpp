@@ -7,6 +7,8 @@
 
 #include "core/gae_sweep.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::core {
 
@@ -33,11 +35,13 @@ GaeTransientResult gaeTransientFrom(const PpvModel& model, double f1,
                                     double tStart, double t1, const num::OdeOptions& opt,
                                     std::size_t gridSize, const GaeCheckpointOptions& checkpoint,
                                     double firstSegInitialStep) {
+    OBS_SPAN("gae.transient");
     const auto wallStart = std::chrono::steady_clock::now();
     GaeTransientResult res;
     const auto finish = [&res, wallStart] {
         res.counters.wallSeconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wallStart).count();
+        obs::recordSolverCounters("gae", res.counters);
     };
     if (schedule.empty()) throw std::invalid_argument("gaeTransient: empty schedule");
     for (std::size_t i = 1; i < schedule.size(); ++i)

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/interp.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::core {
 
@@ -136,6 +137,7 @@ double PhaseSystem::evalSignal(SignalId id, double t, double f1, const num::Vec&
 
 PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const num::Vec& dphi0,
                                           std::size_t stepsPerCycle, std::size_t storeEvery) const {
+    OBS_SPAN("phase.simulate");
     Result res;
     const std::size_t k = latches_.size();
     if (dphi0.size() != k)

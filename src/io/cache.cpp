@@ -6,6 +6,8 @@
 
 #include "io/hash.hpp"
 #include "io/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::io {
 
@@ -38,9 +40,15 @@ fs::path ArtifactCache::entryPath(std::uint64_t key) const {
 std::optional<std::vector<std::uint8_t>> ArtifactCache::fetch(std::uint64_t key,
                                                               std::uint32_t type) const {
     if (!enabled()) return std::nullopt;
+    OBS_SPAN("cache.fetch");
     const fs::path path = entryPath(key);
     std::error_code ec;
-    if (!fs::exists(path, ec)) return std::nullopt;
+    if (!fs::exists(path, ec)) {
+        stats_->misses.fetch_add(1, std::memory_order_relaxed);
+        PHLOGON_COUNT_METRIC("cache.misses");
+        OBS_INSTANT("cache.miss");
+        return std::nullopt;
+    }
     ArtifactReadResult r = readArtifactFile(path, type);
     if (!r.ok()) {
         // Corrupt / stale-version / mistyped entry: drop it so the slot is
@@ -48,17 +56,28 @@ std::optional<std::vector<std::uint8_t>> ArtifactCache::fetch(std::uint64_t key,
         // (vanishingly unlikely) key collision across artifact kinds — also
         // best removed.
         fs::remove(path, ec);
+        stats_->corruptions.fetch_add(1, std::memory_order_relaxed);
+        stats_->misses.fetch_add(1, std::memory_order_relaxed);
+        PHLOGON_COUNT_METRIC("cache.corruptions");
+        PHLOGON_COUNT_METRIC("cache.misses");
+        OBS_INSTANT("cache.miss");
         return std::nullopt;
     }
     // LRU touch: a hit refreshes the entry's eviction priority.
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    stats_->hits.fetch_add(1, std::memory_order_relaxed);
+    PHLOGON_COUNT_METRIC("cache.hits");
+    OBS_INSTANT("cache.hit");
     return std::move(r.payload);
 }
 
 bool ArtifactCache::store(std::uint64_t key, std::uint32_t type,
                           const std::vector<std::uint8_t>& payload) const {
     if (!enabled()) return false;
+    OBS_SPAN("cache.store");
     if (!writeArtifactFile(entryPath(key), type, payload)) return false;
+    stats_->stores.fetch_add(1, std::memory_order_relaxed);
+    PHLOGON_COUNT_METRIC("cache.stores");
     evictToFit();
     return true;
 }
@@ -100,7 +119,21 @@ std::size_t ArtifactCache::evictToFit() const {
             ++removed;
         }
     }
+    if (removed) {
+        stats_->evictions.fetch_add(removed, std::memory_order_relaxed);
+        PHLOGON_ADD_METRIC("cache.evictions", removed);
+    }
     return removed;
+}
+
+CacheStats ArtifactCache::stats() const {
+    CacheStats s;
+    s.hits = stats_->hits.load(std::memory_order_relaxed);
+    s.misses = stats_->misses.load(std::memory_order_relaxed);
+    s.stores = stats_->stores.load(std::memory_order_relaxed);
+    s.evictions = stats_->evictions.load(std::memory_order_relaxed);
+    s.corruptions = stats_->corruptions.load(std::memory_order_relaxed);
+    return s;
 }
 
 }  // namespace phlogon::io

@@ -21,13 +21,28 @@
 // (default 256 MiB, override PHLOGON_CACHE_MAX_MB) using file mtimes;
 // fetch hits touch the entry's mtime so hot artifacts survive eviction.
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace phlogon::io {
+
+/// Process-lifetime outcome counters for one cache (copies of an
+/// ArtifactCache share the same counters, as they address the same
+/// directory).  Mirrored into the metrics registry ("cache.hits", ...) when
+/// PHLOGON_METRICS is enabled; always collected here so tools can print
+/// them unconditionally.
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;        ///< includes corrupt entries dropped
+    std::uint64_t stores = 0;        ///< successful publications
+    std::uint64_t evictions = 0;     ///< entries removed by LRU pruning
+    std::uint64_t corruptions = 0;   ///< invalid entries deleted on fetch
+};
 
 class ArtifactCache {
 public:
@@ -77,9 +92,23 @@ public:
     /// number of files removed.
     std::size_t evictToFit() const;
 
+    /// Snapshot of this cache's hit/miss/store/eviction/corruption counts.
+    CacheStats stats() const;
+
 private:
+    struct StatCells {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> stores{0};
+        std::atomic<std::uint64_t> evictions{0};
+        std::atomic<std::uint64_t> corruptions{0};
+    };
+
     std::filesystem::path dir_;
     std::uintmax_t maxBytes_ = kDefaultMaxBytes;
+    // shared_ptr so the (copyable) cache value type keeps one set of
+    // counters per logical cache; const methods count through it.
+    std::shared_ptr<StatCells> stats_ = std::make_shared<StatCells>();
 };
 
 }  // namespace phlogon::io

@@ -1,6 +1,8 @@
 #include "io/checkpoint.hpp"
 
 #include "io/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::io {
 
@@ -29,12 +31,18 @@ std::optional<TransientCheckpoint> decodeTransientCheckpoint(
 }
 
 bool saveTransientCheckpoint(const std::filesystem::path& path, const TransientCheckpoint& c) {
-    return writeArtifactFile(path, kTypeTransientCheckpoint, encodeTransientCheckpoint(c));
+    OBS_SPAN("checkpoint.save");
+    const bool ok =
+        writeArtifactFile(path, kTypeTransientCheckpoint, encodeTransientCheckpoint(c));
+    if (ok) PHLOGON_COUNT_METRIC("checkpoint.writes");
+    return ok;
 }
 
 std::optional<TransientCheckpoint> loadTransientCheckpoint(const std::filesystem::path& path) {
+    OBS_SPAN("checkpoint.load");
     const ArtifactReadResult r = readArtifactFile(path, kTypeTransientCheckpoint);
     if (!r.ok()) return std::nullopt;
+    PHLOGON_COUNT_METRIC("checkpoint.loads");
     return decodeTransientCheckpoint(r.payload);
 }
 
@@ -82,12 +90,17 @@ std::optional<GaeCheckpoint> decodeGaeCheckpoint(const std::vector<std::uint8_t>
 }
 
 bool saveGaeCheckpoint(const std::filesystem::path& path, const GaeCheckpoint& c) {
-    return writeArtifactFile(path, kTypeGaeCheckpoint, encodeGaeCheckpoint(c));
+    OBS_SPAN("checkpoint.save");
+    const bool ok = writeArtifactFile(path, kTypeGaeCheckpoint, encodeGaeCheckpoint(c));
+    if (ok) PHLOGON_COUNT_METRIC("checkpoint.writes");
+    return ok;
 }
 
 std::optional<GaeCheckpoint> loadGaeCheckpoint(const std::filesystem::path& path) {
+    OBS_SPAN("checkpoint.load");
     const ArtifactReadResult r = readArtifactFile(path, kTypeGaeCheckpoint);
     if (!r.ok()) return std::nullopt;
+    PHLOGON_COUNT_METRIC("checkpoint.loads");
     return decodeGaeCheckpoint(r.payload);
 }
 
@@ -101,10 +114,9 @@ core::GaeTransientResult resumeGaeTransient(const core::PpvModel& model, double 
     core::GaeTransientResult res = core::gaeTransientFrom(model, f1, schedule, c->dphi, c->t, t1,
                                                           opt, gridSize, ckpt, c->h);
     // Fold in the pre-checkpoint work so totals approximate the full run.
-    res.counters.rhsEvals += c->counters.rhsEvals;
-    res.counters.steps += c->counters.steps;
-    res.counters.rejectedSteps += c->counters.rejectedSteps;
-    res.counters.wallSeconds += c->counters.wallSeconds;
+    // operator+= sums every field, so nothing (e.g. Newton/LU counts from a
+    // future implicit GAE stepper) can silently fall out of the aggregation.
+    res.counters += c->counters;
     return res;
 }
 

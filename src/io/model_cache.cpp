@@ -1,6 +1,7 @@
 #include "io/model_cache.hpp"
 
 #include "io/hash.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::io {
 
@@ -32,6 +33,7 @@ CachedCharacterization characterizeCached(const ckt::Dae& dae, const ckt::Netlis
                                           const an::PssOptions& pssOpt,
                                           const an::PpvOptions& ppvOpt,
                                           const ArtifactCache& cache) {
+    OBS_SPAN("cache.characterize");
     CachedCharacterization out;
     const std::optional<std::uint64_t> key = characterizationKey(nl, pssOpt, ppvOpt);
     if (key) out.key = *key;

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+
 namespace phlogon::io {
 
 namespace {
@@ -215,6 +217,8 @@ bool writeArtifactFile(const std::filesystem::path& path, std::uint32_t type,
         std::filesystem::remove(tmp, ec);
         return false;
     }
+    PHLOGON_COUNT_METRIC("artifact.writes");
+    PHLOGON_ADD_METRIC("artifact.bytesWritten", header.size() + payload.size());
     return true;
 }
 
@@ -261,6 +265,8 @@ ArtifactReadResult readArtifactFile(const std::filesystem::path& path,
         return r;
     }
     r.status = ArtifactStatus::Ok;
+    PHLOGON_COUNT_METRIC("artifact.reads");
+    PHLOGON_ADD_METRIC("artifact.bytesRead", kHeaderSize + r.payload.size());
     return r;
 }
 

@@ -3,9 +3,16 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+
 namespace phlogon::num {
 
+// Process-wide LU call counts for the run report, named distinctly from the
+// per-analysis "lu.factorizations" (fed by obs::recordSolverCounters from
+// SolverCounters) so the two aggregation paths never double-count.
+
 bool LuFactor::refactor(const Matrix& a, double pivotTol) {
+    PHLOGON_COUNT_METRIC("lu.factor.calls");
     valid_ = false;
     if (a.rows() != a.cols() || a.rows() == 0) return false;
     const std::size_t n = a.rows();
@@ -52,6 +59,7 @@ std::optional<LuFactor> LuFactor::factor(const Matrix& a, double pivotTol) {
 }
 
 void LuFactor::solveInto(const Vec& b, Vec& x) const {
+    PHLOGON_COUNT_METRIC("lu.solve.calls");
     const std::size_t n = size();
     assert(b.size() == n);
     assert(&b != &x);
@@ -98,6 +106,7 @@ Vec LuFactor::solveTransposed(const Vec& b) const {
 }
 
 void LuFactor::solveMatrixInto(const Matrix& b, Matrix& x) const {
+    PHLOGON_COUNT_METRIC("lu.solveMatrix.calls");
     const std::size_t n = size();
     assert(b.rows() == n);
     assert(&b != &x);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace phlogon::num {
 
 NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
@@ -17,6 +19,8 @@ NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& ja
         if (res.counters.dampingEvents > 0) msg += " (damping exhausted)";
         res.message = std::move(msg);
         res.counters.newtonIters = static_cast<std::size_t>(res.iterations);
+        PHLOGON_COUNT_METRIC("newton.solves");
+        if (!converged) PHLOGON_COUNT_METRIC("newton.failures");
     };
 
     f(x, ws.fx_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace phlogon::num {
 
 namespace {
@@ -37,6 +39,17 @@ OdeSolution rkf45(const OdeRhs& f, const Vec& y0, double t0, double t1, const Od
     }
     double h = opt.initialStep > 0 ? opt.initialStep : span / 1000.0;
     if (opt.maxStep > 0) h = std::min(h, opt.maxStep);
+
+    // Once-per-solve counter flush (not per step): accepted steps are the
+    // trajectory length minus the initial point.
+    struct CounterFlush {
+        const OdeSolution& sol;
+        ~CounterFlush() {
+            PHLOGON_ADD_METRIC("ode.steps.accepted",
+                               sol.t.empty() ? 0 : sol.t.size() - 1);
+            PHLOGON_ADD_METRIC("ode.steps.rejected", sol.rejectedSteps);
+        }
+    } flush{sol};
 
     Vec k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), yt(n), y5(n), err(n);
     for (std::size_t step = 0; step < opt.maxSteps; ++step) {

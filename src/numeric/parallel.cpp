@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace phlogon::num {
 
 namespace {
@@ -18,6 +22,19 @@ namespace {
 // Set while a pool worker (or a caller draining a parallel job) is executing
 // job bodies; nested parallelFor calls check it and run serially.
 thread_local bool tlInParallelJob = false;
+
+std::uint64_t monotonicNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void atomicMaxU64(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
 
 }  // namespace
 
@@ -106,6 +123,16 @@ struct ThreadPool::Impl {
     // Serializes concurrent run() calls from distinct caller threads.
     std::mutex runMx;
 
+    // Scheduling statistics (PoolStats).  Observation-only: relaxed atomics,
+    // updated once per job / once per drain, never consulted by scheduling.
+    std::uint64_t jobInstallNs = 0;  // written under mx at job install
+    std::atomic<std::uint64_t> statJobs{0};
+    std::atomic<std::uint64_t> statSerialRuns{0};
+    std::atomic<std::uint64_t> statTasks{0};
+    std::atomic<std::uint64_t> statQueueWaitNs{0};
+    std::atomic<std::uint64_t> statMaxQueueDepth{0};
+    std::atomic<std::uint64_t> statWorkersSpawned{0};
+
     void record(std::size_t i, std::exception_ptr e) {
         std::lock_guard<std::mutex> lk(errMx);
         if (!err || i < errIndex) {
@@ -114,23 +141,32 @@ struct ThreadPool::Impl {
         }
     }
 
-    // Claim and execute indices until the job is exhausted.
-    void drain() {
+    // Claim and execute indices until the job is exhausted.  `installNs` is
+    // the job's install timestamp; the gap to the first claim is this
+    // thread's queue-wait contribution.
+    void drain(std::uint64_t installNs) {
+        OBS_SPAN("pool.drain");
+        statQueueWaitNs.fetch_add(monotonicNs() - installNs,
+                                  std::memory_order_relaxed);
         tlInParallelJob = true;
         const std::function<void(std::size_t)>& fn = *jobFn;
         const std::size_t n = jobN;
+        std::uint64_t executed = 0;
         for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
             try {
                 fn(i);
             } catch (...) {
                 record(i, std::current_exception());
             }
+            ++executed;
             completed.fetch_add(1);
         }
         tlInParallelJob = false;
+        statTasks.fetch_add(executed, std::memory_order_relaxed);
     }
 
-    void workerLoop() {
+    void workerLoop(unsigned workerIndex) {
+        obs::Tracer::setThreadName("pool-worker-" + std::to_string(workerIndex));
         std::uint64_t seen = 0;
         std::unique_lock<std::mutex> lk(mx);
         while (true) {
@@ -140,8 +176,9 @@ struct ThreadPool::Impl {
             if (jobDone) continue;  // woke after the job already drained
             if (tickets.fetch_add(1) >= workerCap) continue;  // job is full
             ++activeWorkers;
+            const std::uint64_t installNs = jobInstallNs;
             lk.unlock();
-            drain();
+            drain(installNs);
             lk.lock();
             --activeWorkers;
             if (activeWorkers == 0 && completed.load() == jobN)
@@ -150,8 +187,11 @@ struct ThreadPool::Impl {
     }
 
     void ensureWorkers(unsigned count) {  // callers hold mx
-        while (workers.size() < count)
-            workers.emplace_back([this] { workerLoop(); });
+        while (workers.size() < count) {
+            const unsigned index = static_cast<unsigned>(workers.size());
+            workers.emplace_back([this, index] { workerLoop(index); });
+            statWorkersSpawned.fetch_add(1, std::memory_order_relaxed);
+        }
     }
 };
 
@@ -177,12 +217,14 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn,
     // The exact serial path: a plain loop, no pool machinery, exceptions
     // propagate directly.  Nested calls also land here (deadlock-free).
     if (want <= 1 || n == 1 || tlInParallelJob) {
+        impl_->statSerialRuns.fetch_add(1, std::memory_order_relaxed);
         for (std::size_t i = 0; i < n; ++i) fn(i);
         return;
     }
 
     Impl& im = *impl_;
     std::lock_guard<std::mutex> runLk(im.runMx);
+    std::uint64_t installNs = 0;
     {
         std::lock_guard<std::mutex> lk(im.mx);
         im.jobN = n;
@@ -197,9 +239,13 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn,
         const std::size_t maxUseful = n - 1;  // caller takes at least one
         im.ensureWorkers(static_cast<unsigned>(
             std::min<std::size_t>(im.workerCap, maxUseful)));
+        installNs = monotonicNs();
+        im.jobInstallNs = installNs;
     }
+    im.statJobs.fetch_add(1, std::memory_order_relaxed);
+    atomicMaxU64(im.statMaxQueueDepth, n);
     im.wake.notify_all();
-    im.drain();  // the caller participates
+    im.drain(installNs);  // the caller participates
     {
         std::unique_lock<std::mutex> lk(im.mx);
         im.done.wait(lk, [&] {
@@ -207,6 +253,19 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn,
         });
         im.jobDone = true;
         im.jobFn = nullptr;
+    }
+    if (obs::metricsEnabled()) {
+        // References are stable for the life of the process, so the name
+        // lookups happen once per call site, not once per job.
+        static obs::Counter& cJobs =
+            obs::MetricsRegistry::instance().counter("pool.jobs");
+        static obs::Counter& cTasks =
+            obs::MetricsRegistry::instance().counter("pool.tasks");
+        static obs::Gauge& gDepth =
+            obs::MetricsRegistry::instance().gauge("pool.queueDepth");
+        cJobs.add(1);
+        cTasks.add(n);
+        gDepth.set(static_cast<std::int64_t>(n));
     }
     if (im.err) {
         std::exception_ptr e;
@@ -217,6 +276,26 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn,
         }
         std::rethrow_exception(e);
     }
+}
+
+PoolStats ThreadPool::stats() const {
+    PoolStats s;
+    s.jobs = impl_->statJobs.load(std::memory_order_relaxed);
+    s.serialRuns = impl_->statSerialRuns.load(std::memory_order_relaxed);
+    s.tasks = impl_->statTasks.load(std::memory_order_relaxed);
+    s.queueWaitNs = impl_->statQueueWaitNs.load(std::memory_order_relaxed);
+    s.maxQueueDepth = impl_->statMaxQueueDepth.load(std::memory_order_relaxed);
+    s.workersSpawned = impl_->statWorkersSpawned.load(std::memory_order_relaxed);
+    return s;
+}
+
+void ThreadPool::resetStats() {
+    impl_->statJobs.store(0, std::memory_order_relaxed);
+    impl_->statSerialRuns.store(0, std::memory_order_relaxed);
+    impl_->statTasks.store(0, std::memory_order_relaxed);
+    impl_->statQueueWaitNs.store(0, std::memory_order_relaxed);
+    impl_->statMaxQueueDepth.store(0, std::memory_order_relaxed);
+    // statWorkersSpawned intentionally kept: it mirrors live OS threads.
 }
 
 ThreadPool& ThreadPool::global() {

@@ -31,6 +31,7 @@
 // keeps nesting deadlock-free without changing results.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -77,6 +78,21 @@ auto parallelMap(const std::vector<T>& items, F&& fn, unsigned threads = 0)
     return out;
 }
 
+/// Scheduling statistics for one pool, accumulated across jobs.  Collection
+/// is observation-only (relaxed atomics, one clock read per worker per job)
+/// and never feeds back into scheduling, so enabling or reading stats cannot
+/// perturb the slot-per-index deterministic results — asserted by
+/// tests/numeric/test_parallel.cpp.
+struct PoolStats {
+    std::uint64_t jobs = 0;         ///< parallel jobs run through the pool
+    std::uint64_t serialRuns = 0;   ///< run() calls on the exact serial path
+    std::uint64_t tasks = 0;        ///< fn(i) invocations inside pool jobs
+    std::uint64_t queueWaitNs = 0;  ///< total install->first-claim latency
+                                    ///< summed over participating threads
+    std::uint64_t maxQueueDepth = 0;   ///< largest job size (indices) seen
+    std::uint64_t workersSpawned = 0;  ///< OS threads created so far
+};
+
 /// Persistent worker pool behind parallelFor.  Normally used through the
 /// free functions; exposed for tests and for callers that want to control
 /// pool lifetime explicitly.
@@ -98,6 +114,11 @@ public:
     /// determinism tests that oversubscribe a small machine).
     void run(std::size_t n, const std::function<void(std::size_t)>& fn,
              unsigned threads = 0);
+
+    /// Snapshot of this pool's scheduling statistics.
+    PoolStats stats() const;
+    /// Zero the statistics (workersSpawned reflects live workers and stays).
+    void resetStats();
 
     /// The process-wide pool used by parallelFor; sized from
     /// defaultThreadCount() on first use and grown on demand.

@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace phlogon::obs {
+
+#ifndef PHLOGON_NO_OBS
+namespace detail {
+
+std::atomic<int> metricsMode{-1};
+
+bool metricsInitSlow() {
+    const char* v = std::getenv("PHLOGON_METRICS");
+    const int on = (v && *v && std::string(v) != "0") ? 1 : 0;
+    int expected = -1;
+    metricsMode.compare_exchange_strong(expected, on, std::memory_order_relaxed);
+    return metricsMode.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void setMetricsEnabled(bool on) {
+    detail::metricsMode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+#endif  // PHLOGON_NO_OBS
+
+// ---- Histogram ------------------------------------------------------------
+
+namespace {
+
+int binForNs(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    return std::min<int>(Histogram::kBins - 1, std::bit_width(ns) - 1);
+}
+
+void atomicMin(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+void atomicMax(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+void Histogram::observe(double seconds) {
+    if (!(seconds >= 0.0)) return;
+    const std::uint64_t ns = static_cast<std::uint64_t>(seconds * 1e9);
+    bins_[binForNs(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNs_.fetch_add(ns, std::memory_order_relaxed);
+    atomicMin(minNs_, ns);
+    atomicMax(maxNs_, ns);
+}
+
+double Histogram::minSeconds() const {
+    const std::uint64_t v = minNs_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0.0 : static_cast<double>(v) / 1e9;
+}
+
+double Histogram::maxSeconds() const {
+    return static_cast<double>(maxNs_.load(std::memory_order_relaxed)) / 1e9;
+}
+
+double Histogram::quantileSeconds(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    const double target = q * static_cast<double>(n);
+    std::uint64_t seen = 0;
+    for (int k = 0; k < kBins; ++k) {
+        seen += binCount(k);
+        if (static_cast<double>(seen) >= target) {
+            // Geometric midpoint of the [2^k, 2^(k+1)) nanosecond bin.
+            return std::exp2(static_cast<double>(k) + 0.5) / 1e9;
+        }
+    }
+    return maxSeconds();
+}
+
+void Histogram::reset() {
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumNs_.store(0, std::memory_order_relaxed);
+    minNs_.store(UINT64_MAX, std::memory_order_relaxed);
+    maxNs_.store(0, std::memory_order_relaxed);
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+    mutable std::mutex mx;
+    // std::map: node-based, so references stay valid as the maps grow.
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::instance() {
+    // Leaked on purpose (same reason as the Tracer): instrumented sites may
+    // fire from worker threads during static destruction.
+    static MetricsRegistry* r = new MetricsRegistry();
+    return *r;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lk(impl_->mx);
+    return impl_->counters[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lk(impl_->mx);
+    return impl_->gauges[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lk(impl_->mx);
+    return impl_->histograms[name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    MetricsSnapshot s;
+    std::lock_guard<std::mutex> lk(impl_->mx);
+    for (const auto& [name, c] : impl_->counters)
+        s.counters.push_back({name, c.value()});
+    for (const auto& [name, g] : impl_->gauges)
+        s.gauges.push_back({name, g.value(), g.max()});
+    for (const auto& [name, h] : impl_->histograms) {
+        MetricsSnapshot::HistogramValue v;
+        v.name = name;
+        v.count = h.count();
+        v.totalSeconds = h.totalSeconds();
+        v.minSeconds = h.minSeconds();
+        v.maxSeconds = h.maxSeconds();
+        v.p50Seconds = h.quantileSeconds(0.5);
+        v.p95Seconds = h.quantileSeconds(0.95);
+        s.histograms.push_back(std::move(v));
+    }
+    return s;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lk(impl_->mx);
+    for (auto& [name, c] : impl_->counters) c.reset();
+    for (auto& [name, g] : impl_->gauges) g.reset();
+    for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+void recordSolverCounters(const char* analysis, const num::SolverCounters& c) {
+    if (!metricsEnabled()) return;
+    MetricsRegistry& r = MetricsRegistry::instance();
+    // Once-per-analysis-run, so the name lookups are off the hot path.
+    r.counter("newton.rhsEvals").add(c.rhsEvals);
+    r.counter("newton.jacEvals").add(c.jacEvals);
+    r.counter("newton.iters").add(c.newtonIters);
+    r.counter("newton.dampingEvents").add(c.dampingEvents);
+    r.counter("lu.factorizations").add(c.luFactorizations);
+    r.counter("steps.accepted").add(c.steps);
+    r.counter("steps.rejected").add(c.rejectedSteps);
+    r.counter(std::string("analysis.") + analysis + ".runs").add(1);
+    r.histogram(std::string("analysis.") + analysis + ".wall").observe(c.wallSeconds);
+}
+
+}  // namespace phlogon::obs

@@ -1,0 +1,150 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+namespace phlogon::obs {
+
+namespace {
+
+std::string fmtSeconds(double s) {
+    char buf[48];
+    if (s >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.3fs", s);
+    else if (s >= 1e-3)
+        std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fus", s * 1e6);
+    return buf;
+}
+
+void appendJsonEscaped(std::string& out, const std::string& s) {
+    for (char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+}
+
+}  // namespace
+
+RunReport RunReport::collect() {
+    RunReport r;
+    r.metrics = MetricsRegistry::instance().snapshot();
+#ifndef PHLOGON_NO_OBS
+    r.traceActive = traceEnabled();
+    Tracer& t = Tracer::instance();
+    r.tracePath = t.path();
+    r.traceEvents = t.eventCount();
+    r.traceDropped = t.droppedCount();
+#endif
+    return r;
+}
+
+std::string RunReport::toText() const {
+    std::string out;
+    char line[256];
+    out += "== run report ==\n";
+    if (traceActive) {
+        std::snprintf(line, sizeof line, "trace: %s (%zu events, %zu dropped)\n",
+                      tracePath.c_str(), traceEvents, traceDropped);
+        out += line;
+    }
+    std::size_t width = 24;
+    for (const auto& c : metrics.counters) width = std::max(width, c.name.size());
+    for (const auto& g : metrics.gauges) width = std::max(width, g.name.size());
+    for (const auto& h : metrics.histograms) width = std::max(width, h.name.size());
+    const int w = static_cast<int>(width);
+
+    if (!metrics.counters.empty()) out += "counters:\n";
+    for (const auto& c : metrics.counters) {
+        std::snprintf(line, sizeof line, "  %-*s %12llu\n", w, c.name.c_str(),
+                      static_cast<unsigned long long>(c.value));
+        out += line;
+    }
+    if (!metrics.gauges.empty()) out += "gauges:\n";
+    for (const auto& g : metrics.gauges) {
+        std::snprintf(line, sizeof line, "  %-*s %12lld  (max %lld)\n", w, g.name.c_str(),
+                      static_cast<long long>(g.value), static_cast<long long>(g.max));
+        out += line;
+    }
+    if (!metrics.histograms.empty()) out += "timings:\n";
+    for (const auto& h : metrics.histograms) {
+        std::snprintf(line, sizeof line, "  %-*s n=%-8llu total=%-10s p50=%-10s p95=%-10s max=%s\n",
+                      w, h.name.c_str(), static_cast<unsigned long long>(h.count),
+                      fmtSeconds(h.totalSeconds).c_str(), fmtSeconds(h.p50Seconds).c_str(),
+                      fmtSeconds(h.p95Seconds).c_str(), fmtSeconds(h.maxSeconds).c_str());
+        out += line;
+    }
+    return out;
+}
+
+std::string RunReport::toJson() const {
+    std::string out = "{";
+    char line[256];
+    out += "\"trace\":{\"active\":";
+    out += traceActive ? "true" : "false";
+    out += ",\"path\":\"";
+    appendJsonEscaped(out, tracePath);
+    std::snprintf(line, sizeof line, "\",\"events\":%zu,\"dropped\":%zu},", traceEvents,
+                  traceDropped);
+    out += line;
+
+    out += "\"counters\":{";
+    for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+        if (i) out += ",";
+        out += "\"";
+        appendJsonEscaped(out, metrics.counters[i].name);
+        std::snprintf(line, sizeof line, "\":%llu",
+                      static_cast<unsigned long long>(metrics.counters[i].value));
+        out += line;
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+        if (i) out += ",";
+        out += "\"";
+        appendJsonEscaped(out, metrics.gauges[i].name);
+        std::snprintf(line, sizeof line, "\":{\"value\":%lld,\"max\":%lld}",
+                      static_cast<long long>(metrics.gauges[i].value),
+                      static_cast<long long>(metrics.gauges[i].max));
+        out += line;
+    }
+    out += "},\"timings\":{";
+    for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+        const auto& h = metrics.histograms[i];
+        if (i) out += ",";
+        out += "\"";
+        appendJsonEscaped(out, h.name);
+        std::snprintf(line, sizeof line,
+                      "\":{\"count\":%llu,\"totalSeconds\":%.9g,\"minSeconds\":%.9g,"
+                      "\"maxSeconds\":%.9g,\"p50Seconds\":%.9g,\"p95Seconds\":%.9g}",
+                      static_cast<unsigned long long>(h.count), h.totalSeconds, h.minSeconds,
+                      h.maxSeconds, h.p50Seconds, h.p95Seconds);
+        out += line;
+    }
+    out += "}}";
+    return out;
+}
+
+bool maybePrintRunReport(std::FILE* out) {
+    if (!metricsEnabled()) return false;
+    const RunReport r = RunReport::collect();
+    const std::string text = r.toText();
+    std::fwrite(text.data(), 1, text.size(), out);
+    return true;
+}
+
+}  // namespace phlogon::obs

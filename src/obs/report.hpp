@@ -1,0 +1,38 @@
+#pragma once
+// End-of-run structured report: one table covering every instrumented layer
+// (solver, cache, thread pool, checkpoints) plus tracing status, printable
+// as aligned text or JSON.
+//
+// Examples call maybePrintRunReport(stdout) as their last act: it prints
+// only when PHLOGON_METRICS=1 (or setMetricsEnabled(true)), so default
+// output is unchanged.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace phlogon::obs {
+
+struct RunReport {
+    MetricsSnapshot metrics;
+    bool traceActive = false;
+    std::string tracePath;
+    std::size_t traceEvents = 0;
+    std::size_t traceDropped = 0;
+
+    /// Snapshot the registry and tracer now.
+    static RunReport collect();
+
+    /// Aligned human-readable table (counters, gauges with high-water marks,
+    /// histograms with count/total/p50/p95).
+    std::string toText() const;
+    /// Machine-readable JSON object.
+    std::string toJson() const;
+};
+
+/// Print RunReport::toText() to `out` when metrics are enabled; no-op (and
+/// no output) otherwise.  Returns true when a report was printed.
+bool maybePrintRunReport(std::FILE* out);
+
+}  // namespace phlogon::obs

@@ -1,0 +1,163 @@
+#pragma once
+// Low-overhead hierarchical tracing: scoped spans recorded into per-thread
+// ring buffers and exported as Chrome trace-event JSON (loadable in Perfetto
+// or chrome://tracing, summarized by the phlogon_trace tool).
+//
+// Usage in instrumented code:
+//
+//     void shootingPss(...) {
+//         OBS_SPAN("pss.shoot");          // whole-function span
+//         ...
+//         { OBS_SPAN("pss.warmup"); warmup(); }   // nested child span
+//     }
+//
+// Design constraints, in priority order:
+//
+//   1. *Disabled must be free.*  When tracing is off (no PHLOGON_TRACE in
+//      the environment, no programmatic start), OBS_SPAN compiles to one
+//      relaxed atomic load and a predictable branch — the instrumented
+//      binary stays within noise of the uninstrumented one.  Building with
+//      -DPHLOGON_DISABLE_OBS=ON removes even that (macros expand to
+//      nothing); the CI overhead-guard job compares the two builds.
+//   2. *No cross-thread contention when enabled.*  Each thread appends
+//      completed spans to its own fixed-capacity buffer; the only shared
+//      write is a one-time buffer registration per thread.  Buffers are
+//      append-only (a full buffer drops new events and counts the drops)
+//      so a reader can snapshot them at any time without tearing: every
+//      entry below the release-published count is immutable.
+//   3. *Static names only.*  Span names must be string literals (or other
+//      static-storage strings); events store the pointer, never a copy, so
+//      recording a span is a few stores and one steady_clock read.
+//
+// Span taxonomy (DESIGN.md §12): dot-separated, "<layer>.<operation>",
+// e.g. "pss.shoot", "gae.transient", "cache.fetch", "pool.drain".  The
+// Chrome-trace category is the prefix before the first dot.
+//
+// The trace is written on process exit (std::atexit, registered when the
+// PHLOGON_TRACE environment variable enables tracing) or explicitly via
+// Tracer::instance().write().  Writing while other threads are actively
+// recording is safe — concurrent spans published after the snapshot are
+// simply not included.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace phlogon::obs {
+
+#ifdef PHLOGON_NO_OBS
+
+inline constexpr bool traceEnabled() { return false; }
+
+#else
+
+namespace detail {
+/// -1 = not yet initialized from the environment, 0 = off, 1 = on.
+extern std::atomic<int> traceMode;
+/// Reads PHLOGON_TRACE once, installs the atexit writer when set.
+bool traceInitSlow();
+}  // namespace detail
+
+/// Fast-path gate: one relaxed load + branch once initialized.
+inline bool traceEnabled() {
+    const int m = detail::traceMode.load(std::memory_order_relaxed);
+    if (m >= 0) return m != 0;
+    return detail::traceInitSlow();
+}
+
+#endif  // PHLOGON_NO_OBS
+
+/// One completed span (or instant event) in a thread's buffer.  `name` must
+/// have static storage duration.  durNs < 0 marks an instant event.
+struct TraceEvent {
+    const char* name = nullptr;
+    std::int64_t startNs = 0;
+    std::int64_t durNs = 0;
+};
+
+/// Process-wide trace collector.  All methods are safe to call from any
+/// thread; recording itself goes through thread-local buffers and never
+/// takes the registry lock after a thread's first event.
+class Tracer {
+public:
+    static Tracer& instance();
+
+    /// Begin collecting spans, to be written to `path` (Chrome trace JSON).
+    /// Clears previously collected events so tests get a fresh trace.
+    void start(std::string path);
+    /// Stop collecting (buffered events are kept until write()/start()).
+    void stop();
+    /// Write collected events as Chrome trace JSON to the path given to
+    /// start() (or PHLOGON_TRACE).  Returns false on I/O failure or when
+    /// tracing was never started.
+    bool write();
+
+    /// Record a completed span ending now on the calling thread.
+    void recordSpan(const char* name, std::int64_t startNs, std::int64_t endNs);
+    /// Record an instant event on the calling thread.
+    void recordInstant(const char* name);
+
+    /// Nanoseconds on the trace clock (steady, zeroed at process start).
+    static std::int64_t nowNs();
+
+    /// Label the calling thread in the exported trace (e.g. "pool-worker-3").
+    static void setThreadName(std::string name);
+
+    /// Events currently buffered across all threads (diagnostics/tests).
+    std::size_t eventCount() const;
+    /// Events dropped because a per-thread buffer filled up.
+    std::size_t droppedCount() const;
+    const std::string& path() const;
+
+private:
+    Tracer();
+    struct Impl;
+    Impl* impl_;
+};
+
+#ifdef PHLOGON_NO_OBS
+
+class SpanScope {
+public:
+    explicit SpanScope(const char*) {}
+};
+inline void traceInstant(const char*) {}
+
+#else
+
+/// RAII span: records [construction, destruction) on the calling thread when
+/// tracing is enabled at construction time.
+class SpanScope {
+public:
+    explicit SpanScope(const char* name) {
+        if (traceEnabled()) {
+            name_ = name;
+            start_ = Tracer::nowNs();
+        }
+    }
+    ~SpanScope() {
+        if (name_) Tracer::instance().recordSpan(name_, start_, Tracer::nowNs());
+    }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+private:
+    const char* name_ = nullptr;
+    std::int64_t start_ = 0;
+};
+
+/// Record a zero-duration marker (e.g. "cache.hit") when tracing is enabled.
+inline void traceInstant(const char* name) {
+    if (traceEnabled()) Tracer::instance().recordInstant(name);
+}
+
+#endif  // PHLOGON_NO_OBS
+
+}  // namespace phlogon::obs
+
+// Scoped span with a unique local name; `name` must be a string literal (or
+// otherwise outlive the program).  Nesting is expressed by scope nesting.
+#define PHLOGON_OBS_CONCAT2(a, b) a##b
+#define PHLOGON_OBS_CONCAT(a, b) PHLOGON_OBS_CONCAT2(a, b)
+#define OBS_SPAN(name) ::phlogon::obs::SpanScope PHLOGON_OBS_CONCAT(obsSpan_, __LINE__)(name)
+#define OBS_INSTANT(name) ::phlogon::obs::traceInstant(name)

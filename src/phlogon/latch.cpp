@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/interp.hpp"
+#include "obs/trace.hpp"
 #include "phlogon/encoding.hpp"
 
 namespace phlogon::logic {
@@ -22,6 +23,7 @@ an::PssOptions RingOscCharacterization::defaultPssOptions() {
 RingOscCharacterization RingOscCharacterization::run(const ckt::RingOscSpec& spec,
                                                      an::PssOptions pssOpt,
                                                      an::PpvOptions ppvOpt) {
+    OBS_SPAN("latch.characterize");
     RingOscCharacterization c;
     c.nl_ = std::make_unique<ckt::Netlist>();
     const ckt::RingOscNodes nodes = ckt::buildRingOscillator(*c.nl_, "osc", spec);

@@ -6,6 +6,7 @@
 
 #include "core/gae_sweep.hpp"
 #include "numeric/interp.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::logic {
 
@@ -58,6 +59,7 @@ double SyncLatchDesign::signalCouplingShift() const {
 
 SyncLatchDesign designSyncLatch(PpvModel model, std::size_t injUnknown, double f1, double syncAmp,
                                 double vdd) {
+    OBS_SPAN("latch.design");
     SyncLatchDesign d;
     d.injUnknown = injUnknown;
     d.f1 = f1;

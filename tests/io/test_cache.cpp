@@ -20,7 +20,12 @@ namespace fs = std::filesystem;
 class CacheTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        dir_ = fs::temp_directory_path() / "phlogon_io_cache_test";
+        // Per-test directory: ctest runs each discovered test in its own
+        // process, possibly in parallel — a shared directory would let one
+        // test's SetUp remove_all another's live entries.
+        dir_ = fs::temp_directory_path() /
+               (std::string("phlogon_io_cache_test_") +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
         fs::remove_all(dir_);
     }
     void TearDown() override { fs::remove_all(dir_); }
@@ -103,6 +108,42 @@ TEST_F(CacheTest, LruEvictionDropsOldestFirst) {
     EXPECT_TRUE(fs::exists(cache.entryPath(1)));
     EXPECT_FALSE(fs::exists(cache.entryPath(2)));
     EXPECT_TRUE(fs::exists(cache.entryPath(3)));
+}
+
+TEST_F(CacheTest, StatsCountOutcomesAndAreSharedAcrossCopies) {
+    const ArtifactCache cache(dir_);
+    const ArtifactCache copy = cache;  // copies address the same directory
+    CacheStats s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses + s.stores + s.evictions + s.corruptions, 0u);
+
+    ASSERT_TRUE(cache.store(1, kTypeWaveform, bytesOf({1, 2, 3})));
+    EXPECT_TRUE(copy.fetch(1, kTypeWaveform).has_value());      // hit
+    EXPECT_FALSE(cache.fetch(2, kTypeWaveform).has_value());    // miss
+    // Corrupt the entry: the next fetch counts a corruption AND a miss.
+    const fs::path p = cache.entryPath(1);
+    std::fstream f(p, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(kHeaderSize + 1));
+    f.put(static_cast<char>(0x7F));
+    f.close();
+    EXPECT_FALSE(cache.fetch(1, kTypeWaveform).has_value());
+
+    s = copy.stats();  // the copy observes the same counters
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.corruptions, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST_F(CacheTest, StatsCountEvictions) {
+    // 1 KiB budget with ~40-byte entries: storing many forces LRU pruning.
+    const ArtifactCache cache(dir_, 1024);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        ASSERT_TRUE(cache.store(k, kTypeWaveform, bytesOf({1, 2, 3, 4})));
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.stores, 64u);
+    EXPECT_GE(s.evictions, 1u);
+    EXPECT_EQ(s.stores - s.evictions, cache.entries().size());
 }
 
 TEST_F(CacheTest, HashHexIs16LowercaseDigits) {

@@ -22,7 +22,12 @@ const core::PpvModel& model() { return testutil::sharedOsc().model(); }
 class CheckpointTest : public ::testing::Test {
 protected:
     void SetUp() override {
-        dir_ = fs::temp_directory_path() / "phlogon_io_checkpoint_test";
+        // Per-test directory: ctest runs each TEST as its own process, so a
+        // shared directory would let one test's SetUp/TearDown remove_all
+        // clobber another's checkpoint files under parallel ctest.
+        dir_ = fs::temp_directory_path() /
+               (std::string("phlogon_io_checkpoint_test_") +
+                ::testing::UnitTest::GetInstance()->current_test_info()->name());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
     }

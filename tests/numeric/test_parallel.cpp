@@ -195,5 +195,60 @@ TEST(ThreadPool, ManySmallJobsBackToBack) {
     EXPECT_EQ(total.load(), 200 * (0 + 1 + 2 + 3 + 4));
 }
 
+TEST(PoolStats, CountsJobsTasksAndSerialRuns) {
+    ThreadPool pool(4);
+    pool.resetStats();
+    std::vector<int> out(33, 0);
+    pool.run(33, [&](std::size_t i) { out[i] = 1; });
+    pool.run(
+        7, [&](std::size_t i) { out[i] += 1; }, 1);  // exact serial path
+    const PoolStats s = pool.stats();
+    EXPECT_EQ(s.jobs, 1u);
+    EXPECT_EQ(s.serialRuns, 1u);
+    EXPECT_EQ(s.tasks, 33u);  // the serial loop never enters the pool
+    EXPECT_EQ(s.maxQueueDepth, 33u);
+    EXPECT_LE(s.workersSpawned, 3u);  // caller participates as the 4th
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 33 + 7);
+}
+
+TEST(PoolStats, ResetKeepsWorkersSpawned) {
+    ThreadPool pool(2);
+    pool.run(8, [](std::size_t) {});
+    const std::uint64_t spawned = pool.stats().workersSpawned;
+    EXPECT_GE(spawned, 1u);
+    pool.resetStats();
+    const PoolStats s = pool.stats();
+    EXPECT_EQ(s.jobs, 0u);
+    EXPECT_EQ(s.tasks, 0u);
+    EXPECT_EQ(s.queueWaitNs, 0u);
+    EXPECT_EQ(s.maxQueueDepth, 0u);
+    EXPECT_EQ(s.workersSpawned, spawned);  // mirrors live OS threads
+}
+
+// Statistics collection is observation-only: slot-per-index results with
+// stats being gathered are bitwise identical to the serial loop, and every
+// task is accounted for exactly once.
+TEST(PoolStats, CollectionIsDeterminismSafe) {
+    ThreadPool pool(4);
+    const std::size_t n = 128;
+    const auto body = [](std::size_t i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k <= i; ++k) acc += 1.0 / static_cast<double>(k + 1);
+        return acc;
+    };
+    std::vector<double> serial(n), parallel(n);
+    pool.run(
+        n, [&](std::size_t i) { serial[i] = body(i); }, 1);
+    pool.resetStats();
+    for (int rep = 0; rep < 3; ++rep)
+        pool.run(
+            n, [&](std::size_t i) { parallel[i] = body(i); }, 4);
+    const PoolStats s = pool.stats();
+    EXPECT_EQ(s.jobs, 3u);
+    EXPECT_EQ(s.tasks, 3 * n);  // exactly once per index per job
+    EXPECT_EQ(s.maxQueueDepth, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], parallel[i]) << i;
+}
+
 }  // namespace
 }  // namespace phlogon::num

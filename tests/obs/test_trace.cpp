@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "numeric/parallel.hpp"
+#include "obs/trace_read.hpp"
+
+namespace phlogon::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- parser unit tests (no tracer involved) -------------------------------
+
+TEST(TraceRead, ParsesHandWrittenChromeTrace) {
+    const std::string json = R"({
+      "displayTimeUnit": "ms",
+      "traceEvents": [
+        {"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"main"}},
+        {"name":"pss.shoot","cat":"pss","ph":"X","ts":10.0,"dur":100.0,"pid":1,"tid":0},
+        {"name":"pss.warmup","cat":"pss","ph":"X","ts":20.0,"dur":30.0,"pid":1,"tid":0},
+        {"name":"cache.hit","cat":"cache","ph":"i","s":"t","ts":55.5,"pid":1,"tid":0}
+      ],
+      "otherData": {"droppedEvents": 3}
+    })";
+    const ParsedTrace t = parseChromeTrace(json);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(t.events.size(), 3u);  // metadata filtered into `threads`
+    EXPECT_EQ(t.threads.at(0), "main");
+    EXPECT_EQ(t.droppedEvents, 3u);
+
+    const auto spans = t.spansForThread(0);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "pss.shoot");  // parent sorts before child
+    EXPECT_EQ(spans[1].name, "pss.warmup");
+    EXPECT_EQ(spans[0].cat, "pss");
+    EXPECT_TRUE(t.spansProperlyNested());
+}
+
+TEST(TraceRead, AcceptsBareEventArray) {
+    const std::string json =
+        R"([{"name":"a.b","ph":"X","ts":0.0,"dur":1.0,"pid":1,"tid":4}])";
+    const ParsedTrace t = parseChromeTrace(json);
+    ASSERT_TRUE(t.ok) << t.error;
+    ASSERT_EQ(t.events.size(), 1u);
+    EXPECT_EQ(t.events[0].tid, 4);
+    EXPECT_EQ(t.spanThreadIds(), std::vector<std::int64_t>{4});
+}
+
+TEST(TraceRead, RejectsMalformedJson) {
+    EXPECT_FALSE(parseChromeTrace("").ok);
+    EXPECT_FALSE(parseChromeTrace("{\"traceEvents\": [").ok);
+    EXPECT_FALSE(parseChromeTrace("{\"noEvents\": 1}").ok);
+    EXPECT_FALSE(parseChromeTrace("[{\"name\": }]").ok);
+}
+
+TEST(TraceRead, DetectsImproperNesting) {
+    // Two spans overlap without containment: [0,10) and [5,15).
+    const std::string json = R"([
+      {"name":"a.x","ph":"X","ts":0.0,"dur":10.0,"pid":1,"tid":0},
+      {"name":"a.y","ph":"X","ts":5.0,"dur":10.0,"pid":1,"tid":0}
+    ])";
+    const ParsedTrace t = parseChromeTrace(json);
+    ASSERT_TRUE(t.ok) << t.error;
+    std::string why;
+    EXPECT_FALSE(t.spansProperlyNested(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+#ifndef PHLOGON_NO_OBS
+
+// ---- golden end-to-end: record -> write -> parse --------------------------
+
+class TraceGolden : public ::testing::Test {
+protected:
+    void SetUp() override {
+        path_ = fs::temp_directory_path() / "phlogon_trace_test.json";
+        fs::remove(path_);
+        Tracer::instance().start(path_.string());
+    }
+    void TearDown() override {
+        Tracer::instance().stop();
+        fs::remove(path_);
+    }
+    fs::path path_;
+};
+
+int countByName(const ParsedTrace& t, const std::string& name) {
+    int n = 0;
+    for (const ParsedEvent& e : t.events)
+        if (e.name == name) ++n;
+    return n;
+}
+
+TEST_F(TraceGolden, NestedSpansRoundTrip) {
+    {
+        OBS_SPAN("test.outer");
+        {
+            OBS_SPAN("test.inner");
+            OBS_INSTANT("test.marker");
+        }
+        { OBS_SPAN("test.inner"); }
+    }
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(t.droppedEvents, 0u);
+    EXPECT_EQ(countByName(t, "test.outer"), 1);
+    EXPECT_EQ(countByName(t, "test.inner"), 2);
+    EXPECT_EQ(countByName(t, "test.marker"), 1);
+
+    std::string why;
+    EXPECT_TRUE(t.spansProperlyNested(&why)) << why;
+
+    // All spans recorded from the main thread share one tid, labeled "main",
+    // and the children lie inside the parent.
+    const auto tids = t.spanThreadIds();
+    ASSERT_EQ(tids.size(), 1u);
+    EXPECT_EQ(t.threads.at(tids[0]), "main");
+    const auto spans = t.spansForThread(tids[0]);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].name, "test.outer");
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].tsUs, spans[0].tsUs);
+        EXPECT_LE(spans[i].tsUs + spans[i].durUs, spans[0].tsUs + spans[0].durUs + 1e-3);
+    }
+
+    // Category is the prefix before the first dot.
+    for (const ParsedEvent& e : t.events) EXPECT_EQ(e.cat, "test");
+}
+
+TEST_F(TraceGolden, SpansFromParallelWorkersCarryConsistentTids) {
+    num::parallelFor(
+        64, [](std::size_t) { OBS_SPAN("test.task"); }, 4);
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(countByName(t, "test.task"), 64);
+    std::string why;
+    EXPECT_TRUE(t.spansProperlyNested(&why)) << why;
+
+    // Every tid carrying spans is internally consistent: each task span on a
+    // worker tid nests inside that thread's pool.drain span.  (How many
+    // workers actually claimed tasks depends on scheduling; the caller's tid
+    // participates too.)
+    for (const std::int64_t tid : t.spanThreadIds()) {
+        const auto spans = t.spansForThread(tid);
+        const bool hasDrain =
+            std::any_of(spans.begin(), spans.end(),
+                        [](const ParsedEvent& e) { return e.name == "pool.drain"; });
+        const bool hasTask =
+            std::any_of(spans.begin(), spans.end(),
+                        [](const ParsedEvent& e) { return e.name == "test.task"; });
+        EXPECT_TRUE(hasDrain || !hasTask)
+            << "tid " << tid << " has task spans outside any pool.drain";
+    }
+
+    // Worker threads that recorded events are named in the metadata.
+    for (const auto& [tid, name] : t.threads)
+        EXPECT_TRUE(name == "main" || name.rfind("pool-worker-", 0) == 0) << name;
+}
+
+TEST_F(TraceGolden, StartClearsPreviousEvents) {
+    { OBS_SPAN("test.before"); }
+    EXPECT_GE(Tracer::instance().eventCount(), 1u);
+    Tracer::instance().start(path_.string());
+    EXPECT_EQ(Tracer::instance().eventCount(), 0u);
+    { OBS_SPAN("test.after"); }
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(countByName(t, "test.before"), 0);
+    EXPECT_EQ(countByName(t, "test.after"), 1);
+}
+
+TEST(TraceDisabled, SpansAreNotRecordedWhenOff) {
+    Tracer::instance().stop();
+    const std::size_t before = Tracer::instance().eventCount();
+    { OBS_SPAN("test.ignored"); }
+    OBS_INSTANT("test.ignored_instant");
+    EXPECT_EQ(Tracer::instance().eventCount(), before);
+}
+
+#endif  // PHLOGON_NO_OBS
+
+}  // namespace
+}  // namespace phlogon::obs

@@ -4,6 +4,9 @@
 //   phlogon_artifact verify <file.phlg>... exit 1 if any file fails validation
 //   phlogon_artifact cache [dir]           list cache entries (default:
 //                                          PHLOGON_CACHE_DIR), oldest first
+//   phlogon_artifact scrub [dir]           re-read every entry, dropping any
+//                                          that fail validation; exit 1 if
+//                                          corruption was found
 
 #include <chrono>
 #include <cstdio>
@@ -22,7 +25,8 @@ int usage() {
     std::fprintf(stderr,
                  "usage: phlogon_artifact info <file>...\n"
                  "       phlogon_artifact verify <file>...\n"
-                 "       phlogon_artifact cache [dir]\n");
+                 "       phlogon_artifact cache [dir]\n"
+                 "       phlogon_artifact scrub [dir]\n");
     return 2;
 }
 
@@ -72,7 +76,32 @@ int listCache(const io::ArtifactCache& cache) {
     }
     std::printf("%zu entries, %llu bytes total\n", entries.size(),
                 static_cast<unsigned long long>(total));
+    const io::CacheStats s = cache.stats();
+    std::printf("session stats: %llu hits, %llu misses, %llu stores, %llu evictions, "
+                "%llu corruptions\n",
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.stores),
+                static_cast<unsigned long long>(s.evictions),
+                static_cast<unsigned long long>(s.corruptions));
     return 0;
+}
+
+/// Fetch every entry through the normal read path: validates CRCs, removes
+/// corrupt entries (the cache's own scrub-on-fetch policy) and leaves the
+/// session stats populated for the summary line.
+int scrubCache(const io::ArtifactCache& cache) {
+    if (!cache.enabled()) {
+        std::printf("cache disabled (set PHLOGON_CACHE_DIR or pass a directory)\n");
+        return 0;
+    }
+    for (const io::ArtifactCache::Entry& e : cache.entries())
+        (void)cache.fetch(e.key, 0);
+    const io::CacheStats s = cache.stats();
+    std::printf("scrubbed %s: %llu ok, %llu corrupt removed\n", cache.dir().string().c_str(),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.corruptions));
+    return s.corruptions == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -91,6 +120,11 @@ int main(int argc, char** argv) {
         if (argc > 3) return usage();
         if (argc == 3) return listCache(io::ArtifactCache(argv[2]));
         return listCache(io::ArtifactCache::fromEnv());
+    }
+    if (cmd == "scrub") {
+        if (argc > 3) return usage();
+        if (argc == 3) return scrubCache(io::ArtifactCache(argv[2]));
+        return scrubCache(io::ArtifactCache::fromEnv());
     }
     return usage();
 }

@@ -1,0 +1,250 @@
+// phlogon_trace — summarize and merge Chrome trace-event JSON files written
+// by the tracer (PHLOGON_TRACE=out.json).
+//
+//   phlogon_trace summarize <file.json>     per-span-name breakdown: count,
+//                                           total/self/avg wall time, % of
+//                                           traced time, over all threads
+//   phlogon_trace merge <out.json> <in>...  concatenate traces; thread ids
+//                                           are remapped per input file so
+//                                           runs don't collide in Perfetto
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_read.hpp"
+
+using namespace phlogon;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: phlogon_trace summarize <trace.json>\n"
+                 "       phlogon_trace merge <out.json> <in.json>...\n");
+    return 2;
+}
+
+std::string fmtUs(double us) {
+    char buf[48];
+    if (us >= 1e6)
+        std::snprintf(buf, sizeof buf, "%.3fs", us / 1e6);
+    else if (us >= 1e3)
+        std::snprintf(buf, sizeof buf, "%.3fms", us / 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.1fus", us);
+    return buf;
+}
+
+struct NameStats {
+    std::uint64_t count = 0;
+    double totalUs = 0.0;   ///< inclusive (span duration)
+    double selfUs = 0.0;    ///< exclusive (minus direct children)
+    double maxUs = 0.0;
+};
+
+int summarize(const char* file) {
+    const obs::ParsedTrace trace = obs::readChromeTraceFile(file);
+    if (!trace.ok) {
+        std::fprintf(stderr, "phlogon_trace: %s: %s\n", file, trace.error.c_str());
+        return 1;
+    }
+
+    std::map<std::string, NameStats> byName;
+    std::map<std::string, std::uint64_t> instants;
+    double tracedUs = 0.0;  // sum of root-span durations = total traced time
+    std::size_t spanCount = 0;
+
+    for (const std::int64_t tid : trace.spanThreadIds()) {
+        // Reconstruct nesting from interval containment (spansForThread sorts
+        // parents before children), charging each span's duration against its
+        // parent's self time.
+        const std::vector<obs::ParsedEvent> spans = trace.spansForThread(tid);
+        struct Open {
+            const obs::ParsedEvent* span;
+            double childUs = 0.0;
+        };
+        std::vector<Open> stack;
+        auto close = [&](const Open& o) {
+            NameStats& s = byName[o.span->name];
+            s.count += 1;
+            s.totalUs += o.span->durUs;
+            s.selfUs += std::max(0.0, o.span->durUs - o.childUs);
+            s.maxUs = std::max(s.maxUs, o.span->durUs);
+        };
+        for (const obs::ParsedEvent& e : spans) {
+            ++spanCount;
+            while (!stack.empty() &&
+                   e.tsUs >= stack.back().span->tsUs + stack.back().span->durUs) {
+                close(stack.back());
+                stack.pop_back();
+            }
+            if (stack.empty())
+                tracedUs += e.durUs;
+            else
+                stack.back().childUs += e.durUs;
+            stack.push_back({&e});
+        }
+        while (!stack.empty()) {
+            close(stack.back());
+            stack.pop_back();
+        }
+    }
+    for (const obs::ParsedEvent& e : trace.events)
+        if (e.ph == "i" || e.ph == "I") ++instants[e.name];
+
+    std::printf("%s: %zu spans on %zu threads", file, spanCount,
+                trace.spanThreadIds().size());
+    if (trace.droppedEvents) {
+        std::printf(", %llu DROPPED",
+                    static_cast<unsigned long long>(trace.droppedEvents));
+    }
+    std::printf(", traced %s\n\n", fmtUs(tracedUs).c_str());
+
+    std::size_t width = 18;
+    for (const auto& [name, s] : byName) width = std::max(width, name.size());
+    const int w = static_cast<int>(width);
+
+    // Sort by total time descending — the expensive spans lead.
+    std::vector<std::pair<std::string, NameStats>> rows(byName.begin(), byName.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.second.totalUs > b.second.totalUs;
+    });
+
+    std::printf("%-*s %8s %12s %12s %12s %12s %7s\n", w, "span", "count", "total",
+                "self", "avg", "max", "%total");
+    for (const auto& [name, s] : rows) {
+        const double avg = s.count ? s.totalUs / static_cast<double>(s.count) : 0.0;
+        const double pct = tracedUs > 0.0 ? 100.0 * s.totalUs / tracedUs : 0.0;
+        std::printf("%-*s %8llu %12s %12s %12s %12s %6.1f%%\n", w, name.c_str(),
+                    static_cast<unsigned long long>(s.count), fmtUs(s.totalUs).c_str(),
+                    fmtUs(s.selfUs).c_str(), fmtUs(avg).c_str(), fmtUs(s.maxUs).c_str(),
+                    pct);
+    }
+    if (!instants.empty()) {
+        std::printf("\n%-*s %8s\n", w, "instant", "count");
+        for (const auto& [name, n] : instants)
+            std::printf("%-*s %8llu\n", w, name.c_str(),
+                        static_cast<unsigned long long>(n));
+    }
+    return 0;
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+    for (char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+}
+
+int merge(const char* outPath, const std::vector<const char*>& inputs) {
+    std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped = 0;
+    std::int64_t tidBase = 0;
+
+    for (const char* file : inputs) {
+        const obs::ParsedTrace trace = obs::readChromeTraceFile(file);
+        if (!trace.ok) {
+            std::fprintf(stderr, "phlogon_trace: %s: %s\n", file, trace.error.c_str());
+            return 1;
+        }
+        dropped += trace.droppedEvents;
+
+        // Remap this file's tids to a disjoint range; keep relative order so
+        // "main" from each run stays at the top of its block.
+        std::map<std::int64_t, std::int64_t> tidMap;
+        auto mapped = [&](std::int64_t tid) {
+            const auto [it, inserted] =
+                tidMap.emplace(tid, tidBase + static_cast<std::int64_t>(tidMap.size()));
+            (void)inserted;
+            return it->second;
+        };
+
+        char buf[64];
+        for (const auto& [tid, name] : trace.threads) {
+            if (!first) json += ",";
+            first = false;
+            json += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(tid)));
+            json += buf;
+            json += ",\"args\":{\"name\":\"";
+            appendEscaped(json, name);
+            json += " [";
+            appendEscaped(json, file);
+            json += "]\"}}";
+        }
+        for (const obs::ParsedEvent& e : trace.events) {
+            if (!first) json += ",";
+            first = false;
+            json += "{\"ph\":\"";
+            appendEscaped(json, e.ph);
+            json += "\",\"name\":\"";
+            appendEscaped(json, e.name);
+            json += "\",\"cat\":\"";
+            appendEscaped(json, e.cat.empty() ? std::string("trace") : e.cat);
+            json += "\",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(e.tid)));
+            json += buf;
+            std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.tsUs);
+            json += buf;
+            if (e.ph == "X") {
+                std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", e.durUs);
+                json += buf;
+            } else if (e.ph == "i" || e.ph == "I") {
+                json += ",\"s\":\"t\"";
+            }
+            json += "}";
+        }
+        tidBase += static_cast<std::int64_t>(tidMap.size());
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "],\"otherData\":{\"droppedEvents\":%llu}}",
+                  static_cast<unsigned long long>(dropped));
+    json += buf;
+
+    std::FILE* f = std::fopen(outPath, "wb");
+    if (!f) {
+        std::fprintf(stderr, "phlogon_trace: cannot write %s\n", outPath);
+        return 1;
+    }
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok) {
+        std::fprintf(stderr, "phlogon_trace: short write to %s\n", outPath);
+        return 1;
+    }
+    std::printf("merged %zu file(s) -> %s\n", inputs.size(), outPath);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "summarize") {
+        if (argc != 3) return usage();
+        return summarize(argv[2]);
+    }
+    if (cmd == "merge") {
+        if (argc < 4) return usage();
+        std::vector<const char*> inputs(argv + 3, argv + argc);
+        return merge(argv[2], inputs);
+    }
+    return usage();
+}
