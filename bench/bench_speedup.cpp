@@ -122,6 +122,104 @@ void reportSweepSpeedup() {
                 std::thread::hardware_concurrency());
 }
 
+// One-shot batched-vs-scalar Monte-Carlo table: the PR's headline number.
+// Same hold-error workload at the same thread count; the batched engine
+// replaces per-trial spline lookups + std::normal_distribution with one
+// packed-polynomial pass over the g table per step and a ziggurat normal per
+// lane (DESIGN.md §13).
+void reportBatchSpeedup() {
+    const auto& d = bench::design100();
+    const core::Gae gae(d.model, d.f1, {d.sync()});
+    const double start = gae.stableEquilibria()[0].dphi;
+    const std::size_t trials = smokeMode() ? 128 : 1024;
+    const double span = 60.0 / d.f1;
+    const double c = 2e-7;
+    std::size_t errors = 0;
+    const auto wallMs = [&](std::size_t batch, unsigned threads) {
+        core::StochasticGaeOptions opt;
+        opt.seed = 7;
+        opt.threads = threads;
+        opt.batch = batch;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = core::holdErrorProbability(gae, c, start, span, trials, opt);
+        errors = r.errors;
+        benchmark::DoNotOptimize(errors);
+        return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    wallMs(64, 1);  // warm up (touches the packed table + ziggurat init)
+    const unsigned threads = std::max(4u, num::defaultThreadCount());
+    std::printf("Batched Monte-Carlo engine: %zu-trial hold-error experiment (60 cycles,\n",
+                trials);
+    std::printf("c = %.0e), scalar per-trial path vs SoA batch = 64 trials/slot:\n", c);
+    double scalar1 = 0.0, scalarT = 0.0;
+    for (const unsigned t : {1u, threads}) {
+        const double sMs = wallMs(0, t);
+        const std::size_t sErr = errors;
+        const double bMs = wallMs(64, t);
+        std::printf("  %u thread(s): scalar %8.2f ms (%zu errs) | batched %8.2f ms (%zu errs)"
+                    "  -> speedup x%.2f\n",
+                    t, sMs, sErr, bMs, errors, sMs / bMs);
+        (t == 1 ? scalar1 : scalarT) = sMs / bMs;
+    }
+    std::printf("  (engines are distinct RNG configurations — counts differ; each is\n");
+    std::printf("   bitwise stable across threads and batch size)\n\n");
+    benchmark::DoNotOptimize(scalar1 + scalarT);
+}
+
+// Benchmark-table version: batch size 0 is the scalar engine.
+void BM_HoldErrorMonteCarlo(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const core::Gae gae(d.model, d.f1, {d.sync()});
+    const double start = gae.stableEquilibria()[0].dphi;
+    core::StochasticGaeOptions opt;
+    opt.seed = 7;
+    opt.batch = static_cast<std::size_t>(state.range(0));
+    opt.threads = static_cast<unsigned>(state.range(1));
+    const std::size_t trials = smokeMode() ? 64 : 256;
+    for (auto _ : state) {
+        const auto r = core::holdErrorProbability(gae, 2e-7, start, 60.0 / d.f1, trials, opt);
+        benchmark::DoNotOptimize(r.errors);
+    }
+}
+BENCHMARK(BM_HoldErrorMonteCarlo)
+    ->Args({0, 1})
+    ->Args({64, 1})
+    ->Args({0, 4})
+    ->Args({64, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Batched GAE ensemble vs B scalar gaeTransient calls (Fig. 10/12 bit-flip
+// corners as one SoA integration; bitwise-identical trajectories).
+void BM_GaeBitFlipEnsemble(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const std::vector<core::GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(150e-6, 1)}}};
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    num::Vec starts(lanes);
+    for (std::size_t l = 0; l < lanes; ++l)
+        starts[l] = d.reference.phase0 + 0.01 + 0.001 * static_cast<double>(l);
+    for (auto _ : state) {
+        const auto r = core::gaeTransientEnsemble(d.model, d.f1, sched, starts, 0.0, 40.0 / d.f1);
+        benchmark::DoNotOptimize(r.ok);
+    }
+}
+BENCHMARK(BM_GaeBitFlipEnsemble)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_GaeBitFlipScalarLoop(benchmark::State& state) {
+    const auto& d = bench::design100();
+    const std::vector<core::GaeSegment> sched{{0.0, {d.sync(), d.dataInjection(150e-6, 1)}}};
+    const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+            const auto r = core::gaeTransient(
+                d.model, d.f1, sched, d.reference.phase0 + 0.01 + 0.001 * static_cast<double>(l),
+                0.0, 40.0 / d.f1);
+            benchmark::DoNotOptimize(r.ok);
+        }
+    }
+}
+BENCHMARK(BM_GaeBitFlipScalarLoop)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // Solver strategy table: the same SPICE-level D-latch bit-write transient
 // run under the solver engine's strategies, against a faithful replica of
@@ -569,6 +667,7 @@ int main(int argc, char** argv) {
     std::printf("bit slot.  Expect the GAE (scalar ODE) to be orders of magnitude faster\n");
     std::printf("and the non-averaged phase system to sit in between.\n\n");
     reportSweepSpeedup();
+    reportBatchSpeedup();
     reportSolverStrategies();
     reportCacheAndCheckpoint();
     benchmark::Initialize(&argc, argv);

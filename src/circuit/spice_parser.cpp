@@ -63,12 +63,16 @@ double parseSpiceValue(const std::string& token) {
     if (suffix == "m") return v * 1e-3;
     if (suffix == "k") return v * 1e3;
     if (suffix == "meg") return v * 1e6;
+    if (suffix == "mil") return v * 25.4e-6;  // SPICE mils: 1e-3 inch in meters
     if (suffix == "g") return v * 1e9;
     if (suffix == "t") return v * 1e12;
     // Unit tails like "4.7nF", "10kohm", "3V" — accept a known prefix
-    // followed by letters.
+    // followed by letters.  Multi-letter suffixes ("meg", "mil") must come
+    // before their one-letter prefixes ("m"), or "5mil" would parse as
+    // 5 milli instead of 5 mils.
     for (const auto& [p, scale] :
          std::initializer_list<std::pair<const char*, double>>{{"meg", 1e6},
+                                                               {"mil", 25.4e-6},
                                                                {"f", 1e-15},
                                                                {"p", 1e-12},
                                                                {"n", 1e-9},

@@ -49,12 +49,15 @@ Gae::Gae(const PpvModel& model, double f1, const std::vector<Injection>& injecti
     gMin_ = *mn;
     gMax_ = *mx;
     gSpline_ = num::PeriodicCubicSpline(gGrid_);
+    gPacked_ = num::PackedPeriodicSpline(gSpline_);
 }
 
 std::vector<GaeEquilibrium> Gae::equilibria() const {
     std::vector<GaeEquilibrium> out;
     const auto fn = [this](double dphi) { return rhs(dphi); };
-    const std::vector<double> roots = num::findAllRoots(fn, 0.0, 1.0, 1440);
+    // Periodic scan: the seam bracket [1 - h, 1) closes against the sample at
+    // 0, so a lock phase at the Δφ = 0/1 seam is reported exactly once.
+    const std::vector<double> roots = num::findAllRootsPeriodic(fn, 0.0, 1.0, 1440);
     out.reserve(roots.size());
     for (double r : roots) {
         GaeEquilibrium eq;

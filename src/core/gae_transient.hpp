@@ -67,4 +67,24 @@ GaeTransientResult gaeTransientFrom(const PpvModel& model, double f1,
 /// `target` and stays there; returns t1-end if it never settles.
 double settleTime(const GaeTransientResult& r, double target, double tol = 0.02);
 
+struct GaeEnsembleResult {
+    bool ok = false;  ///< every trial converged
+    std::vector<GaeTransientResult> trials;
+};
+
+/// Batched ensemble of GAE transients: the same schedule integrated from
+/// many initial phases at once (the Fig. 10/12 two-tone bit-flip experiments
+/// repeated across starting conditions).  Each segment's Gae is built ONCE
+/// and all lanes advance through it in lockstep via num::BatchOde — one pass
+/// over the g table per RK stage instead of per-trial spline lookups, and
+/// one g-grid correlation per segment instead of per trial.  Every lane's
+/// trajectory is bitwise identical to the scalar
+/// gaeTransient(model, f1, schedule, dphi0[l], ...) at any ensemble size
+/// (BatchOde contract).  Checkpointing is not supported here; per-trial
+/// checkpoint/resume stays on the scalar path.
+GaeEnsembleResult gaeTransientEnsemble(const PpvModel& model, double f1,
+                                       const std::vector<GaeSegment>& schedule, const Vec& dphi0,
+                                       double t0, double t1, const num::OdeOptions& opt = {},
+                                       std::size_t gridSize = 1024);
+
 }  // namespace phlogon::core

@@ -7,6 +7,9 @@
 #include "core/gae_sweep.hpp"
 #include "numeric/interp.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phlogon::core {
 
@@ -99,6 +102,60 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
     // same values in the same order at any thread count.
     enum : unsigned char { kFailed = 0, kHeld = 1, kLost = 2 };
     std::vector<unsigned char> outcome(trials, kFailed);
+
+    // Shared decode: nearest stable phase to the (wrapped) end point.
+    const auto decode = [&](double end) -> unsigned char {
+        double best = 1e9;
+        double bestPhase = start;
+        for (const auto& e : stable) {
+            const double dist = phaseDistance(e.dphi, end);
+            if (dist < best) {
+                best = dist;
+                bestPhase = e.dphi;
+            }
+        }
+        return phaseDistance(bestPhase, start) > 1e-9 ? kLost : kHeld;
+    };
+
+    if (opt.batch > 0 && holdTime > 0.0) {
+        // Batched SoA engine: `batch` trials per thread-pool slot advance in
+        // lockstep; each Euler-Maruyama step does one packed-polynomial pass
+        // over the g table for the whole block and one ziggurat draw per
+        // lane.  Lane l's state and RNG stream depend only on its trial
+        // index, so the outcomes are bitwise invariant under thread count
+        // and batch size (see StochasticGaeOptions::batch).
+        OBS_SPAN("noise.holdError.batch");
+        const double f0 = gae.f0();
+        const double dt = opt.dt > 0 ? opt.dt : 1.0 / (20.0 * f0);
+        const double sigma = f0 * std::sqrt(std::max(cSeconds, 0.0));
+        const std::size_t nSteps =
+            std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(holdTime / dt)));
+        const double h = holdTime / static_cast<double>(nSteps);
+        const double sqrtH = std::sqrt(h);
+        const auto& zig = num::ZigguratNormal::instance();
+        const std::size_t nBlocks = (trials + opt.batch - 1) / opt.batch;
+        num::parallelFor(
+            nBlocks,
+            [&](std::size_t blk) {
+                const std::size_t lo = blk * opt.batch;
+                const std::size_t n = std::min(trials, lo + opt.batch) - lo;
+                std::vector<double> phi(n, start), drift(n);
+                std::vector<num::SplitMix64> rngs;
+                rngs.reserve(n);
+                for (std::size_t l = 0; l < n; ++l)
+                    rngs.emplace_back(deriveTrialSeed(opt.seed, lo + l));
+                for (std::size_t k = 0; k < nSteps; ++k) {
+                    gae.rhsManyPacked(phi.data(), drift.data(), n);
+                    for (std::size_t l = 0; l < n; ++l)
+                        phi[l] += drift[l] * h + sigma * sqrtH * zig(rngs[l]);
+                }
+                for (std::size_t l = 0; l < n; ++l) outcome[lo + l] = decode(phi[l]);
+                PHLOGON_ADD_METRIC("batch.mc.trials", n);
+                PHLOGON_ADD_METRIC("batch.mc.steps", n * nSteps);
+            },
+            opt.threads);
+        PHLOGON_ADD_METRIC("batch.mc.blocks", nBlocks);
+    } else if (opt.batch == 0) {
     num::parallelFor(
         trials,
         [&](std::size_t trial) {
@@ -110,20 +167,10 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
             const StochasticGaeResult r = stochasticGaeTransient(gae, cSeconds, start, 0.0,
                                                                  holdTime, o);
             if (!r.ok) return;
-            // Decode: nearest stable phase to the (wrapped) end point.
-            const double end = r.dphi.back();
-            double best = 1e9;
-            double bestPhase = start;
-            for (const auto& e : stable) {
-                const double dist = phaseDistance(e.dphi, end);
-                if (dist < best) {
-                    best = dist;
-                    bestPhase = e.dphi;
-                }
-            }
-            outcome[trial] = phaseDistance(bestPhase, start) > 1e-9 ? kLost : kHeld;
+            outcome[trial] = decode(r.dphi.back());
         },
         opt.threads);
+    }
     for (unsigned char oc : outcome) {
         if (oc == kFailed) continue;
         ++out.trials;

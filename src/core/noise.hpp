@@ -57,6 +57,16 @@ struct StochasticGaeOptions {
     std::uint64_t seed = 1;
     std::size_t storeEvery = 8;
     unsigned threads = 0;  ///< ensemble loops: 0 = PHLOGON_THREADS/auto, 1 = serial
+    /// holdErrorProbability engine selection.  0 (default) runs the scalar
+    /// per-trial path (mt19937_64 + std::normal_distribution), bit-preserving
+    /// historical results.  > 0 runs `batch` trials per thread-pool slot over
+    /// SoA lanes: one packed-polynomial pass over the g table per step plus a
+    /// ziggurat normal per lane (numeric/rng.hpp).  The batched counts are a
+    /// distinct configuration (different RNG engine, packed g evaluation) but
+    /// are themselves bitwise identical at any thread count AND any batch
+    /// size: every trial's arithmetic depends only on (seed, trial index),
+    /// never on how trials are grouped into lanes (DESIGN.md §13).
+    std::size_t batch = 0;
 };
 
 struct StochasticGaeResult {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/interp.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace phlogon::core {
@@ -135,6 +136,43 @@ double PhaseSystem::evalSignal(SignalId id, double t, double f1, const num::Vec&
     return 0.0;
 }
 
+double PhaseSystem::evalSignalCached(SignalId id, double t, double f1, const num::Vec& dphi,
+                                     EvalCache& cache) const {
+    const auto idx = static_cast<std::size_t>(id);
+    if (cache.stamp[idx] == cache.cur && cache.t[idx] == t) {
+        ++cache.hits;
+        return cache.v[idx];
+    }
+    const Signal& s = signals_[idx];
+    double val = 0.0;
+    switch (s.kind) {
+        case SignalKind::Gate: {
+            double sum = 0.0;
+            for (const auto& [in, w] : s.inputs)
+                sum += w * evalSignalCached(in, t, f1, dphi, cache);
+            if (s.invert) sum = -sum;
+            if (s.clip > 0.0) sum = s.clip * std::tanh(sum / s.clip);
+            val = sum;
+            break;
+        }
+        case SignalKind::Placeholder:
+            if (s.target < 0)
+                throw std::logic_error("PhaseSystem: unbound placeholder '" + s.label + "'");
+            val = evalSignalCached(s.target, t, f1, dphi, cache);
+            break;
+        default:
+            // External / LatchOutput leaves: one arithmetic home, shared
+            // with the uncached path.
+            val = evalSignal(id, t, f1, dphi);
+            break;
+    }
+    ++cache.misses;
+    cache.stamp[idx] = cache.cur;
+    cache.t[idx] = t;
+    cache.v[idx] = val;
+    return val;
+}
+
 PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const num::Vec& dphi0,
                                           std::size_t stepsPerCycle, std::size_t storeEvery) const {
     OBS_SPAN("phase.simulate");
@@ -144,7 +182,15 @@ PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const
         throw std::invalid_argument("PhaseSystem::simulate: dphi0 size mismatch");
     if (!(f1 > 0) || !(t1 > t0)) throw std::invalid_argument("PhaseSystem::simulate: bad span");
 
+    // One memo shared across the whole run; a stamp bump per RK stage makes
+    // prior-stage entries stale without clearing (dphi changes every stage).
+    EvalCache cache;
+    cache.stamp.assign(signals_.size(), 0);
+    cache.t.assign(signals_.size(), 0.0);
+    cache.v.assign(signals_.size(), 0.0);
+
     const num::OdeRhs rhs = [&](double t, const num::Vec& y) {
+        ++cache.cur;
         num::Vec dy(k);
         for (std::size_t i = 0; i < k; ++i) {
             const PpvModel& m = latches_[i].model;
@@ -152,7 +198,8 @@ PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const
             double proj = 0.0;
             for (const Connection& c : connections_[i]) {
                 const double tSig = t - c.delayCycles / f1;
-                proj += m.ppvAt(c.unknownIndex, theta) * c.gain * evalSignal(c.signal, tSig, f1, y);
+                proj += m.ppvAt(c.unknownIndex, theta) * c.gain *
+                        evalSignalCached(c.signal, tSig, f1, y, cache);
             }
             dy[i] = (m.f0() - f1) + m.f0() * proj;
         }
@@ -162,6 +209,8 @@ PhaseSystem::Result PhaseSystem::simulate(double f1, double t0, double t1, const
     const std::size_t nSteps =
         static_cast<std::size_t>(std::ceil((t1 - t0) * f1 * static_cast<double>(stepsPerCycle)));
     const num::OdeSolution sol = num::rk4(rhs, dphi0, t0, t1, std::max<std::size_t>(nSteps, 1));
+    PHLOGON_ADD_METRIC("batch.phase.memo.hits", cache.hits);
+    PHLOGON_ADD_METRIC("batch.phase.memo.misses", cache.misses);
     if (!sol.ok) return res;
 
     res.dphi.assign(k, num::Vec());

@@ -17,6 +17,7 @@
 // with optional inversion and soft clipping — the signal-domain equivalent
 // of the breadboard's resistive-feedback op-amp gates).
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -119,6 +120,24 @@ private:
     /// theta = f1*t' + dphi (dphi treated as constant over a delay of a
     /// fraction of a cycle).
     double evalSignal(SignalId id, double t, double f1, const num::Vec& dphi) const;
+
+    /// Per-stage memo for signal evaluation inside simulate(): evalSignal is
+    /// a pure function of (id, t, f1, dphi), so during one gate-network
+    /// evaluation (one RK stage, all latches advanced as a batch) each
+    /// signal is computed at most once per distinct time argument — latches
+    /// sharing gate fan-in stop re-walking the DAG.  Bitwise-neutral: a
+    /// cached value is exactly what the recursion would return, and the
+    /// gates' summation order is unchanged.
+    struct EvalCache {
+        std::vector<std::uint64_t> stamp;
+        std::vector<double> t;
+        std::vector<double> v;
+        std::uint64_t cur = 0;
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+    };
+    double evalSignalCached(SignalId id, double t, double f1, const num::Vec& dphi,
+                            EvalCache& cache) const;
 
     std::vector<Latch> latches_;
     std::vector<std::vector<Connection>> connections_;  // per latch

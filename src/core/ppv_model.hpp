@@ -57,6 +57,17 @@ public:
     /// PPV component `idx` at normalized phase theta (cycles).
     double ppvAt(std::size_t idx, double theta) const { return ppv_[idx](theta); }
 
+    /// Batched forms: out[i] = xsAt/ppvAt(idx, theta[i]) over contiguous
+    /// lanes, one table pass per call and bitwise identical to n scalar
+    /// calls (PeriodicCubicSpline::evalMany) — the evaluators BatchOde
+    /// ensembles and batched waveform reconstruction go through.
+    void xsMany(std::size_t idx, const double* theta, double* out, std::size_t n) const {
+        xs_[idx].evalMany(theta, out, n);
+    }
+    void ppvMany(std::size_t idx, const double* theta, double* out, std::size_t n) const {
+        ppv_[idx].evalMany(theta, out, n);
+    }
+
     /// Uniform samples (as extracted) of one component.
     const Vec& xsSamples(std::size_t idx) const { return xsSamples_[idx]; }
     const Vec& ppvSamples(std::size_t idx) const { return ppvSamples_[idx]; }

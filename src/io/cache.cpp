@@ -1,8 +1,11 @@
 #include "io/cache.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "io/hash.hpp"
 #include "io/serialize.hpp"
@@ -22,8 +25,31 @@ ArtifactCache ArtifactCache::fromEnv() {
     std::uintmax_t maxBytes = kDefaultMaxBytes;
     if (const char* mb = std::getenv("PHLOGON_CACHE_MAX_MB"); mb && *mb) {
         char* end = nullptr;
+        errno = 0;
         const unsigned long long v = std::strtoull(mb, &end, 10);
-        if (end && *end == '\0' && v > 0) maxBytes = v * 1024ull * 1024ull;
+        constexpr unsigned long long kMaxMb =
+            std::numeric_limits<std::uintmax_t>::max() / (1024ull * 1024ull);
+        // strtoull silently negates "-5" into a huge value; treat any
+        // leading '-' as unparseable instead.
+        if (end && *end == '\0' && v > 0 && errno == 0 && *mb != '-') {
+            // Clamp before multiplying: values near ULLONG_MAX would wrap
+            // v * 1024 * 1024 around to a tiny byte budget.
+            maxBytes = (v >= kMaxMb) ? std::numeric_limits<std::uintmax_t>::max()
+                                     : v * 1024ull * 1024ull;
+        } else {
+            // Warn once, keep the default budget.  A malformed env var
+            // silently shrinking (or unbounding) the cache is a debugging
+            // trap; strtoull's 0-on-garbage makes it easy to hit.
+            static const bool warned = [mb] {
+                std::fprintf(stderr,
+                             "phlogon: ignoring unparseable PHLOGON_CACHE_MAX_MB='%s' "
+                             "(using default %llu MB)\n",
+                             mb,
+                             static_cast<unsigned long long>(kDefaultMaxBytes / (1024ull * 1024ull)));
+                return true;
+            }();
+            (void)warned;
+        }
     }
     return ArtifactCache(fs::path(dir), maxBytes);
 }

@@ -1,0 +1,207 @@
+#include "numeric/batch_ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace phlogon::num {
+
+namespace {
+
+// Cash-Karp RKF45 coefficients — the same tableau as numeric/ode.cpp; the
+// per-lane arithmetic below must stay an exact mirror of rkf45 on a
+// 1-dimensional state (see the contract in batch_ode.hpp).
+constexpr double A2 = 1.0 / 5.0;
+constexpr double B21 = 1.0 / 5.0;
+constexpr double A3 = 3.0 / 10.0, B31 = 3.0 / 40.0, B32 = 9.0 / 40.0;
+constexpr double A4 = 3.0 / 5.0, B41 = 3.0 / 10.0, B42 = -9.0 / 10.0, B43 = 6.0 / 5.0;
+constexpr double A5 = 1.0, B51 = -11.0 / 54.0, B52 = 5.0 / 2.0, B53 = -70.0 / 27.0,
+                 B54 = 35.0 / 27.0;
+constexpr double A6 = 7.0 / 8.0, B61 = 1631.0 / 55296.0, B62 = 175.0 / 512.0,
+                 B63 = 575.0 / 13824.0, B64 = 44275.0 / 110592.0, B65 = 253.0 / 4096.0;
+constexpr double C1 = 37.0 / 378.0, C3 = 250.0 / 621.0, C4 = 125.0 / 594.0, C6 = 512.0 / 1771.0;
+constexpr double D1 = 2825.0 / 27648.0, D3 = 18575.0 / 48384.0, D4 = 13525.0 / 55296.0,
+                 D5 = 277.0 / 14336.0, D6 = 1.0 / 4.0;
+
+}  // namespace
+
+void BatchOde::reserve(std::size_t lanes) {
+    t_.reserve(lanes);
+    y_.reserve(lanes);
+    h_.reserve(lanes);
+    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_}) v->reserve(lanes);
+    active_.reserve(lanes);
+    attempts_.reserve(lanes);
+}
+
+BatchOdeSolution BatchOde::rkf45(const BatchRhs1& f, const Vec& y0, double t0, double t1,
+                                 const OdeOptions& opt) {
+    const std::size_t lanes = y0.size();
+    BatchOdeSolution sol;
+    sol.lanes.resize(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+        sol.lanes[l].t.push_back(t0);
+        sol.lanes[l].y.push_back(y0[l]);
+    }
+
+    const double span = t1 - t0;
+    if (!(span > 0) || lanes == 0) {
+        for (auto& lane : sol.lanes) lane.ok = true;
+        sol.ok = true;
+        return sol;
+    }
+
+    double h0 = opt.initialStep > 0 ? opt.initialStep : span / 1000.0;
+    if (opt.maxStep > 0) h0 = std::min(h0, opt.maxStep);
+
+    t_.assign(lanes, t0);
+    y_ = y0;
+    h_.assign(lanes, h0);
+    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_}) v->assign(lanes, 0.0);
+    active_.assign(lanes, 1);
+    attempts_.assign(lanes, 0);
+
+    std::size_t accepted = 0, rejected = 0, rounds = 0;
+    std::size_t remaining = lanes;
+
+    while (remaining > 0) {
+        ++rounds;
+        // Finish lanes that reached t1 (mirrors the scalar loop's top-of-
+        // iteration check: success only counts while the attempt budget
+        // lasts, and failed lanes were already retired below).
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (active_[l] && t_[l] >= t1) {
+                sol.lanes[l].ok = true;
+                active_[l] = 0;
+                --remaining;
+            }
+        }
+        if (remaining == 0) break;
+
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (active_[l]) h_[l] = std::min(h_[l], t1 - t_[l]);
+        }
+
+        // Six Cash-Karp stages, each one batched RHS call across all lanes.
+        f(t_.data(), y_.data(), k1_.data(), active_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * B21 * k1_[l];
+            yt_[l] = v;
+            ts_[l] = t_[l] + A2 * h;
+        }
+        f(ts_.data(), yt_.data(), k2_.data(), active_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * B31 * k1_[l];
+            v += h * B32 * k2_[l];
+            yt_[l] = v;
+            ts_[l] = t_[l] + A3 * h;
+        }
+        f(ts_.data(), yt_.data(), k3_.data(), active_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * B41 * k1_[l];
+            v += h * B42 * k2_[l];
+            v += h * B43 * k3_[l];
+            yt_[l] = v;
+            ts_[l] = t_[l] + A4 * h;
+        }
+        f(ts_.data(), yt_.data(), k4_.data(), active_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * B51 * k1_[l];
+            v += h * B52 * k2_[l];
+            v += h * B53 * k3_[l];
+            v += h * B54 * k4_[l];
+            yt_[l] = v;
+            ts_[l] = t_[l] + A5 * h;
+        }
+        f(ts_.data(), yt_.data(), k5_.data(), active_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * B61 * k1_[l];
+            v += h * B62 * k2_[l];
+            v += h * B63 * k3_[l];
+            v += h * B64 * k4_[l];
+            v += h * B65 * k5_[l];
+            yt_[l] = v;
+            ts_[l] = t_[l] + A6 * h;
+        }
+        f(ts_.data(), yt_.data(), k6_.data(), active_.data(), lanes);
+
+        // Per-lane embedded error estimate and step control, scalar-exact.
+        for (std::size_t l = 0; l < lanes; ++l) {
+            if (!active_[l]) continue;
+            const double h = h_[l];
+            double v = y_[l];
+            v += h * C1 * k1_[l];
+            v += h * C3 * k3_[l];
+            v += h * C4 * k4_[l];
+            v += h * C6 * k6_[l];
+            y5_[l] = v;
+
+            const double e = h * ((C1 - D1) * k1_[l] + (C3 - D3) * k3_[l] +
+                                  (C4 - D4) * k4_[l] - D5 * k5_[l] + (C6 - D6) * k6_[l]);
+            const double sc =
+                opt.absTol + opt.relTol * std::max(std::abs(y_[l]), std::abs(y5_[l]));
+            const double errNorm = std::abs(e) / sc;
+
+            ++attempts_[l];
+            if (!std::isfinite(errNorm)) {
+                h_[l] *= 0.25;
+                ++sol.lanes[l].rejectedSteps;
+                ++rejected;
+                if (h_[l] < 1e-300) {
+                    active_[l] = 0;  // scalar path bails out here: ok = false
+                    --remaining;
+                    continue;
+                }
+            } else if (errNorm <= 1.0) {
+                t_[l] += h;
+                y_[l] = y5_[l];
+                sol.lanes[l].t.push_back(t_[l]);
+                sol.lanes[l].y.push_back(y_[l]);
+                ++accepted;
+                const double grow = errNorm > 0 ? 0.9 * std::pow(errNorm, -0.2) : 5.0;
+                h_[l] *= std::clamp(grow, 0.2, 5.0);
+                if (opt.maxStep > 0) h_[l] = std::min(h_[l], opt.maxStep);
+            } else {
+                ++sol.lanes[l].rejectedSteps;
+                ++rejected;
+                h_[l] *= std::clamp(0.9 * std::pow(errNorm, -0.25), 0.1, 0.9);
+                if (opt.maxStep > 0) h_[l] = std::min(h_[l], opt.maxStep);
+            }
+            // Budget exhausted: the scalar loop exits after maxSteps
+            // iterations whatever the state, so the lane fails even if the
+            // last accept reached t1.
+            if (active_[l] && attempts_[l] >= opt.maxSteps) {
+                active_[l] = 0;
+                --remaining;
+            }
+        }
+    }
+
+    sol.ok = true;
+    for (const auto& lane : sol.lanes) sol.ok = sol.ok && lane.ok;
+
+    PHLOGON_ADD_METRIC("batch.ode.steps.accepted", accepted);
+    PHLOGON_ADD_METRIC("batch.ode.steps.rejected", rejected);
+    PHLOGON_ADD_METRIC("batch.ode.rounds", rounds);
+    PHLOGON_ADD_METRIC("batch.ode.lanes", lanes);
+    PHLOGON_COUNT_METRIC("batch.ode.solves");
+    return sol;
+}
+
+}  // namespace phlogon::num

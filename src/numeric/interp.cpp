@@ -91,6 +91,69 @@ double PeriodicCubicSpline::operator()(double t) const {
            ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[j]) * (h * h) / 6.0;
 }
 
+void PeriodicCubicSpline::evalMany(const double* t, double* out, std::size_t n) const {
+    const std::size_t kn = x_.size();
+    const double h = 1.0 / static_cast<double>(kn);
+    for (std::size_t e = 0; e < n; ++e) {
+        // Exact replica of operator(): bitwise-identical batched results.
+        const double u = wrap01(t[e]) * static_cast<double>(kn);
+        const std::size_t i = static_cast<std::size_t>(u) % kn;
+        const std::size_t j = (i + 1) % kn;
+        const double s = (u - std::floor(u)) * h;
+        const double a = (h - s) / h;
+        const double b = s / h;
+        out[e] = a * x_[i] + b * x_[j] +
+                 ((a * a * a - a) * m_[i] + (b * b * b - b) * m_[j]) * (h * h) / 6.0;
+    }
+}
+
+PackedPeriodicSpline::PackedPeriodicSpline(const PeriodicCubicSpline& s) : n_(s.size()) {
+    // Rewrite the Hermite form a*x_i + b*x_j + ((a^3-a)m_i + (b^3-b)m_j)h^2/6
+    // (a = 1-u, b = u) as a cubic in the local fraction u:
+    //   c0 = x_i
+    //   c1 = (x_j - x_i) - h^2/6 * (2 m_i + m_j)
+    //   c2 = h^2/2 * m_i
+    //   c3 = h^2/6 * (m_j - m_i)
+    const Vec& x = s.samples();
+    const Vec& m = s.curvatures();
+    const double h = 1.0 / static_cast<double>(n_);
+    const double h2over6 = h * h / 6.0;
+    c_.assign(4 * n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t j = (i + 1) % n_;
+        c_[4 * i + 0] = x[i];
+        c_[4 * i + 1] = (x[j] - x[i]) - h2over6 * (2.0 * m[i] + m[j]);
+        c_[4 * i + 2] = 3.0 * h2over6 * m[i];
+        c_[4 * i + 3] = h2over6 * (m[j] - m[i]);
+    }
+}
+
+double PackedPeriodicSpline::operator()(double t) const {
+    const double u = wrap01(t) * static_cast<double>(n_);
+    std::size_t i = static_cast<std::size_t>(u);
+    if (i >= n_) i = n_ - 1;  // wrap01 < 1, but *n_ can round up to n_
+    const double s = u - static_cast<double>(i);
+    const double* c = &c_[4 * i];
+    return c[0] + s * (c[1] + s * (c[2] + s * c[3]));
+}
+
+void PackedPeriodicSpline::evalMany(const double* t, double* out, std::size_t n) const {
+    evalManyAffine(t, out, n, 1.0, 0.0);
+}
+
+void PackedPeriodicSpline::evalManyAffine(const double* t, double* out, std::size_t n,
+                                          double mul, double add) const {
+    const double kn = static_cast<double>(n_);
+    for (std::size_t e = 0; e < n; ++e) {
+        const double u = wrap01(t[e]) * kn;
+        std::size_t i = static_cast<std::size_t>(u);
+        if (i >= n_) i = n_ - 1;
+        const double s = u - static_cast<double>(i);
+        const double* c = &c_[4 * i];
+        out[e] = add + mul * (c[0] + s * (c[1] + s * (c[2] + s * c[3])));
+    }
+}
+
 double PeriodicCubicSpline::derivative(double t) const {
     const std::size_t n = x_.size();
     const double h = 1.0 / static_cast<double>(n);

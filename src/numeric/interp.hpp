@@ -39,14 +39,52 @@ public:
 
     std::size_t size() const { return x_.size(); }
     const Vec& samples() const { return x_; }
+    /// Second derivatives at the knots (the solved spline coefficients);
+    /// consumed by PackedPeriodicSpline below.
+    const Vec& curvatures() const { return m_; }
 
     double operator()(double t) const;
     /// Derivative with respect to t (per unit period).
     double derivative(double t) const;
 
+    /// Batched evaluation: out[i] = (*this)(t[i]) for i in [0, n), one pass
+    /// over contiguous lanes.  Each element runs the exact arithmetic of
+    /// operator(), so the results are bitwise identical to n scalar calls —
+    /// this is the batch evaluator the deterministic BatchOde paths use.
+    void evalMany(const double* t, double* out, std::size_t n) const;
+
 private:
     Vec x_;
     Vec m_;  ///< second derivatives at the knots
+};
+
+/// The same periodic cubic spline repacked as per-interval polynomial
+/// coefficients c0 + u*(c1 + u*(c2 + u*c3)) (u = local fraction in the knot
+/// cell), stored contiguously per interval.  Evaluation is a wrap, one
+/// 4-double gather and a Horner — roughly a third of the flops of the
+/// Hermite form in PeriodicCubicSpline::operator(), with no integer modulo.
+/// Values agree with the source spline to rounding (same polynomial,
+/// different association), NOT bitwise: hot Monte-Carlo paths use this,
+/// bit-pinned deterministic paths use the spline itself.
+class PackedPeriodicSpline {
+public:
+    PackedPeriodicSpline() = default;
+    explicit PackedPeriodicSpline(const PeriodicCubicSpline& s);
+
+    std::size_t size() const { return n_; }
+    bool valid() const { return n_ > 0; }
+
+    double operator()(double t) const;
+    /// out[i] = (*this)(t[i]).
+    void evalMany(const double* t, double* out, std::size_t n) const;
+    /// Fused affine form out[i] = add + mul * (*this)(t[i]) — the shape of
+    /// the GAE right-hand side, evaluated in one pass per batch step.
+    void evalManyAffine(const double* t, double* out, std::size_t n, double mul,
+                        double add) const;
+
+private:
+    std::size_t n_ = 0;
+    Vec c_;  ///< 4 coefficients per interval, interval-major
 };
 
 /// Resample a (possibly non-uniform) time series onto `n` uniform points over

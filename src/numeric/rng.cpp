@@ -1,0 +1,69 @@
+#include "numeric/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace phlogon::num {
+
+namespace {
+
+// 256-layer ziggurat constants for the standard normal (Marsaglia-Tsang
+// 2000): rightmost layer edge r and the common layer area v, chosen so the
+// recurrence below closes with x -> 0, f -> 1 after 256 steps.
+constexpr double kR = 3.6541528853610088;
+constexpr double kV = 4.92867323399e-3;
+
+double gauss(double x) { return std::exp(-0.5 * x * x); }
+
+}  // namespace
+
+ZigguratNormal::ZigguratNormal() {
+    // Layer edges from the base up: x_[1] = r, then equal-area rectangles
+    // x_[i+1] = f^-1(f(x_[i]) + v / x_[i]).  x_[0] is the pseudo-width of the
+    // base layer (rectangle plus tail folded into one strip).
+    x_[0] = kV / gauss(kR);
+    x_[1] = kR;
+    for (int i = 1; i < kLayers; ++i) {
+        const double fNext = gauss(x_[i]) + kV / x_[i];
+        x_[i + 1] = fNext >= 1.0 ? 0.0 : std::sqrt(-2.0 * std::log(fNext));
+    }
+    // The recurrence lands within ~1e-9 of zero; pin the top exactly.
+    assert(x_[kLayers] < 1e-6);
+    x_[kLayers] = 0.0;
+    for (int i = 0; i <= kLayers; ++i) f_[i] = gauss(x_[i]);
+    f_[kLayers] = 1.0;
+}
+
+const ZigguratNormal& ZigguratNormal::instance() {
+    static const ZigguratNormal z;
+    return z;
+}
+
+double ZigguratNormal::operator()(SplitMix64& rng) const {
+    for (;;) {
+        const std::uint64_t u = rng();
+        const int i = static_cast<int>(u & 0xff);
+        const double sign = (u & 0x100) ? -1.0 : 1.0;
+        // 53-bit uniform from the remaining high bits.
+        const double u01 = static_cast<double>(u >> 11) * 0x1.0p-53;
+        const double x = u01 * x_[i];
+        // Common case: strictly inside the layer below the next edge, where
+        // the whole vertical strip lies under the density.
+        if (x < x_[i + 1]) return sign * x;
+        if (i == 0) {
+            // Base strip: x < r is the uniform base rectangle; beyond it,
+            // Marsaglia's exact tail sampler for x > r.
+            if (x < kR) return sign * x;
+            double xt, yt;
+            do {
+                xt = -std::log(1.0 - rng.nextUnit()) / kR;
+                yt = -std::log(1.0 - rng.nextUnit());
+            } while (yt + yt < xt * xt);
+            return sign * (kR + xt);
+        }
+        // Wedge between x_[i+1] and x_[i]: accept under the density.
+        if (f_[i] + rng.nextUnit() * (f_[i + 1] - f_[i]) < gauss(x)) return sign * x;
+    }
+}
+
+}  // namespace phlogon::num

@@ -107,6 +107,42 @@ std::vector<double> findAllRoots(const ScalarFn& f, double lo, double hi, std::s
     return merged;
 }
 
+std::vector<double> findAllRootsPeriodic(const ScalarFn& f, double lo, double period,
+                                         std::size_t gridPoints, double tol,
+                                         double minSeparation) {
+    std::vector<double> roots;
+    if (gridPoints < 2 || !(period > 0)) return roots;
+    const double h = period / static_cast<double>(gridPoints);
+    // Sample once around the cycle; the last bracket wraps back onto the
+    // first sample's value so the seam is covered by exactly one interval.
+    std::vector<double> fs(gridPoints);
+    for (std::size_t i = 0; i < gridPoints; ++i) fs[i] = f(lo + h * static_cast<double>(i));
+    for (std::size_t i = 0; i < gridPoints; ++i) {
+        const double xi = lo + h * static_cast<double>(i);
+        const double xj = lo + h * static_cast<double>(i + 1);
+        const double fNext = (i + 1 == gridPoints) ? fs[0] : fs[i + 1];
+        if (fs[i] == 0.0) {
+            roots.push_back(xi);
+        } else if (fs[i] * fNext < 0.0) {
+            if (auto r = brent(f, xi, xj, tol)) {
+                double x = *r;
+                if (x >= lo + period) x -= period;  // seam bracket may polish past the end
+                roots.push_back(x);
+            }
+        }
+    }
+    std::sort(roots.begin(), roots.end());
+    std::vector<double> merged;
+    for (double r : roots) {
+        if (merged.empty() || r - merged.back() > minSeparation) merged.push_back(r);
+    }
+    // Cyclic merge: a root straddling the seam can polish to both ~lo and
+    // ~lo+period depending on the bracket; keep the representative near lo.
+    if (merged.size() > 1 && (merged.front() + period) - merged.back() <= minSeparation)
+        merged.pop_back();
+    return merged;
+}
+
 double fdDerivative(const ScalarFn& f, double x, double h) {
     return (f(x + h) - f(x - h)) / (2.0 * h);
 }

@@ -26,6 +26,18 @@ std::vector<double> findAllRoots(const ScalarFn& f, double lo, double hi,
                                  std::size_t gridPoints = 720, double tol = 1e-12,
                                  double minSeparation = 1e-9);
 
+/// Find all roots of a `period`-periodic function over one period starting at
+/// `lo`.  Unlike findAllRoots on [lo, lo+period], the seam interval
+/// [lo + (N-1)h, lo + period) is bracketed against sample 0's value, so a
+/// root sitting exactly at (or straddling) the periodic seam is found exactly
+/// once — neither dropped nor double-reported.  Returned roots lie in
+/// [lo, lo+period) and duplicates are merged cyclically (a root within
+/// `minSeparation` of both ends counts once).  `f` must accept arguments
+/// slightly beyond lo+period (periodic evaluation).
+std::vector<double> findAllRootsPeriodic(const ScalarFn& f, double lo, double period,
+                                         std::size_t gridPoints = 720, double tol = 1e-12,
+                                         double minSeparation = 1e-9);
+
 /// Central-difference derivative of a scalar function.
 double fdDerivative(const ScalarFn& f, double x, double h = 1e-6);
 

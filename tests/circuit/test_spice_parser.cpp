@@ -26,6 +26,17 @@ TEST(SpiceValue, UnitTailsAccepted) {
     EXPECT_DOUBLE_EQ(parseSpiceValue("3V"), 3.0);
 }
 
+TEST(SpiceValue, MilIsNotMilli) {
+    // Regression: the longest-suffix rule.  "mil" (25.4e-6, SPICE mils) used
+    // to prefix-match "m" and scale by 1e-3.
+    EXPECT_DOUBLE_EQ(parseSpiceValue("5mil"), 5.0 * 25.4e-6);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("5m"), 5e-3);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("5meg"), 5e6);
+    EXPECT_DOUBLE_EQ(parseSpiceValue("1MIL"), 25.4e-6);  // case-insensitive
+    // Unit tails still allowed after the suffix.
+    EXPECT_DOUBLE_EQ(parseSpiceValue("2milm"), 2.0 * 25.4e-6);
+}
+
 TEST(SpiceValue, RejectsGarbage) {
     EXPECT_THROW(parseSpiceValue(""), std::invalid_argument);
     EXPECT_THROW(parseSpiceValue("abc"), std::invalid_argument);

@@ -115,5 +115,45 @@ TEST(Gae, SampledInjectionMatchesEquivalentTone) {
         EXPECT_NEAR(gt.g(dphi), gs.g(dphi), 1e-6 * std::abs(gt.gMax()) + 1e-12);
 }
 
+TEST(Gae, SeamEquilibriumReportedExactlyOnce) {
+    // Regression: engineer a lock phase at the Δφ = 0/1 periodic seam by
+    // choosing f1 so that lhs == g(0) (g does not depend on f1, only the
+    // detuning term does).  The equilibrium scan must report exactly one
+    // equilibrium at the seam — neither dropped nor double-counted — and
+    // every phase must lie in [0, 1).
+    const std::vector<Injection> inj{Injection::tone(injNode(), 100e-6, 2)};
+    const Gae probe(model(), testutil::kF1, inj);
+    const double f0 = probe.f0();
+    const Gae gae(model(), f0 * (1.0 + probe.g(0.0)), inj);
+    const auto eqs = gae.equilibria();
+    std::size_t atSeam = 0;
+    for (const auto& e : eqs) {
+        EXPECT_GE(e.dphi, 0.0);
+        EXPECT_LT(e.dphi, 1.0);
+        if (phaseDistance(e.dphi, 0.0) < 1e-6) ++atSeam;
+    }
+    EXPECT_EQ(atSeam, 1u);
+    // The generic picture away from tangency: 4 intersections of lhs with g.
+    EXPECT_EQ(eqs.size(), 4u);
+}
+
+TEST(Gae, BatchedEvaluatorsMatchScalar) {
+    const Gae gae(model(), testutil::kF1, {Injection::tone(injNode(), 100e-6, 2)});
+    std::vector<double> dphi;
+    for (double x = -1.3; x < 2.0; x += 0.0617) dphi.push_back(x);
+    std::vector<double> g(dphi.size()), rhs(dphi.size()), packed(dphi.size());
+    gae.gMany(dphi.data(), g.data(), dphi.size());
+    gae.rhsMany(dphi.data(), rhs.data(), dphi.size());
+    gae.rhsManyPacked(dphi.data(), packed.data(), dphi.size());
+    const double scale = std::abs(gae.f0() * gae.gMax()) + std::abs(gae.lhs() * gae.f0());
+    for (std::size_t i = 0; i < dphi.size(); ++i) {
+        // gMany/rhsMany promise bitwise equality with the scalar calls.
+        EXPECT_EQ(g[i], gae.g(dphi[i]));
+        EXPECT_EQ(rhs[i], gae.rhs(dphi[i]));
+        // The packed-polynomial path agrees to rounding, not bitwise.
+        EXPECT_NEAR(packed[i], gae.rhs(dphi[i]), 1e-12 * scale + 1e-15);
+    }
+}
+
 }  // namespace
 }  // namespace phlogon::core

@@ -104,6 +104,55 @@ TEST(GaeTransient, RejectsBadSchedules) {
                  std::invalid_argument);
 }
 
+TEST(GaeEnsemble, MatchesScalarBitFlipTrajectories) {
+    // The Fig. 10/12 two-tone bit-flip experiment run as a batched ensemble:
+    // for B = 1..8 starting phases, every lane must reproduce the scalar
+    // gaeTransient trajectory from the same start to 1e-12 (the BatchOde
+    // path is designed to be bitwise-identical; 1e-12 is the acceptance
+    // bound).
+    const auto& d = testutil::sharedDesign();
+    const double bitT = 40.0 / d.f1;
+    const std::vector<GaeSegment> sched{
+        {0.0, {d.sync(), d.dataInjection(150e-6, 1)}},
+        {bitT, {d.sync(), d.dataInjection(150e-6, 0)}},
+    };
+    for (std::size_t B = 1; B <= 8; ++B) {
+        Vec starts(B);
+        for (std::size_t l = 0; l < B; ++l)
+            starts[l] = d.reference.phase0 + 0.01 + 0.012 * static_cast<double>(l);
+        const auto ens = gaeTransientEnsemble(model(), d.f1, sched, starts, 0.0, 2.0 * bitT);
+        ASSERT_TRUE(ens.ok) << "B=" << B;
+        ASSERT_EQ(ens.trials.size(), B);
+        for (std::size_t l = 0; l < B; ++l) {
+            const auto ref = gaeTransient(model(), d.f1, sched, starts[l], 0.0, 2.0 * bitT);
+            ASSERT_TRUE(ref.ok);
+            ASSERT_EQ(ens.trials[l].t.size(), ref.t.size()) << "B=" << B << " lane=" << l;
+            for (std::size_t p = 0; p < ref.t.size(); ++p) {
+                EXPECT_NEAR(ens.trials[l].t[p], ref.t[p], 1e-12 * (1.0 + std::abs(ref.t[p])));
+                EXPECT_NEAR(ens.trials[l].dphi[p], ref.dphi[p],
+                            1e-12 * (1.0 + std::abs(ref.dphi[p])));
+            }
+            // And the physics: each lane completes the 1 -> 0 flip.
+            EXPECT_LT(phaseDistance(ens.trials[l].at(0.95 * bitT), d.reference.phase1), 0.03);
+            EXPECT_LT(phaseDistance(ens.trials[l].final(), d.reference.phase0), 0.03);
+            // Work accounting mirrors the scalar counters.
+            EXPECT_EQ(ens.trials[l].counters.steps, ref.counters.steps);
+            EXPECT_EQ(ens.trials[l].counters.rejectedSteps, ref.counters.rejectedSteps);
+            EXPECT_EQ(ens.trials[l].counters.rhsEvals, ref.counters.rhsEvals);
+        }
+    }
+}
+
+TEST(GaeEnsemble, EmptyEnsembleAndValidation) {
+    const auto& d = testutil::sharedDesign();
+    const auto none =
+        gaeTransientEnsemble(model(), d.f1, {{0.0, {d.sync()}}}, Vec{}, 0.0, 1.0 / d.f1);
+    EXPECT_TRUE(none.ok);
+    EXPECT_TRUE(none.trials.empty());
+    EXPECT_THROW(gaeTransientEnsemble(model(), d.f1, {}, Vec{0.0}, 0.0, 1.0),
+                 std::invalid_argument);
+}
+
 TEST(SettleTime, DetectsFirstPersistentEntry) {
     GaeTransientResult r;
     r.ok = true;

@@ -124,6 +124,80 @@ TEST(HoldError, StrongerSyncHoldsBetter) {
     EXPECT_GT(weak, 0.02);  // the weak latch must actually lose bits here
 }
 
+TEST(HoldErrorBatched, ZeroNoiseNoErrors) {
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    StochasticGaeOptions opt;
+    opt.batch = 16;
+    const auto r = holdErrorProbability(gae, 0.0, d.reference.phase1, 30.0 / d.f1, 20, opt);
+    EXPECT_EQ(r.trials, 20u);
+    EXPECT_EQ(r.errors, 0u);
+}
+
+TEST(HoldErrorBatched, BitwiseStableAcrossThreadsAndBatchSize) {
+    // The PR-1 determinism contract extended to the batched engine: the error
+    // count must be identical at any thread count AND any batch size, because
+    // trial k's arithmetic depends only on (seed, k), never on lane grouping.
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    const double c = 2e-7;
+    const double span = 40.0 / d.f1;
+    StochasticGaeOptions ref;
+    ref.seed = 12345;
+    ref.batch = 8;
+    ref.threads = 1;
+    const auto baseline = holdErrorProbability(gae, c, d.reference.phase1, span, 96, ref);
+    EXPECT_EQ(baseline.trials, 96u);
+    for (const unsigned threads : {1u, 3u, 4u}) {
+        for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+            StochasticGaeOptions opt;
+            opt.seed = 12345;
+            opt.batch = batch;
+            opt.threads = threads;
+            const auto r = holdErrorProbability(gae, c, d.reference.phase1, span, 96, opt);
+            EXPECT_EQ(r.errors, baseline.errors)
+                << "threads=" << threads << " batch=" << batch;
+            EXPECT_EQ(r.trials, baseline.trials);
+        }
+    }
+}
+
+TEST(HoldErrorBatched, AgreesWithScalarPhysics) {
+    // The batched engine is a different RNG configuration, so counts differ
+    // from the scalar path — but the physics must agree: extreme noise
+    // randomizes the bit in both engines, mild noise loses few bits in both.
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    StochasticGaeOptions batched;
+    batched.batch = 32;
+    const auto noisy = holdErrorProbability(gae, 1e-4, d.reference.phase1, 30.0 / d.f1, 60, batched);
+    EXPECT_GT(noisy.errorRate(), 0.2);
+    const auto quiet =
+        holdErrorProbability(gae, 1e-12, d.reference.phase1, 30.0 / d.f1, 60, batched);
+    EXPECT_LT(quiet.errorRate(), 0.05);
+}
+
+TEST(HoldErrorBatched, StrongerSyncHoldsBetter) {
+    // Same design-knob conclusion as the scalar engine (Kramers escape over
+    // the SHIL barrier), reached via the batched path.
+    const auto& osc = testutil::sharedOsc();
+    const double c = 2e-7;
+    const double span = 60.0 / osc.f0();
+    auto rate = [&](double syncAmp) {
+        const Gae gae(osc.model(), testutil::kF1,
+                      {Injection::tone(osc.outputUnknown(), syncAmp, 2)});
+        const auto stable = gae.stableEquilibria();
+        EXPECT_EQ(stable.size(), 2u);
+        StochasticGaeOptions opt;
+        opt.batch = 16;
+        return holdErrorProbability(gae, c, stable[0].dphi, span, 120, opt).errorRate();
+    };
+    const double weak = rate(60e-6);
+    const double strong = rate(300e-6);
+    EXPECT_GT(weak, strong);
+    EXPECT_GT(weak, 0.02);
+}
+
 TEST(HoldError, RequiresLockedGae) {
     const auto& d = testutil::sharedDesign();
     const Gae gae(d.model, 1.1 * d.model.f0(), {d.sync()});  // way outside range

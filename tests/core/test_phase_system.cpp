@@ -164,6 +164,59 @@ TEST(PhaseSystem, ConnectValidatesIndices) {
     EXPECT_THROW(sys.connect(latch, injNode(), 42, 1.0), std::invalid_argument);
 }
 
+TEST(PhaseSystem, SharedSignalMemoizationIsBitwiseNeutral) {
+    // Two latches driven by the same external signal: the second latch's
+    // connection evaluation hits the per-stage memo cache instead of
+    // re-evaluating the signal.  The cache stores the computed double, so
+    // each latch's trajectory must be bitwise identical to a single-latch
+    // system with the same drive (simulate uses fixed-step RK4, so the time
+    // grids coincide exactly).
+    const double f1 = testutil::kF1;
+    auto drive = [f1](double t) { return 100e-6 * std::cos(kTwoPi * 2.0 * f1 * t); };
+    const double start = 0.1;
+    const double span = 20.0 / f1;
+
+    PhaseSystem solo;
+    const auto l0 = solo.addLatch(model(), "osc");
+    solo.connect(l0, injNode(), solo.addExternal(drive, "sync"), 1.0);
+    const auto rs = solo.simulate(f1, 0.0, span, num::Vec{start});
+    ASSERT_TRUE(rs.ok);
+
+    PhaseSystem duo;
+    const auto la = duo.addLatch(model(), "a");
+    const auto lb = duo.addLatch(model(), "b");
+    const auto sync = duo.addExternal(drive, "sync");
+    duo.connect(la, injNode(), sync, 1.0);
+    duo.connect(lb, injNode(), sync, 1.0);
+    const auto rd = duo.simulate(f1, 0.0, span, num::Vec{start, start});
+    ASSERT_TRUE(rd.ok);
+
+    ASSERT_EQ(rd.t.size(), rs.t.size());
+    for (std::size_t i = 0; i < rs.t.size(); ++i) {
+        EXPECT_EQ(rd.dphi[0][i], rs.dphi[0][i]) << "i=" << i;
+        EXPECT_EQ(rd.dphi[1][i], rs.dphi[0][i]) << "i=" << i;
+    }
+}
+
+TEST(PhaseSystem, RepeatedSimulationsAreBitwiseReproducible) {
+    // Guards the memo cache's stamp management: re-running simulate on the
+    // same system (stale cache entries from the previous run) must change
+    // nothing.
+    PhaseSystem sys;
+    const auto latch = sys.addLatch(model(), "osc");
+    const double f1 = testutil::kF1;
+    const auto sync = sys.addExternal(
+        [f1](double t) { return 100e-6 * std::cos(kTwoPi * 2.0 * f1 * t); }, "sync");
+    const auto g = sys.addGate({{sync, 1.0}}, false, 0.0);
+    sys.connect(latch, injNode(), g, 1.0);
+    const auto r1 = sys.simulate(f1, 0.0, 15.0 / f1, num::Vec{0.2});
+    const auto r2 = sys.simulate(f1, 0.0, 15.0 / f1, num::Vec{0.2});
+    ASSERT_TRUE(r1.ok && r2.ok);
+    ASSERT_EQ(r1.t.size(), r2.t.size());
+    for (std::size_t i = 0; i < r1.t.size(); ++i)
+        EXPECT_EQ(r1.dphi[0][i], r2.dphi[0][i]);
+}
+
 TEST(PhaseSystem, TwoLatchesIndependentWhenUncoupled) {
     PhaseSystem sys;
     sys.addLatch(model(), "a");

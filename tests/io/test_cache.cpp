@@ -146,6 +146,45 @@ TEST_F(CacheTest, StatsCountEvictions) {
     EXPECT_EQ(s.stores - s.evictions, cache.entries().size());
 }
 
+class FromEnvTest : public CacheTest {
+protected:
+    void SetUp() override {
+        CacheTest::SetUp();
+        ::setenv("PHLOGON_CACHE_DIR", dir_.c_str(), 1);
+    }
+    void TearDown() override {
+        ::unsetenv("PHLOGON_CACHE_DIR");
+        ::unsetenv("PHLOGON_CACHE_MAX_MB");
+        CacheTest::TearDown();
+    }
+};
+
+TEST_F(FromEnvTest, ParsesMaxMb) {
+    ::setenv("PHLOGON_CACHE_MAX_MB", "64", 1);
+    const ArtifactCache cache = ArtifactCache::fromEnv();
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_EQ(cache.maxBytes(), 64ull * 1024 * 1024);
+}
+
+TEST_F(FromEnvTest, HugeMaxMbSaturatesInsteadOfWrapping) {
+    // Regression: ULLONG_MAX megabytes used to overflow v * 1024 * 1024 and
+    // wrap around to a tiny byte budget, silently evicting the whole cache.
+    ::setenv("PHLOGON_CACHE_MAX_MB", "18446744073709551615", 1);
+    const ArtifactCache cache = ArtifactCache::fromEnv();
+    EXPECT_EQ(cache.maxBytes(), std::numeric_limits<std::uintmax_t>::max());
+    // Any value at or above max/2^20 MB saturates too.
+    ::setenv("PHLOGON_CACHE_MAX_MB", "17592186044416", 1);  // 2^64 / 2^20
+    EXPECT_EQ(ArtifactCache::fromEnv().maxBytes(), std::numeric_limits<std::uintmax_t>::max());
+}
+
+TEST_F(FromEnvTest, UnparseableMaxMbKeepsDefault) {
+    for (const char* bad : {"12abc", "abc", "-5", ""}) {
+        ::setenv("PHLOGON_CACHE_MAX_MB", bad, 1);
+        const ArtifactCache cache = ArtifactCache::fromEnv();
+        EXPECT_EQ(cache.maxBytes(), ArtifactCache::kDefaultMaxBytes) << "value='" << bad << "'";
+    }
+}
+
 TEST_F(CacheTest, HashHexIs16LowercaseDigits) {
     EXPECT_EQ(hashHex(0), "0000000000000000");
     EXPECT_EQ(hashHex(0xABCDEF0123456789ull), "abcdef0123456789");

@@ -91,6 +91,55 @@ TEST(FindAllRoots, ClusteredRootsSeparated) {
     EXPECT_NEAR(roots[1], 0.5 + eps, 1e-8);
 }
 
+TEST(FindAllRootsPeriodic, FindsRootsOfSinusoid) {
+    const auto roots = findAllRootsPeriodic(
+        [](double x) { return std::sin(2.0 * std::numbers::pi * x); }, 0.0, 1.0);
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_NEAR(roots[0], 0.0, 1e-9);
+    EXPECT_NEAR(roots[1], 0.5, 1e-9);
+}
+
+TEST(FindAllRootsPeriodic, SeamRootReportedExactlyOnce) {
+    // Root inside the seam bracket [1-h, 1): the wrapped interval must catch
+    // it without also reporting a duplicate near 0.
+    const double r0 = 0.9997;
+    const auto roots = findAllRootsPeriodic(
+        [r0](double x) { return std::sin(2.0 * std::numbers::pi * (x - r0)); }, 0.0, 1.0, 100);
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_NEAR(roots[0], r0 - 0.5, 1e-9);
+    EXPECT_NEAR(roots[1], r0, 1e-9);
+    for (const double r : roots) {
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(FindAllRootsPeriodic, RootExactlyAtSeamNotDuplicated) {
+    // sin(2 pi x) is zero at the seam itself; exactly one representative
+    // within 1e-6 of phase 0 may appear.
+    const auto roots = findAllRootsPeriodic(
+        [](double x) { return std::sin(2.0 * std::numbers::pi * x); }, 0.0, 1.0, 1440);
+    std::size_t nearSeam = 0;
+    for (const double r : roots)
+        if (r < 1e-6 || r > 1.0 - 1e-6) ++nearSeam;
+    EXPECT_EQ(nearSeam, 1u);
+    EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(FindAllRootsPeriodic, ConstantSignHasNoRoots) {
+    EXPECT_TRUE(findAllRootsPeriodic(
+                    [](double x) { return std::sin(2.0 * std::numbers::pi * x) + 1.5; }, 0.0, 1.0)
+                    .empty());
+}
+
+TEST(FindAllRootsPeriodic, NonUnitPeriod) {
+    const double twoPi = 2.0 * std::numbers::pi;
+    const auto roots = findAllRootsPeriodic([](double x) { return std::sin(x); }, 0.0, twoPi, 720);
+    ASSERT_EQ(roots.size(), 2u);
+    EXPECT_NEAR(roots[0], 0.0, 1e-9);
+    EXPECT_NEAR(roots[1], std::numbers::pi, 1e-9);
+}
+
 TEST(FdDerivative, MatchesAnalytic) {
     EXPECT_NEAR(fdDerivative([](double x) { return x * x * x; }, 2.0), 12.0, 1e-6);
     EXPECT_NEAR(fdDerivative([](double x) { return std::sin(x); }, 0.0), 1.0, 1e-8);
