@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,17 @@
 #include "numeric/ode.hpp"
 
 namespace phlogon::core {
+
+/// Knobs for PhaseSystem::simulateBatched.  Both are bitwise-neutral: lanes
+/// are partitioned across blocks/threads, never reduced across.
+struct BatchSimOptions {
+    /// Worker threads for the per-latch projection loop: 0 = PHLOGON_THREADS
+    /// env or hardware concurrency, 1 = serial.
+    unsigned threads = 0;
+    /// Lanes per scheduling block; 0 picks a fixed default independent of
+    /// the thread count.
+    std::size_t blockSize = 0;
+};
 
 class PhaseSystem {
 public:
@@ -40,6 +52,10 @@ public:
     /// normalized steady-state output (xs_out(theta) - mean)/amplitude,
     /// a unit-swing waveform suitable for gate weighting.
     LatchId addLatch(PpvModel model, std::string label = {});
+    /// Shared-model latch: a compiled fabric instantiates hundreds of latches
+    /// from ONE characterized design, so they share the macromodel instead of
+    /// each copying its PPV/xs tables (keeps memory O(1) in fabric size).
+    LatchId addLatch(std::shared_ptr<const PpvModel> model, std::string label = {});
     SignalId latchOutput(LatchId latch);
 
     /// Weighted sum of signals, optionally inverted (a NOT in phase logic)
@@ -69,8 +85,9 @@ public:
     }
 
     std::size_t latchCount() const { return latches_.size(); }
-    const PpvModel& latchModel(LatchId latch) const { return latches_.at(latch).model; }
+    const PpvModel& latchModel(LatchId latch) const { return *latches_.at(latch).model; }
     const std::string& latchLabel(LatchId latch) const { return latches_.at(latch).label; }
+    std::size_t signalCount() const { return signals_.size(); }
 
     struct Result {
         bool ok = false;
@@ -87,9 +104,48 @@ public:
     Result simulate(double f1, double t0, double t1, const num::Vec& dphi0,
                     std::size_t stepsPerCycle = 64, std::size_t storeEvery = 1) const;
 
+    /// Compiled evaluation program over the signal DAG: placeholder chains
+    /// collapsed, every signal placed in one topologically-sorted order, gate
+    /// fan-in read from a dense value array.  eval() computes all signals at
+    /// one (t, dphi) in a single sparse pass — each signal exactly once, with
+    /// the same per-signal arithmetic (and per-gate summation order) as
+    /// evalSignal, so values are bitwise identical to the recursive path.
+    ///
+    /// The Program borrows the PhaseSystem: it stays valid only while the
+    /// system outlives it and no signals/latches are added.  Construction
+    /// throws std::logic_error if any placeholder is unbound (the scalar path
+    /// defers that error to first evaluation).
+    class Program {
+    public:
+        explicit Program(const PhaseSystem& sys);
+        /// out[id] = value of signal id at time t; resized to signalCount().
+        void eval(double t, double f1, const double* dphi, std::vector<double>& out) const;
+        void eval(double t, double f1, const num::Vec& dphi, std::vector<double>& out) const {
+            eval(t, f1, dphi.data(), out);
+        }
+        /// Non-placeholder signal `id` ultimately resolves to.
+        SignalId resolved(SignalId id) const { return resolved_.at(static_cast<std::size_t>(id)); }
+
+    private:
+        const PhaseSystem* sys_;
+        std::vector<SignalId> resolved_;  ///< placeholder chains collapsed
+        std::vector<SignalId> order_;     ///< dependency-sorted evaluation order
+    };
+
+    /// Batched fabric engine: same reduced system as simulate(), but all
+    /// latch phases advance through num::BatchOde SoA lanes in lockstep — one
+    /// topologically-sorted sparse gate-network pass per RK stage and delay
+    /// group (Program::eval) instead of per-latch recursive walks, and a
+    /// flat per-latch projection loop that parallelizes over lane blocks.
+    /// Bitwise-identical to simulate() at any fabric size, block partition,
+    /// and thread count: see DESIGN.md §14 for the determinism argument.
+    Result simulateBatched(double f1, double t0, double t1, const num::Vec& dphi0,
+                           std::size_t stepsPerCycle = 64, std::size_t storeEvery = 1,
+                           const BatchSimOptions& opt = {}) const;
+
 private:
     struct Latch {
-        PpvModel model;
+        std::shared_ptr<const PpvModel> model;  ///< shared across fabric latches
         std::string label;
         SignalId outputSignal = -1;
     };

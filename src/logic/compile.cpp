@@ -1,0 +1,300 @@
+#include "logic/compile.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "phlogon/encoding.hpp"
+#include "phlogon/gates.hpp"
+#include "phlogon/serial_adder.hpp"
+
+namespace phlogon::logic {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// CLK bit stream: 0 for the first half of each clock slot (slaves
+/// transparent, state readable), 1 for the second (masters sample).
+Bits clockBits(std::size_t slots) {
+    Bits clk;
+    clk.reserve(2 * slots);
+    for (std::size_t k = 0; k < slots; ++k) {
+        clk.push_back(0);
+        clk.push_back(1);
+    }
+    return clk;
+}
+
+Bits invertBits(const Bits& b) {
+    Bits out;
+    out.reserve(b.size());
+    for (int x : b) out.push_back(notBit(x));
+    return out;
+}
+
+using SignalId = core::PhaseSystem::SignalId;
+
+/// Lowers one combinational gate onto phase majority/NOT primitives.
+struct GateLowerer {
+    core::PhaseSystem& sys;
+    const FabricCompileOptions& opt;
+    SignalId const0;
+    SignalId const1;
+
+    SignalId norm(SignalId raw, const std::string& label) const {
+        // Worst-case winning margin of a majority vote is one unit, so the
+        // clipped output is renormalized against a unit resultant (the same
+        // choice the serial adder makes for its cout gate).
+        return addUnitNormalizer(sys, raw, 1.0, opt.gateClip, label);
+    }
+
+    /// xor(a, b) = MAJ(a, b, 0, 2*~t),  t = AND(a, b)  — the serial adder's
+    /// sum identity with the carry input pinned to constant 0.
+    SignalId xor2(SignalId a, SignalId b, const std::string& label) const {
+        const auto andRaw = sys.addGate({{a, 1.0}, {b, 1.0}, {const0, 1.0}}, false, opt.gateClip,
+                                        label + ".and.raw");
+        const auto t = norm(andRaw, label + ".and");
+        const auto tBar = addNotGate(sys, t, label + ".nand");
+        const auto raw = sys.addGate({{a, 1.0}, {b, 1.0}, {const0, 1.0}, {tBar, 2.0}}, false,
+                                     opt.gateClip, label + ".raw");
+        return norm(raw, label);
+    }
+
+    SignalId lower(const LogicNetlist::Gate& g, const std::vector<SignalId>& netSig,
+                   const std::string& name) const {
+        std::vector<std::pair<SignalId, double>> ins;
+        ins.reserve(g.ins.size() + 1);
+        for (const auto in : g.ins) ins.push_back({netSig[static_cast<std::size_t>(in)], 1.0});
+        const double nIns = static_cast<double>(g.ins.size());
+        switch (g.op) {
+            case GateOp::Buf:
+                return sys.addGate({ins[0]}, false, 0.0, name);
+            case GateOp::Not:
+                return addNotGate(sys, ins[0].first, name);
+            case GateOp::Maj:
+                return norm(sys.addGate(std::move(ins), false, opt.gateClip, name + ".raw"),
+                            name);
+            case GateOp::And:
+            case GateOp::Nand:
+                // AND(n) = MAJ(a_1..a_n, (n-1) x const0): the constant loses
+                // the vote only when every input is 1.
+                ins.push_back({const0, nIns - 1.0});
+                return norm(sys.addGate(std::move(ins), g.op == GateOp::Nand, opt.gateClip,
+                                        name + ".raw"),
+                            name);
+            case GateOp::Or:
+            case GateOp::Nor:
+                ins.push_back({const1, nIns - 1.0});
+                return norm(sys.addGate(std::move(ins), g.op == GateOp::Nor, opt.gateClip,
+                                        name + ".raw"),
+                            name);
+            case GateOp::Xor:
+            case GateOp::Xnor: {
+                SignalId acc = ins[0].first;
+                for (std::size_t i = 1; i < ins.size(); ++i)
+                    acc = xor2(acc, ins[i].first, name + ".x" + std::to_string(i));
+                if (g.op == GateOp::Xnor) acc = addNotGate(sys, acc, name);
+                return acc;
+            }
+        }
+        throw FabricError("unhandled gate op");
+    }
+};
+
+/// One phase D latch with fabric-shared SYNC/const signals — the same S/R
+/// majority arithmetic as addPhaseDLatch, minus the per-latch externals it
+/// would duplicate hundreds of times across a fabric.
+core::PhaseSystem::LatchId addFabricLatch(core::PhaseSystem& sys, const SyncLatchDesign& design,
+                                          const std::shared_ptr<const core::PpvModel>& model,
+                                          SignalId sync, SignalId const0, SignalId const1,
+                                          SignalId d, SignalId clk, SignalId clkBar,
+                                          const PhaseDLatchOptions& opt,
+                                          const std::string& label) {
+    const auto latch = sys.addLatch(model, label);
+    sys.connect(latch, design.injUnknown, sync, 1.0);
+    const double w = opt.clockWeight;
+    const auto sGate =
+        sys.addGate({{d, 1.0}, {clk, w}, {const0, w}}, false, opt.gateClip, label + ".S");
+    const auto rGate =
+        sys.addGate({{d, 1.0}, {clkBar, w}, {const1, w}}, false, opt.gateClip, label + ".R");
+    const double shift = design.signalCouplingShift();
+    const double gain = opt.writeAmp / (2.0 * opt.gateClip);
+    sys.connect(latch, design.injUnknown, sGate, gain, shift);
+    sys.connect(latch, design.injUnknown, rGate, gain, shift);
+    return latch;
+}
+
+/// Correlation decode of several signals at once: one Program pass per
+/// sample covers every decoded signal, so the cost is independent of how
+/// deep the gate cones are.  The per-signal arithmetic matches
+/// decodeSignalBit (64 samples over one reference cycle against REF(1)).
+std::vector<int> decodeSignalsAt(const core::PhaseSystem::Program& prog,
+                                 const PhaseReference& ref, double tCenter, const num::Vec& dphi,
+                                 const std::vector<SignalId>& sigs, std::vector<double>& vals) {
+    const double t1cyc = 1.0 / ref.f1;
+    const std::size_t n = 64;
+    std::vector<double> corr(sigs.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = tCenter - 0.5 * t1cyc + t1cyc * static_cast<double>(i) / n;
+        const double r1 = std::cos(kTwoPi * (ref.f1 * t - ref.dphiPeak + ref.phase1));
+        prog.eval(t, ref.f1, dphi, vals);
+        for (std::size_t j = 0; j < sigs.size(); ++j)
+            corr[j] += vals[static_cast<std::size_t>(sigs[j])] * r1;
+    }
+    std::vector<int> bits(sigs.size(), 0);
+    for (std::size_t j = 0; j < sigs.size(); ++j) bits[j] = corr[j] >= 0.0 ? 1 : 0;
+    return bits;
+}
+
+}  // namespace
+
+CompiledFabric compileFabric(const LogicNetlist& netlist, const SyncLatchDesign& design,
+                             std::vector<std::vector<int>> inputVectors,
+                             const FabricCompileOptions& opt) {
+    OBS_SPAN("fabric.compile");
+    netlist.validate({opt.maxFanIn});
+    if (inputVectors.empty())
+        throw FabricError("compileFabric: need at least one input vector (slot)");
+    for (const auto& v : inputVectors)
+        if (v.size() != netlist.inputs().size())
+            throw FabricError("compileFabric: input vector has " + std::to_string(v.size()) +
+                              " bits, netlist has " + std::to_string(netlist.inputs().size()) +
+                              " inputs");
+
+    CompiledFabric fab;
+    fab.netlist = netlist;
+    fab.ref = design.reference;
+    fab.bitPeriod = opt.bitPeriodCycles / design.f1;
+    fab.slots = inputVectors.size();
+    fab.schedule = std::move(inputVectors);
+
+    core::PhaseSystem& sys = fab.sys;
+    const PhaseReference& ref = fab.ref;
+
+    // Fabric-shared signals: SYNC tone, constant levels, the two clock
+    // phases.  Every latch couples to the same externals.
+    const double f1 = design.f1;
+    const double syncAmp = design.syncAmp;
+    const auto sync = sys.addExternal(
+        [syncAmp, f1](double t) { return syncAmp * std::cos(kTwoPi * 2.0 * f1 * t); },
+        "fabric.sync");
+    const auto const0 = sys.addExternal(ref.refSignal(0), "fabric.const0");
+    const auto const1 = sys.addExternal(ref.refSignal(1), "fabric.const1");
+    const Bits clkBits = clockBits(fab.slots);
+    const double halfSlot = fab.bitPeriod / 2.0;
+    const auto clk = sys.addExternal(dataSignal(ref, clkBits, halfSlot), "fabric.clk");
+    const auto clkBar =
+        sys.addExternal(dataSignal(ref, invertBits(clkBits), halfSlot), "fabric.clkBar");
+
+    const auto model = std::make_shared<const core::PpvModel>(design.model);
+
+    fab.netSignals.assign(netlist.netCount(), -1);
+
+    // Flip-flops first so every q net exists before gates read it; the D
+    // inputs come out of the combinational network built afterwards, so each
+    // closes through a placeholder.
+    std::vector<SignalId> dFwd;
+    dFwd.reserve(netlist.dffs().size());
+    for (const auto& dff : netlist.dffs()) {
+        const std::string qn = netlist.netName(dff.q);
+        const auto fwd = sys.addPlaceholder(qn + ".d");
+        dFwd.push_back(fwd);
+        FabricDffRefs refs;
+        refs.master = addFabricLatch(sys, design, model, sync, const0, const1, fwd, clk, clkBar,
+                                     opt.latch, qn + ".m");
+        const auto q1 = sys.latchOutput(refs.master);
+        refs.slave = addFabricLatch(sys, design, model, sync, const0, const1, q1, clkBar, clk,
+                                    opt.latch, qn + ".s");
+        refs.q = sys.latchOutput(refs.slave);
+        fab.dffs.push_back(refs);
+        fab.netSignals[static_cast<std::size_t>(dff.q)] = refs.q;
+    }
+
+    // Primary inputs: one scheduled REF-aligned tone per input column.
+    for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+        Bits col;
+        col.reserve(fab.slots);
+        for (std::size_t k = 0; k < fab.slots; ++k) col.push_back(fab.schedule[k][i]);
+        const auto id = netlist.inputs()[i];
+        fab.netSignals[static_cast<std::size_t>(id)] =
+            sys.addExternal(dataSignal(ref, std::move(col), fab.bitPeriod), netlist.netName(id));
+    }
+
+    // Combinational network in dependency order.
+    const GateLowerer low{sys, opt, const0, const1};
+    for (const std::size_t g : netlist.topoOrder()) {
+        const auto& gate = netlist.gates()[g];
+        fab.netSignals[static_cast<std::size_t>(gate.out)] =
+            low.lower(gate, fab.netSignals, netlist.netName(gate.out));
+    }
+
+    // Close the flip-flop D loops (bindPlaceholder rejects any combinational
+    // cycle the netlist validation might have let through).
+    for (std::size_t i = 0; i < dFwd.size(); ++i)
+        sys.bindPlaceholder(dFwd[i],
+                            fab.netSignals[static_cast<std::size_t>(netlist.dffs()[i].d)]);
+
+    for (const auto o : netlist.outputs())
+        fab.outputSignals.push_back(fab.netSignals[static_cast<std::size_t>(o)]);
+
+    // Power-on: every latch near the logic-0 lock phase (the small offset
+    // mirrors the serial-adder tests: the latch settles onto the lock).
+    fab.initialDphi.assign(sys.latchCount(), ref.phase0 + 0.02);
+
+    PHLOGON_ADD_METRIC("fabric.compile.latches", sys.latchCount());
+    PHLOGON_ADD_METRIC("fabric.compile.signals", sys.signalCount());
+    return fab;
+}
+
+std::vector<std::vector<int>> decodeFabricRun(const CompiledFabric& fab,
+                                              const core::PhaseSystem::Result& res) {
+    OBS_SPAN("fabric.decode");
+    const core::PhaseSystem::Program prog(fab.sys);
+    std::vector<double> vals;
+    std::vector<std::vector<int>> out;
+    out.reserve(fab.slots);
+    for (std::size_t k = 0; k < fab.slots; ++k) {
+        const double t = fab.decodeTime(k);
+        const num::Vec ph = dphiAt(res, t);
+        out.push_back(decodeSignalsAt(prog, fab.ref, t, ph, fab.outputSignals, vals));
+    }
+    return out;
+}
+
+FabricIdealSim::FabricIdealSim(const CompiledFabric& fab)
+    : fab_(&fab), prog_(fab.sys), state_(fab.netlist.dffs().size(), 0) {}
+
+std::vector<int> FabricIdealSim::step() {
+    const CompiledFabric& fab = *fab_;
+    if (slot_ >= fab.slots)
+        throw FabricError("FabricIdealSim: ran past the compiled schedule (" +
+                          std::to_string(fab.slots) + " slots)");
+    // Pin every latch at the ideal lock phase of its held bit.  At the
+    // decode instant CLK encodes 0: masters hold state_k (sampled last
+    // slot), slaves are transparent copies — both sit at phaseForBit.
+    num::Vec dphi(fab.sys.latchCount(), 0.0);
+    for (std::size_t i = 0; i < fab.dffs.size(); ++i) {
+        const double ph = fab.ref.phaseForBit(state_[i]);
+        dphi[static_cast<std::size_t>(fab.dffs[i].master)] = ph;
+        dphi[static_cast<std::size_t>(fab.dffs[i].slave)] = ph;
+    }
+    // One correlation pass decodes the outputs and the flip-flop D nets
+    // (the bits the masters will sample in this slot's second half).
+    std::vector<SignalId> sigs = fab.outputSignals;
+    sigs.reserve(sigs.size() + fab.dffs.size());
+    for (const auto& dff : fab.netlist.dffs())
+        sigs.push_back(fab.netSignals[static_cast<std::size_t>(dff.d)]);
+    const std::vector<int> bits =
+        decodeSignalsAt(prog_, fab.ref, fab.decodeTime(slot_), dphi, sigs, vals_);
+    std::vector<int> out(bits.begin(), bits.begin() + static_cast<long>(fab.outputSignals.size()));
+    for (std::size_t i = 0; i < state_.size(); ++i)
+        state_[i] = bits[fab.outputSignals.size() + i];
+    ++slot_;
+    return out;
+}
+
+}  // namespace phlogon::logic

@@ -204,4 +204,53 @@ BatchOdeSolution BatchOde::rkf45(const BatchRhs1& f, const Vec& y0, double t0, d
     return sol;
 }
 
+OdeSolution BatchOde::rk4Lockstep(const BatchRhsCoupled& f, const Vec& y0, double t0, double t1,
+                                  std::size_t nSteps, std::size_t storeEvery) {
+    // Exact per-lane mirror of num::rk4 on a lanes-dimensional state:
+    //   yt = y; axpy(s, k, yt)  ==  yt[l] = y[l] + s * k[l]
+    //   y[l] += h/6 * (k1 + 2*k2 + 2*k3 + k4)
+    //   t = t0 + h * (i+1)
+    // Only the storage policy differs (storeEvery thinning happens here
+    // instead of post-hoc), which cannot change the stepped values.
+    OdeSolution sol;
+    const std::size_t lanes = y0.size();
+    nSteps = std::max<std::size_t>(nSteps, 1);
+    if (storeEvery == 0) storeEvery = 1;
+    const double h = (t1 - t0) / static_cast<double>(nSteps);
+
+    y_ = y0;
+    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &yt_}) v->assign(lanes, 0.0);
+
+    double t = t0;
+    sol.t.push_back(t);
+    sol.y.push_back(y_);
+    for (std::size_t i = 0; i < nSteps; ++i) {
+        f(t, y_.data(), k1_.data(), lanes);
+        {
+            const double s = 0.5 * h;
+            for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + s * k1_[l];
+        }
+        f(t + 0.5 * h, yt_.data(), k2_.data(), lanes);
+        {
+            const double s = 0.5 * h;
+            for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + s * k2_[l];
+        }
+        f(t + 0.5 * h, yt_.data(), k3_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + h * k3_[l];
+        f(t + h, yt_.data(), k4_.data(), lanes);
+        for (std::size_t l = 0; l < lanes; ++l)
+            y_[l] += h / 6.0 * (k1_[l] + 2.0 * k2_[l] + 2.0 * k3_[l] + k4_[l]);
+        t = t0 + h * static_cast<double>(i + 1);
+        if ((i + 1) % storeEvery == 0 || i + 1 == nSteps) {
+            sol.t.push_back(t);
+            sol.y.push_back(y_);
+        }
+    }
+    sol.ok = true;
+    PHLOGON_ADD_METRIC("batch.ode.lockstep.steps", nSteps);
+    PHLOGON_ADD_METRIC("batch.ode.lockstep.lanes", lanes);
+    PHLOGON_COUNT_METRIC("batch.ode.lockstep.solves");
+    return sol;
+}
+
 }  // namespace phlogon::num

@@ -29,6 +29,13 @@ namespace phlogon::num {
 using BatchRhs1 = std::function<void(const double* t, const double* y, double* dydt,
                                      const unsigned char* active, std::size_t lanes)>;
 
+/// Coupled batched RHS for *lockstep* fixed-step integration: every lane
+/// shares one time t, and dydt[l] may depend on every lane of y (the fabric
+/// engine's latches are coupled through the gate network).  Must write
+/// dydt[0..lanes).
+using BatchRhsCoupled =
+    std::function<void(double t, const double* y, double* dydt, std::size_t lanes)>;
+
 struct BatchOdeSolution {
     std::vector<OdeSolution1> lanes;  ///< index-aligned with y0
     bool ok = false;                  ///< every lane converged
@@ -47,6 +54,18 @@ public:
     /// control (see the equivalence contract above).
     BatchOdeSolution rkf45(const BatchRhs1& f, const Vec& y0, double t0, double t1,
                            const OdeOptions& opt = {});
+
+    /// Fixed-step classic RK4 over a *coupled* lane batch: all lanes advance
+    /// in lockstep on the uniform n-step grid, with one coupled RHS call per
+    /// stage (4 per step) across the whole batch.  The per-lane update
+    /// arithmetic is an exact mirror of num::rk4 on a `lanes`-dimensional
+    /// state, so when `f` reproduces the scalar RHS values bit-for-bit the
+    /// returned trajectory is bitwise identical to num::rk4 — the contract
+    /// PhaseSystem::simulateBatched builds on.  Stored points are the initial
+    /// point, every storeEvery-th step, and the final step (matching the
+    /// storeEvery filter PhaseSystem::simulate applies to rk4 output).
+    OdeSolution rk4Lockstep(const BatchRhsCoupled& f, const Vec& y0, double t0, double t1,
+                            std::size_t nSteps, std::size_t storeEvery = 1);
 
 private:
     // SoA per-lane state for the current solve.

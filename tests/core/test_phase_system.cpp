@@ -162,6 +162,19 @@ TEST(PhaseSystem, ConnectValidatesIndices) {
     const auto latch = sys.addLatch(model(), "osc");
     EXPECT_THROW(sys.connect(latch, 9999, sys.latchOutput(latch), 1.0), std::invalid_argument);
     EXPECT_THROW(sys.connect(latch, injNode(), 42, 1.0), std::invalid_argument);
+    EXPECT_THROW(sys.connect(latch + 1, injNode(), sys.latchOutput(latch), 1.0),
+                 std::invalid_argument);
+    // The out-of-range message must identify the offending latch and index so
+    // a thousand-latch fabric build failure is debuggable.
+    try {
+        sys.connect(latch, 9999, sys.latchOutput(latch), 1.0);
+        FAIL() << "connect accepted an out-of-range unknown index";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("9999"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("osc"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("unknown"), std::string::npos) << msg;
+    }
 }
 
 TEST(PhaseSystem, SharedSignalMemoizationIsBitwiseNeutral) {

@@ -1,0 +1,130 @@
+// Batched-vs-scalar determinism contract: PhaseSystem::simulateBatched must
+// produce BITWISE-identical trajectories to PhaseSystem::simulate for any
+// fabric, any batch partition (blockSize) and any thread count — the batched
+// engine is a performance path, never a numerical one.  EXPECT_EQ on doubles
+// below is deliberate: exact equality, no tolerance.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/osc_fixture.hpp"
+#include "logic/compile.hpp"
+#include "logic/workloads.hpp"
+#include "phlogon/serial_adder.hpp"
+
+using namespace phlogon;
+using core::PhaseSystem;
+
+namespace {
+
+/// Exact (bitwise) comparison of two simulation results.
+void expectBitwiseEqual(const PhaseSystem::Result& a, const PhaseSystem::Result& b,
+                        const char* what) {
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    ASSERT_EQ(a.t.size(), b.t.size()) << what;
+    EXPECT_EQ(a.t, b.t) << what << ": time grids differ";
+    ASSERT_EQ(a.dphi.size(), b.dphi.size()) << what;
+    for (std::size_t i = 0; i < a.dphi.size(); ++i)
+        EXPECT_EQ(a.dphi[i], b.dphi[i]) << what << ": latch " << i << " trajectory differs";
+    ASSERT_EQ(a.vout.size(), b.vout.size()) << what;
+    for (std::size_t i = 0; i < a.vout.size(); ++i)
+        EXPECT_EQ(a.vout[i], b.vout[i]) << what << ": latch " << i << " vout differs";
+}
+
+/// RAII PHLOGON_THREADS override.
+struct ScopedThreadsEnv {
+    explicit ScopedThreadsEnv(const char* value) {
+        const char* old = std::getenv("PHLOGON_THREADS");
+        if (old) saved_ = old;
+        had_ = old != nullptr;
+        setenv("PHLOGON_THREADS", value, 1);
+    }
+    ~ScopedThreadsEnv() {
+        if (had_)
+            setenv("PHLOGON_THREADS", saved_.c_str(), 1);
+        else
+            unsetenv("PHLOGON_THREADS");
+    }
+    std::string saved_;
+    bool had_ = false;
+};
+
+}  // namespace
+
+TEST(FabricBatchParity, SerialAdderScalarVsBatched) {
+    const auto& design = testutil::sharedFsmDesign();
+    core::PhaseSystem sys;
+    const auto adder =
+        buildPhaseSerialAdder(sys, design, {1, 0, 1, 1}, {1, 1, 0, 1});
+    const num::Vec dphi0(sys.latchCount(), design.reference.phase0 + 0.02);
+    const double t1 = static_cast<double>(adder.nBits) * adder.bitPeriod;
+
+    const auto scalar = sys.simulate(design.f1, 0.0, t1, dphi0, 64, 8);
+    for (const core::BatchSimOptions opt :
+         {core::BatchSimOptions{}, core::BatchSimOptions{1, 1}, core::BatchSimOptions{4, 7}}) {
+        const auto batched = sys.simulateBatched(design.f1, 0.0, t1, dphi0, 64, 8, opt);
+        expectBitwiseEqual(scalar, batched, "serial adder");
+    }
+
+    // Decoded answer is (a fortiori) identical and correct: 1011 + 1101.
+    const auto batched = sys.simulateBatched(design.f1, 0.0, t1, dphi0, 64, 8);
+    const auto [sums, couts] = decodeSerialAdderRun(sys, adder, batched, design.reference);
+    EXPECT_EQ(sums, (logic::Bits{0, 0, 0, 1}));
+    EXPECT_EQ(couts, (logic::Bits{1, 1, 1, 1}));
+}
+
+TEST(FabricBatchParity, RippleAdder16ScalarVsBatchedAcrossPartitions) {
+    // 16-bit registered ripple adder: 34 latches, deep carry cones — the
+    // stress case for signal-evaluation order and delay-group handling.
+    const auto nl = logic::registeredRippleAdder(16);
+    const std::vector<std::vector<int>> vectors{
+        logic::toBits(0x1B35F | (0x0F0F0ull << 16), 33),  // a=0x.., b=0x.., cin packed LSB-first
+        logic::toBits(0x2AAAA | (0x15555ull << 16), 33),
+    };
+    const auto fab = logic::compileFabric(nl, testutil::sharedFsmDesign(), vectors);
+    ASSERT_EQ(fab.sys.latchCount(), 34u);
+
+    const auto scalar =
+        fab.sys.simulate(testutil::kF1, 0.0, fab.tEnd(), fab.initialDphi, 64, 16);
+    for (const core::BatchSimOptions opt :
+         {core::BatchSimOptions{1, 0}, core::BatchSimOptions{1, 1}, core::BatchSimOptions{4, 7},
+          core::BatchSimOptions{4, 33}}) {
+        const auto batched =
+            fab.sys.simulateBatched(testutil::kF1, 0.0, fab.tEnd(), fab.initialDphi, 64, 16, opt);
+        expectBitwiseEqual(scalar, batched, "ripple16");
+    }
+}
+
+TEST(FabricBatchParity, ThreadsFromEnvironmentAreBitwiseNeutral) {
+    const auto nl = logic::upCounter(3);
+    const auto fab = logic::compileFabric(nl, testutil::sharedFsmDesign(),
+                                          std::vector<std::vector<int>>(2));
+    const auto scalar =
+        fab.sys.simulate(testutil::kF1, 0.0, fab.tEnd(), fab.initialDphi, 64, 8);
+    for (const char* threads : {"1", "2", "4"}) {
+        ScopedThreadsEnv env(threads);
+        // threads=0 defers to PHLOGON_THREADS; blockSize 1 maximizes the
+        // number of parallel work items.
+        const auto batched = fab.sys.simulateBatched(testutil::kF1, 0.0, fab.tEnd(),
+                                                     fab.initialDphi, 64, 8, {0, 1});
+        expectBitwiseEqual(scalar, batched, threads);
+    }
+}
+
+TEST(FabricBatchParity, UnevenStoreEveryKeepsLastPoint) {
+    const auto nl = logic::shiftRegister(1);
+    const auto fab = logic::compileFabric(nl, testutil::sharedFsmDesign(),
+                                          std::vector<std::vector<int>>{{1}});
+    // storeEvery = 5 does not divide the step count: both paths must keep
+    // the same thinned grid including the final point.
+    const auto scalar =
+        fab.sys.simulate(testutil::kF1, 0.0, fab.tEnd(), fab.initialDphi, 64, 5);
+    const auto batched =
+        fab.sys.simulateBatched(testutil::kF1, 0.0, fab.tEnd(), fab.initialDphi, 64, 5);
+    expectBitwiseEqual(scalar, batched, "storeEvery=5");
+    EXPECT_DOUBLE_EQ(scalar.t.back(), fab.tEnd());
+}
