@@ -19,7 +19,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/dcop.hpp"
 #include "analysis/transient.hpp"
@@ -46,6 +49,13 @@ namespace {
 /// PHLOGON_BENCH_SMOKE=1 shrinks every one-shot workload so the binary
 /// finishes in seconds — used as a CI smoke test of the bench paths.
 bool smokeMode() { return std::getenv("PHLOGON_BENCH_SMOKE") != nullptr; }
+
+/// Machine-readable mirror of the one-shot report sections, written to
+/// bench_out/speedup.json at the end of the one-shot phase.
+bench::JsonReport& jsonOut() {
+    static bench::JsonReport r;
+    return r;
+}
 
 num::Vec speedupAmps() {
     num::Vec amps;
@@ -120,6 +130,10 @@ void reportSweepSpeedup() {
     std::printf("  serial (1 thread):    %8.2f ms\n", serial);
     std::printf("  parallel (%u threads): %8.2f ms  -> speedup x%.2f\n", threads, parallel,
                 serial / parallel);
+    jsonOut().set("sweep", "serialMs", serial);
+    jsonOut().set("sweep", "parallelMs", parallel);
+    jsonOut().set("sweep", "threads", threads);
+    jsonOut().set("sweep", "speedup", serial / parallel);
     std::printf("  (identical results by construction; %u hardware core(s) visible)\n\n",
                 std::thread::hardware_concurrency());
 }
@@ -162,6 +176,10 @@ void reportBatchSpeedup() {
         std::printf("  %u thread(s): scalar %8.2f ms (%zu errs) | batched %8.2f ms (%zu errs)"
                     "  -> speedup x%.2f\n",
                     t, sMs, sErr, bMs, errors, sMs / bMs);
+        jsonOut().addRow("batchSpeedup", {{"threads", t},
+                                          {"scalarMs", sMs},
+                                          {"batchedMs", bMs},
+                                          {"speedup", sMs / bMs}});
         (t == 1 ? scalar1 : scalarT) = sMs / bMs;
     }
     std::printf("  (engines are distinct RNG configurations — counts differ; each is\n");
@@ -200,6 +218,11 @@ void reportFabricScaling() {
         std::printf("  %8zu %10zu %10zu %12.2f %14.1f%s\n", stages, fab.sys.latchCount(),
                     fab.sys.signalCount(), ms, fopt.bitPeriodCycles / (ms / 1e3),
                     fab.sys.latchCount() == 1000 ? "   <- 1000-latch fabric" : "");
+        jsonOut().addRow("fabricScaling",
+                         {{"stages", static_cast<double>(stages)},
+                          {"latches", static_cast<double>(fab.sys.latchCount())},
+                          {"wallMs", ms},
+                          {"cyclesPerSec", fopt.bitPeriodCycles / (ms / 1e3)}});
     }
     std::printf("  (trajectories bitwise-identical to the scalar path at any partition;\n");
     std::printf("   see tests/logic/test_fabric_batch_parity.cpp)\n\n");
@@ -416,6 +439,11 @@ void reportSolverStrategies() {
                     1e3 * c.wallSeconds, c.steps, c.newtonIters, c.rhsEvals, c.jacEvals,
                     c.luFactorizations, b.counters.wallSeconds / c.wallSeconds,
                     row.r.ok && b.ok ? maxRelDiff(row.r.x.back(), b.x.back()) : -1.0);
+        jsonOut().addRow("solverStrategies",
+                         {{"wallMs", 1e3 * c.wallSeconds},
+                          {"steps", static_cast<double>(c.steps)},
+                          {"newtonIters", static_cast<double>(c.newtonIters)},
+                          {"speedup", b.counters.wallSeconds / c.wallSeconds}});
     }
     std::printf("  (maxrel = final-state max relative deviation from the baseline row;\n");
     std::printf("   the adaptive row trades LTE-controlled accuracy for fewer steps)\n\n");
@@ -487,7 +515,170 @@ void reportCacheAndCheckpoint() {
                 100.0 * (ckMs - plainMs) / plainMs);
     std::printf("  resume last snapshot -> t1: %8.2f ms (%s)\n\n", resumeMs,
                 resumed.ok ? "bit-identical tail" : "FAILED");
+    jsonOut().set("cache", "coldMs", coldMs);
+    jsonOut().set("cache", "warmMs", warmMs);
+    jsonOut().set("cache", "speedup", coldMs / warmMs);
+    jsonOut().set("checkpoint", "plainMs", plainMs);
+    jsonOut().set("checkpoint", "withCheckpointsMs", ckMs);
+    jsonOut().set("checkpoint", "overheadPct", 100.0 * (ckMs - plainMs) / plainMs);
     fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse MNA engine (DESIGN.md §15): the same chord-Newton TRAP transient run
+// once through the dense LU and once through pattern-cached CSR assembly +
+// fill-reducing SparseLu.  Three workloads:
+//   1. RC ladders, 10 -> 1000 sections (12 -> 1002 MNA unknowns), with a
+//      weak cubic conductance every 5th tap so the Jacobian stays
+//      state-dependent — the scaling table.
+//   2. The breadboard FSM (serial-adder circuit) over one bit slot — a real
+//      device-level workload at modest size.
+//   3. A compiled fabric of coupled D-latch circuits (~600 unknowns of
+//      transistor-level MNA) run sparse-only: the dense engine's O(n^2)
+//      assembly + O(n^3) factorization make it impractical there, which is
+//      the point of the tier.
+
+void buildSparseLadder(ckt::Netlist& nl, int sections) {
+    nl.addVoltageSource("vin", "n0", "0", ckt::Waveform::dc(1.0));
+    for (int i = 0; i < sections; ++i) {
+        const std::string a = "n" + std::to_string(i);
+        const std::string b = "n" + std::to_string(i + 1);
+        nl.addResistor("r" + std::to_string(i), a, b, 1e3);
+        nl.addCapacitor("c" + std::to_string(i), b, "0", 1e-9);
+        if (i % 5 == 0)
+            nl.addNonlinearConductance("g" + std::to_string(i), b, "0",
+                                       num::Vec{1e-5, 0.0, 2e-5});
+    }
+}
+
+struct SparseRunStats {
+    double wallMs = 0.0;
+    num::SolverCounters counters;
+};
+
+SparseRunStats timedTransient(const ckt::Dae& dae, const num::Vec& x0, double t1, double dt,
+                              num::LinearSolver solver) {
+    an::TransientOptions opt;
+    opt.dt = dt;
+    opt.storeEvery = 1 << 20;  // endpoints only — measure the solver, not storage
+    opt.newton.jacobianReuse = true;
+    opt.newton.linearSolver = solver;
+    const auto t0 = std::chrono::steady_clock::now();
+    const an::TransientResult r = an::transient(dae, x0, 0.0, t1, opt);
+    SparseRunStats s;
+    s.wallMs =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+    s.counters = r.counters;
+    if (!r.ok) std::printf("  [WARN: transient failed: %s]\n", r.message.c_str());
+    benchmark::DoNotOptimize(r.ok);
+    return s;
+}
+
+void reportSparseScaling() {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::size_t steps = smokeMode() ? 40 : 100;
+    const std::vector<int> ladders =
+        smokeMode() ? std::vector<int>{10, 30, 100} : std::vector<int>{10, 30, 100, 300, 1000};
+
+    std::printf("Sparse MNA engine: dense LU vs pattern-cached CSR + fill-reducing SparseLu,\n");
+    std::printf("chord-Newton TRAP transient, %zu steps (linearSolver = dense | sparse):\n",
+                steps);
+    std::printf("  %-26s %9s %12s %12s %9s %9s\n", "workload", "unknowns", "dense [ms]",
+                "sparse [ms]", "speedup", "nnz");
+    const auto row = [&](const char* name, std::size_t unknowns, double denseMs, double sparseMs,
+                         std::size_t nnz) {
+        if (std::isnan(denseMs))
+            std::printf("  %-26s %9zu %12s %12.2f %9s %9zu\n", name, unknowns, "—", sparseMs,
+                        "—", nnz);
+        else
+            std::printf("  %-26s %9zu %12.2f %12.2f %8.2fx %9zu\n", name, unknowns, denseMs,
+                        sparseMs, denseMs / sparseMs, nnz);
+        jsonOut().addRow("sparseScaling",
+                         {{"unknowns", static_cast<double>(unknowns)},
+                          {"denseMs", denseMs},
+                          {"sparseMs", sparseMs},
+                          {"speedup", std::isnan(denseMs) ? nan : denseMs / sparseMs},
+                          {"jacobianNnz", static_cast<double>(nnz)}});
+    };
+
+    // 1. RC ladder scaling sweep.
+    std::vector<std::string> names;  // keep printf'd c_str()s alive
+    names.reserve(ladders.size());
+    for (const int sections : ladders) {
+        ckt::Netlist nl;
+        buildSparseLadder(nl, sections);
+        ckt::Dae dae(nl);
+        const num::Vec x0(dae.size(), 0.0);
+        const double dt = 1e-7, t1 = dt * static_cast<double>(steps);
+        timedTransient(dae, x0, t1, dt, num::LinearSolver::Sparse);  // warm up caches
+        const SparseRunStats d = timedTransient(dae, x0, t1, dt, num::LinearSolver::Dense);
+        const SparseRunStats s = timedTransient(dae, x0, t1, dt, num::LinearSolver::Sparse);
+        names.push_back("RC ladder " + std::to_string(sections));
+        row(names.back().c_str(), dae.size(), d.wallMs, s.wallMs, s.counters.jacobianNnz);
+    }
+
+    // 2. Breadboard FSM: the serial-adder circuit over one bit slot.
+    {
+        ckt::RingOscSpec spec;
+        ckt::RingOscSpec loaded = spec;
+        loaded.outputLoadsOhms = logic::serialAdderLatchLoads();
+        an::PssOptions popt = logic::RingOscCharacterization::defaultPssOptions();
+        popt.freqHint = 10.2e3;
+        const auto osc = logic::RingOscCharacterization::run(loaded, popt);
+        const auto design =
+            logic::designSyncLatch(osc.model(), osc.outputUnknown(), osc.f0(), 300e-6);
+        ckt::Netlist nl;
+        logic::SerialAdderOptions opt;
+        opt.bitPeriodCycles = smokeMode() ? 10 : 80;
+        const auto sc = logic::buildSerialAdderCircuit(nl, design, spec, {0, 1}, {0, 1}, opt);
+        ckt::Dae dae(nl);
+        const an::DcopResult dc = an::dcOperatingPoint(dae);
+        num::Vec x0 = dc.x;
+        x0[static_cast<std::size_t>(nl.findNode("lat1.n1"))] += 0.4;
+        x0[static_cast<std::size_t>(nl.findNode("lat2.n1"))] -= 0.4;
+        const double dt = 1.0 / (design.f1 * 200.0);
+        const SparseRunStats d = timedTransient(dae, x0, sc.bitPeriod, dt, num::LinearSolver::Dense);
+        const SparseRunStats s =
+            timedTransient(dae, x0, sc.bitPeriod, dt, num::LinearSolver::Sparse);
+        row("breadboard FSM (adder)", dae.size(), d.wallMs, s.wallMs, s.counters.jacobianNnz);
+    }
+
+    // 3. Coupled D-latch fabric, sparse-only (device-level MNA the dense
+    //    path cannot reach at interactive timescales).
+    {
+        const auto& dsn = bench::design100();
+        const std::size_t latches = smokeMode() ? 6 : 100;
+        ckt::Netlist nl;
+        std::vector<logic::DLatchEnCircuit> cells;
+        for (std::size_t i = 0; i < latches; ++i)
+            cells.push_back(logic::buildDLatchEnCircuit(
+                nl, "dl" + std::to_string(i), ckt::RingOscSpec{}, dsn.syncAmp, dsn.f1,
+                logic::dataCurrentWaveform(dsn, 150e-6, {1}, 1.0), [](double) { return true; }));
+        for (std::size_t i = 1; i < cells.size(); ++i)
+            nl.addResistor("rcpl" + std::to_string(i), cells[i - 1].osc.out(),
+                           cells[i].osc.out(), 1e6);
+        ckt::Dae dae(nl);
+        an::DcopOptions dopt;
+        dopt.newton.linearSolver = num::LinearSolver::Sparse;
+        const an::DcopResult dc = an::dcOperatingPoint(dae, dopt);
+        num::Vec x0 = dc.x;
+        for (std::size_t i = 0; i < x0.size(); ++i)
+            x0[i] += 0.3 * std::sin(1.0 + 2.3 * static_cast<double>(i));
+        const double dt = 1.0 / (dsn.f1 * 300.0);
+        const double cycles = smokeMode() ? 1.0 : 4.0;
+        const SparseRunStats s =
+            timedTransient(dae, x0, cycles / dsn.f1, dt, num::LinearSolver::Sparse);
+        names.push_back(std::to_string(latches) + "-latch fabric (MNA)");
+        row(names.back().c_str(), dae.size(), nan, s.wallMs, s.counters.jacobianNnz);
+        jsonOut().set("sparseFabric", "unknowns", static_cast<double>(dae.size()));
+        jsonOut().set("sparseFabric", "factorNnz",
+                      static_cast<double>(s.counters.factorNnz));
+        jsonOut().set("sparseFabric", "sparseRefactors",
+                      static_cast<double>(s.counters.sparseRefactors));
+    }
+    std::printf("  (nnz = Jacobian nonzeros; dense column '—' = not run — the fabric row\n");
+    std::printf("   is the device-level workload the sparse tier exists for; parity is\n");
+    std::printf("   enforced by tests/analysis/test_sparse_parity.cpp)\n\n");
 }
 
 void BM_LatchSpiceTransient(benchmark::State& state) {
@@ -708,7 +899,10 @@ int main(int argc, char** argv) {
     reportBatchSpeedup();
     reportFabricScaling();
     reportSolverStrategies();
+    reportSparseScaling();
     reportCacheAndCheckpoint();
+    if (jsonOut().write("speedup"))
+        std::printf("[exported bench_out/speedup.json]\n\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

@@ -1,7 +1,10 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "numeric/parallel.hpp"
 
@@ -52,6 +55,76 @@ void paperVsMeasured(const std::string& quantity, const std::string& paper,
                      const std::string& measured) {
     std::printf("  %-52s paper: %-18s measured: %s\n", quantity.c_str(), paper.c_str(),
                 measured.c_str());
+}
+
+namespace {
+
+std::string jsonNumber(double v) {
+    if (std::isnan(v)) return "null";  // "not measured"
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string jsonKey(const std::string& s) { return "\"" + s + "\""; }
+
+}  // namespace
+
+JsonReport::Section& JsonReport::section(const std::string& name, bool isTable) {
+    for (Section& s : sections_)
+        if (s.name == name) return s;
+    sections_.push_back(Section{name, isTable, {}, {}});
+    return sections_.back();
+}
+
+void JsonReport::set(const std::string& sectionName, const std::string& key, double value) {
+    Section& s = section(sectionName, /*isTable=*/false);
+    for (auto& kv : s.scalars)
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    s.scalars.emplace_back(key, value);
+}
+
+void JsonReport::addRow(const std::string& table,
+                        const std::vector<std::pair<std::string, double>>& fields) {
+    section(table, /*isTable=*/true).rows.push_back(fields);
+}
+
+bool JsonReport::write(const std::string& stem) const {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    std::ofstream out("bench_out/" + stem + ".json");
+    if (!out) return false;
+    out << "{\n";
+    for (std::size_t si = 0; si < sections_.size(); ++si) {
+        const Section& s = sections_[si];
+        out << "  " << jsonKey(s.name) << ": ";
+        if (s.isTable) {
+            out << "[\n";
+            for (std::size_t ri = 0; ri < s.rows.size(); ++ri) {
+                out << "    {";
+                const auto& row = s.rows[ri];
+                for (std::size_t fi = 0; fi < row.size(); ++fi) {
+                    out << jsonKey(row[fi].first) << ": " << jsonNumber(row[fi].second);
+                    if (fi + 1 < row.size()) out << ", ";
+                }
+                out << "}" << (ri + 1 < s.rows.size() ? "," : "") << "\n";
+            }
+            out << "  ]";
+        } else {
+            out << "{";
+            for (std::size_t fi = 0; fi < s.scalars.size(); ++fi) {
+                out << jsonKey(s.scalars[fi].first) << ": " << jsonNumber(s.scalars[fi].second);
+                if (fi + 1 < s.scalars.size()) out << ", ";
+            }
+            out << "}";
+        }
+        out << (si + 1 < sections_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    return static_cast<bool>(out);
 }
 
 }  // namespace phlogon::bench

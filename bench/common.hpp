@@ -6,6 +6,8 @@
 // ASCII plot, and exports CSV + gnuplot script under bench_out/.
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "phlogon/latch.hpp"
 #include "phlogon/reference.hpp"
@@ -39,5 +41,30 @@ void showChart(const viz::Chart& chart, const std::string& stem);
 /// Print "paper vs measured" comparison rows (collected in EXPERIMENTS.md).
 void paperVsMeasured(const std::string& quantity, const std::string& paper,
                      const std::string& measured);
+
+/// Machine-readable companion to the one-shot printf report sections:
+/// numeric results accumulate under named sections (scalars) or tables
+/// (arrays of uniform rows) and serialize as bench_out/<stem>.json.  NaN
+/// serializes as null so "not measured" survives the round trip.
+class JsonReport {
+public:
+    /// Scalar under a section: {"section": {"key": value, ...}}.
+    void set(const std::string& section, const std::string& key, double value);
+    /// Append one row to a table: {"table": [{...}, {...}]}.
+    void addRow(const std::string& table,
+                const std::vector<std::pair<std::string, double>>& fields);
+    /// Write bench_out/<stem>.json (directory created); false on I/O error.
+    bool write(const std::string& stem) const;
+
+private:
+    struct Section {
+        std::string name;
+        bool isTable = false;
+        std::vector<std::pair<std::string, double>> scalars;
+        std::vector<std::vector<std::pair<std::string, double>>> rows;
+    };
+    Section& section(const std::string& name, bool isTable);
+    std::vector<Section> sections_;  ///< insertion-ordered
+};
 
 }  // namespace phlogon::bench

@@ -91,14 +91,28 @@ DcopResult dcOperatingPoint(const Dae& dae, const DcopOptions& opt) {
         dae.eval(t, xv, qScratch, fScratch, nullptr, &out);
         for (std::size_t i = 0; i < out.rows(); ++i) out(i, i) += g;
     };
+    // Sparse twin of `jac`: the gmin diagonal is stamped even when g == 0.0
+    // (zero adds still claim their pattern slot), so the final gmin=0 pass
+    // reuses the frozen pattern — and SparseLu's symbolic analysis — from
+    // the homotopy stages instead of refreezing.  First call: the diagonal
+    // adds land in the overflow list and the second endAssembly merges them
+    // into the pattern; every later call is fully in-place.
+    const num::SparseJacobianInPlaceFn sjac = [&dae, t, &g, &qScratch, &fScratch](
+                                                  const Vec& xv, num::SparseMatrix& out) {
+        dae.evalSparse(t, xv, qScratch, fScratch, nullptr, &out);
+        for (std::size_t i = 0; i < out.rows(); ++i) out.add(i, i, g);
+        out.endAssembly();
+    };
     num::NewtonWorkspace ws;
+    const bool sparse = opt.newton.linearSolver == num::LinearSolver::Sparse;
 
     double gmin = opt.gminStart;
     bool lastPass = false;
     while (true) {
         g = lastPass ? 0.0 : gmin;
         Vec trial = x;
-        const num::NewtonResult nr = num::newtonSolve(f, jac, trial, ws, opt.newton);
+        const num::NewtonResult nr = sparse ? num::newtonSolveSparse(f, sjac, trial, ws, opt.newton)
+                                            : num::newtonSolve(f, jac, trial, ws, opt.newton);
         res.counters += nr.counters;
         // Keep the trial even when Newton ran out of iterations: the damped
         // iteration is (near-)monotone in the residual, and the partial

@@ -23,6 +23,24 @@ ImplicitStepper::ImplicitStepper(const ckt::Dae& dae, bool trapezoidal, std::vec
             for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += w * gj_(r, c);
         }
     };
+    sparseJacobian_ = [this](const num::Vec& x, num::SparseMatrix& out) {
+        dae_->evalSparse(tNew_, x, qv_, fv_, &scj_, &sgj_);
+        // Combine J = C/h + w(r) G row by row into the pattern-cached step
+        // Jacobian.  Zero-valued adds still claim their slot, so the union
+        // pattern freezes after the first step and stays put.
+        const std::size_t n = scj_.rows();
+        if (out.rows() != n || out.cols() != n) out.reset(n, n);
+        out.beginAssembly();
+        const double invH = 1.0 / h_;
+        for (std::size_t r = 0; r < n; ++r) {
+            const double w = newWeight(alg_, r, trap_);
+            for (std::size_t p = scj_.rowPtr()[r]; p < scj_.rowPtr()[r + 1]; ++p)
+                out.add(r, scj_.colIdx()[p], scj_.values()[p] * invH);
+            for (std::size_t p = sgj_.rowPtr()[r]; p < sgj_.rowPtr()[r + 1]; ++p)
+                out.add(r, sgj_.colIdx()[p], w * sgj_.values()[p]);
+        }
+        out.endAssembly();
+    };
 }
 
 bool ImplicitStepper::step(double tNew, double h, const num::Vec& qk, const num::Vec& fk,
@@ -39,7 +57,10 @@ bool ImplicitStepper::step(double tNew, double h, const num::Vec& qk, const num:
         lastH_ = h;
     }
 
-    const num::NewtonResult nr = num::newtonSolve(residual_, jacobian_, xNew, ws_, opt);
+    const num::NewtonResult nr =
+        opt.linearSolver == num::LinearSolver::Sparse
+            ? num::newtonSolveSparse(residual_, sparseJacobian_, xNew, ws_, opt)
+            : num::newtonSolve(residual_, jacobian_, xNew, ws_, opt);
     counters += nr.counters;
     if (!nr.converged) {
         lastMessage_ = nr.message;

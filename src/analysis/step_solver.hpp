@@ -62,6 +62,7 @@ private:
     num::NewtonWorkspace ws_;
     num::ResidualInPlaceFn residual_;
     num::JacobianInPlaceFn jacobian_;
+    num::SparseJacobianInPlaceFn sparseJacobian_;
 
     // Current-step parameters captured by the callbacks.
     double tNew_ = 0.0;
@@ -73,6 +74,11 @@ private:
     // Evaluation scratch (callbacks) and refreshed converged-point values.
     num::Vec qv_, fv_, q1_, f1_;
     num::Matrix cj_, gj_, c1_, g1_;
+    // Sparse-backend scratch: C and G assembled by Dae::evalSparse.  Their
+    // patterns (and that of the combined step Jacobian in the workspace)
+    // freeze after the first assembly, so steady-state stepping allocates
+    // nothing and SparseLu sees a stable pattern to reuse symbolically.
+    num::SparseMatrix scj_, sgj_;
     std::string lastMessage_;
 };
 

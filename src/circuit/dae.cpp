@@ -12,6 +12,25 @@ void Dae::eval(double t, const Vec& x, Vec& q, Vec& f, Matrix* c, Matrix* g) con
     for (const auto& dev : nl_->devices()) dev->eval(t, x, s);
 }
 
+void Dae::evalSparse(double t, const Vec& x, Vec& q, Vec& f, num::SparseMatrix* c,
+                     num::SparseMatrix* g) const {
+    const std::size_t n = size();
+    q.assign(n, 0.0);
+    f.assign(n, 0.0);
+    if (c) {
+        if (c->rows() != n || c->cols() != n) c->reset(n, n);
+        c->beginAssembly();
+    }
+    if (g) {
+        if (g->rows() != n || g->cols() != n) g->reset(n, n);
+        g->beginAssembly();
+    }
+    Stamps s(q, f, c, g);
+    for (const auto& dev : nl_->devices()) dev->eval(t, x, s);
+    if (c) c->endAssembly();
+    if (g) g->endAssembly();
+}
+
 Vec Dae::evalQ(double t, const Vec& x) const {
     Vec q, f;
     eval(t, x, q, f, nullptr, nullptr);

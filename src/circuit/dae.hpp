@@ -22,6 +22,14 @@ public:
     /// resized/zeroed internally.
     void eval(double t, const Vec& x, Vec& q, Vec& f, Matrix* c, Matrix* g) const;
 
+    /// Sparse-Jacobian evaluation: same stamps, assembled into pattern-cached
+    /// CSR matrices.  Pass the SAME SparseMatrix objects every call so their
+    /// pattern freezes after the first assembly and subsequent evals are
+    /// in-place accumulations (begin/endAssembly handled here).  Named rather
+    /// than overloaded: eval(..., nullptr, nullptr) must stay unambiguous.
+    void evalSparse(double t, const Vec& x, Vec& q, Vec& f, num::SparseMatrix* c,
+                    num::SparseMatrix* g) const;
+
     Vec evalQ(double t, const Vec& x) const;
     Vec evalF(double t, const Vec& x) const;
     Matrix evalC(double t, const Vec& x) const;

@@ -22,11 +22,13 @@
 
 #include "numeric/canon.hpp"
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
 
 namespace phlogon::ckt {
 
 using num::canonNum;
 using num::Matrix;
+using num::SparseMatrix;
 using num::Vec;
 
 /// Index of the ground node; stamping to it is a no-op.
@@ -34,10 +36,13 @@ inline constexpr int kGround = -1;
 
 /// Accumulator for one evaluation of the full system.  Jacobian pointers may
 /// be null when only the residual is required (e.g. inside damping line
-/// searches).
+/// searches).  Jacobians target either the dense Matrix backend or the
+/// pattern-cached SparseMatrix backend (DESIGN.md §15) — device eval code is
+/// identical either way.
 class Stamps {
 public:
     Stamps(Vec& q, Vec& f, Matrix* c, Matrix* g) : q_(q), f_(f), c_(c), g_(g) {}
+    Stamps(Vec& q, Vec& f, SparseMatrix* c, SparseMatrix* g) : q_(q), f_(f), sc_(c), sg_(g) {}
 
     void addQ(int row, double v) {
         if (row >= 0) q_[static_cast<std::size_t>(row)] += v;
@@ -46,20 +51,28 @@ public:
         if (row >= 0) f_[static_cast<std::size_t>(row)] += v;
     }
     void addC(int row, int col, double v) {
-        if (c_ && row >= 0 && col >= 0)
+        if (row < 0 || col < 0) return;
+        if (c_)
             (*c_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+        else if (sc_)
+            sc_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
     }
     void addG(int row, int col, double v) {
-        if (g_ && row >= 0 && col >= 0)
+        if (row < 0 || col < 0) return;
+        if (g_)
             (*g_)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+        else if (sg_)
+            sg_->add(static_cast<std::size_t>(row), static_cast<std::size_t>(col), v);
     }
-    bool wantsJacobians() const { return g_ != nullptr; }
+    bool wantsJacobians() const { return g_ != nullptr || sg_ != nullptr; }
 
 private:
     Vec& q_;
     Vec& f_;
-    Matrix* c_;
-    Matrix* g_;
+    Matrix* c_ = nullptr;
+    Matrix* g_ = nullptr;
+    SparseMatrix* sc_ = nullptr;
+    SparseMatrix* sg_ = nullptr;
 };
 
 /// Voltage of node `idx` in the unknown vector (0 V for ground).

@@ -7,8 +7,56 @@
 
 namespace phlogon::num {
 
-NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
-                         NewtonWorkspace& ws, const NewtonOptions& opt) {
+/// Shared iteration loop behind newtonSolve/newtonSolveSparse, templated
+/// over the linear backend.  A single friend of NewtonWorkspace (nested
+/// members inherit the access), so the public API stays two free functions.
+struct detail::NewtonEngine {
+
+/// Dense linear backend: stamp into the workspace dense Jacobian, factor
+/// with LuFactor.  Operation-for-operation the historical newtonSolve body,
+/// so the dense path stays bitwise-identical.
+struct DenseBackend {
+    NewtonWorkspace& ws;
+    const JacobianInPlaceFn& jac;
+
+    bool refresh(const Vec& x, NewtonResult& res) {
+        jac(x, ws.jac_);
+        ++res.counters.jacEvals;
+        if (!ws.lu_.refactor(ws.jac_)) return false;
+        ++res.counters.luFactorizations;
+        return true;
+    }
+    void solveInto(const Vec& b, Vec& dx) const { ws.lu_.solveInto(b, dx); }
+};
+
+/// Sparse linear backend: assemble into the workspace's pattern-cached CSR,
+/// factor with the fill-reducing SparseLu.  Once the pattern froze (after
+/// the first assembly), every subsequent refresh is a numeric-only refactor
+/// reusing the symbolic analysis and pivot order.
+struct SparseBackend {
+    NewtonWorkspace& ws;
+    const SparseJacobianInPlaceFn& jac;
+
+    bool refresh(const Vec& x, NewtonResult& res) {
+        jac(x, ws.sjac_);
+        ++res.counters.jacEvals;
+        const std::size_t fullBefore = ws.slu_.fullFactorCount();
+        if (!ws.slu_.refactor(ws.sjac_)) return false;
+        ++res.counters.luFactorizations;
+        if (ws.slu_.fullFactorCount() > fullBefore)
+            ++res.counters.sparseFactorizations;
+        else
+            ++res.counters.sparseRefactors;
+        res.counters.jacobianNnz = std::max(res.counters.jacobianNnz, ws.sjac_.nnz());
+        res.counters.factorNnz = std::max(res.counters.factorNnz, ws.slu_.factorNnz());
+        return true;
+    }
+    void solveInto(const Vec& b, Vec& dx) const { ws.slu_.solveInto(b, dx); }
+};
+
+template <class LinBackend>
+static NewtonResult newtonLoop(const ResidualInPlaceFn& f, LinBackend lin, Vec& x,
+                               NewtonWorkspace& ws, const NewtonOptions& opt) {
     NewtonResult res;
     // Terminal bookkeeping: mirror iterations into the counters and flag
     // damping-exhausted fallbacks in the message (they mean the result sits
@@ -36,17 +84,14 @@ NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& ja
         // still trusted; otherwise stamp a fresh Jacobian and refactorize.
         const bool stale = opt.jacobianReuse && ws.luValid_;
         if (!stale) {
-            jac(x, ws.jac_);
-            ++res.counters.jacEvals;
-            if (!ws.lu_.refactor(ws.jac_)) {
+            if (!lin.refresh(x, res)) {
                 ws.luValid_ = false;
                 finalize(false, fn, "singular Jacobian");
                 return res;
             }
-            ++res.counters.luFactorizations;
             ws.luValid_ = true;
         }
-        ws.lu_.solveInto(ws.fx_, ws.dx_);
+        lin.solveInto(ws.fx_, ws.dx_);
         for (double& d : ws.dx_) d = -d;
         if (opt.maxStep > 0.0) {
             const double dn = normInf(ws.dx_);
@@ -107,6 +152,20 @@ NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& ja
     finalize(fn <= opt.absTol, fn,
              fn <= opt.absTol ? "converged on residual" : "max iterations reached");
     return res;
+}
+
+};  // struct detail::NewtonEngine
+
+NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
+                         NewtonWorkspace& ws, const NewtonOptions& opt) {
+    using E = detail::NewtonEngine;
+    return E::newtonLoop(f, E::DenseBackend{ws, jac}, x, ws, opt);
+}
+
+NewtonResult newtonSolveSparse(const ResidualInPlaceFn& f, const SparseJacobianInPlaceFn& jac,
+                               Vec& x, NewtonWorkspace& ws, const NewtonOptions& opt) {
+    using E = detail::NewtonEngine;
+    return E::newtonLoop(f, E::SparseBackend{ws, jac}, x, ws, opt);
 }
 
 NewtonResult newtonSolve(const ResidualFn& f, const JacobianFn& jac, Vec& x,

@@ -30,8 +30,16 @@
 #include "numeric/counters.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
+#include "numeric/sparse_lu.hpp"
 
 namespace phlogon::num {
+
+/// Linear-algebra backend of the Newton inner loop (DESIGN.md §15).  Dense
+/// is the default and bit-for-bit the historical behaviour; Sparse routes
+/// the Jacobian through pattern-cached CSR assembly and the fill-reducing
+/// SparseLu, which is what makes 500+-unknown MNA systems tractable.
+enum class LinearSolver { Dense, Sparse };
 
 struct NewtonOptions {
     int maxIter = 60;
@@ -52,6 +60,11 @@ struct NewtonOptions {
     /// With jacobianReuse: refactorize when ||F_new|| / ||F_old|| exceeds
     /// this contraction threshold (or when the step needed damping).
     double contractionTol = 0.5;
+    /// Linear-algebra backend.  Dense (default) keeps the historical
+    /// behaviour bitwise; Sparse requires the sparse-capable newtonSolve
+    /// overload (analyses plumb this automatically — see SolverOptions
+    /// aliases in the analysis option structs).
+    LinearSolver linearSolver = LinearSolver::Dense;
 };
 
 struct NewtonResult {
@@ -73,6 +86,14 @@ using JacobianFn = std::function<Matrix(const Vec&)>;
 using ResidualInPlaceFn = std::function<void(const Vec& x, Vec& fx)>;
 /// In-place Jacobian: write dF/dx into `j` (callback sizes the output).
 using JacobianInPlaceFn = std::function<void(const Vec& x, Matrix& j)>;
+/// In-place sparse Jacobian: assemble dF/dx into the pattern-cached `j`
+/// (callback begins/ends assembly; the pattern freezes after the first call
+/// and subsequent assemblies are in-place accumulations).
+using SparseJacobianInPlaceFn = std::function<void(const Vec& x, SparseMatrix& j)>;
+
+namespace detail {
+struct NewtonEngine;  // shared dense/sparse iteration loop (newton.cpp)
+}
 
 /// Preallocated scratch for newtonSolve.  Create once, pass to every solve
 /// in a loop; all buffers (and the Jacobian LU) are reused.  With
@@ -86,11 +107,15 @@ public:
     bool hasFactorization() const { return luValid_; }
 
 private:
-    friend NewtonResult newtonSolve(const ResidualInPlaceFn&, const JacobianInPlaceFn&, Vec&,
-                                    NewtonWorkspace&, const NewtonOptions&);
+    friend struct detail::NewtonEngine;
     Vec fx_, dx_, xTrial_, fTrial_;
     Matrix jac_;
     LuFactor lu_;
+    // Sparse twin of (jac_, lu_): the CSR keeps its frozen pattern and the
+    // SparseLu its symbolic factorization across every solve sharing this
+    // workspace, so steady-state Newton work is numeric-only refactors.
+    SparseMatrix sjac_;
+    SparseLu slu_;
     bool luValid_ = false;
 };
 
@@ -98,6 +123,13 @@ private:
 /// temporaries.  Zero heap allocation once the workspace is warm.
 NewtonResult newtonSolve(const ResidualInPlaceFn& f, const JacobianInPlaceFn& jac, Vec& x,
                          NewtonWorkspace& ws, const NewtonOptions& opt = {});
+
+/// Sparse-backend newtonSolve: same damping/chord policy, with the Jacobian
+/// assembled into the workspace's pattern-cached CSR and factorized by the
+/// fill-reducing SparseLu (numeric-only refactors once the pattern froze).
+/// Used by analyses when NewtonOptions::linearSolver == LinearSolver::Sparse.
+NewtonResult newtonSolveSparse(const ResidualInPlaceFn& f, const SparseJacobianInPlaceFn& jac,
+                               Vec& x, NewtonWorkspace& ws, const NewtonOptions& opt = {});
 
 /// Solve F(x) = 0 starting from `x` (updated in place).  Allocating
 /// convenience wrapper over the workspace interface.

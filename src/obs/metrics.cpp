@@ -165,6 +165,14 @@ void recordSolverCounters(const char* analysis, const num::SolverCounters& c) {
     r.counter("newton.iters").add(c.newtonIters);
     r.counter("newton.dampingEvents").add(c.dampingEvents);
     r.counter("lu.factorizations").add(c.luFactorizations);
+    if (c.sparseFactorizations > 0 || c.sparseRefactors > 0) {
+        r.counter("sparse.fullFactorizations").add(c.sparseFactorizations);
+        r.counter("sparse.refactors").add(c.sparseRefactors);
+        // Structure gauges (pattern nnz, L+U fill): histograms, because a
+        // monotone counter cannot represent a per-run high-water mark.
+        r.histogram("sparse.jacobianNnz").observe(static_cast<double>(c.jacobianNnz));
+        r.histogram("sparse.factorNnz").observe(static_cast<double>(c.factorNnz));
+    }
     r.counter("steps.accepted").add(c.steps);
     r.counter("steps.rejected").add(c.rejectedSteps);
     r.counter(std::string("analysis.") + analysis + ".runs").add(1);

@@ -208,6 +208,53 @@ TEST(Eigen, PowerIterationFindsDominant) {
     EXPECT_NEAR(p->first, 3.0, 1e-8);
 }
 
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(LuDeathTest, SolveIntoRejectsAliasedOutput) {
+    // solveInto seeds x with the permuted b before substituting in place, so
+    // an aliased output would silently corrupt the solve; the debug assert
+    // turns that into an immediate failure.
+    auto f = LuFactor::factor(Matrix{{2, 1}, {1, 3}});
+    ASSERT_TRUE(f.has_value());
+    Vec b{3, 5};
+    EXPECT_DEATH(f->solveInto(b, b), "");
+}
+
+TEST(LuDeathTest, SolveMatrixIntoRejectsAliasedOutput) {
+    auto f = LuFactor::factor(Matrix{{2, 1}, {1, 3}});
+    ASSERT_TRUE(f.has_value());
+    Matrix b{{1, 0}, {0, 1}};
+    EXPECT_DEATH(f->solveMatrixInto(b, b), "");
+}
+#endif
+
+TEST(Eigen, PowerIterationBreaksDownOnZeroMatrix) {
+    // A v = 0 on the first multiply: the iteration cannot normalize and must
+    // report failure instead of dividing by zero.
+    EXPECT_FALSE(powerIteration(Matrix(3, 3)).has_value());
+}
+
+TEST(Eigen, PowerIterationBreaksDownOnNilpotent) {
+    // [[0,1],[0,0]] annihilates every vector in two steps; all eigenvalues
+    // are 0 so there is no dominant direction for the iteration to find.
+    Matrix a{{0, 1}, {0, 0}};
+    EXPECT_FALSE(powerIteration(a).has_value());
+}
+
+TEST(Eigen, IterationsRejectEmptyAndNonSquare) {
+    EXPECT_FALSE(powerIteration(Matrix()).has_value());
+    EXPECT_FALSE(powerIteration(Matrix(2, 3)).has_value());
+    EXPECT_FALSE(inverseIteration(Matrix(), 0.0).has_value());
+    EXPECT_FALSE(inverseIteration(Matrix(2, 3), 0.0).has_value());
+}
+
+TEST(Eigen, InverseIterationZeroMatrixTakesNudgePath) {
+    // The zero matrix is singular at shift 0; the internal shift nudge makes
+    // (A - eps I) factorable and the iteration settles on eigenvalue 0.
+    const auto p = inverseIteration(Matrix(2, 2), 0.0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(p->first, 0.0, 1e-8);
+}
+
 TEST(Eigen, InverseIterationNullSpace) {
     // Singular matrix: eigenvalue 0 with eigenvector (1,-1)/sqrt(2).
     Matrix a{{1, 1}, {1, 1}};
