@@ -1,5 +1,9 @@
 #include "common.hpp"
 
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +11,7 @@
 #include <fstream>
 
 #include "numeric/parallel.hpp"
+#include "service/shutdown.hpp"
 
 namespace phlogon::bench {
 
@@ -68,6 +73,48 @@ std::string jsonNumber(double v) {
 
 std::string jsonKey(const std::string& s) { return "\"" + s + "\""; }
 
+// ---- interrupted-run hygiene ----------------------------------------------
+//
+// Report publication is atomic (write-temp-then-rename below), so an
+// interrupted bench can never leave a truncated bench_out/<stem>.json — at
+// worst it leaves a stale previous version plus one orphan temp file.  The
+// signal guard closes that last gap: on SIGINT/SIGTERM it unlinks the
+// in-flight temp file (async-signal-safe: unlink on a pre-stored buffer)
+// and exits with the conventional 128+sig status.  It also sets the
+// service-layer ShutdownSignal latch (its trigger path is signal-safe:
+// atomic stores + one pipe write) so an in-process daemon or checkpointing
+// loop sharing the process observes the same request.
+
+char gPendingTemp[512];
+std::atomic<bool> gPendingTempValid{false};
+
+void onBenchSignal(int sig) {
+    svc::ShutdownSignal::instance().request();
+    if (gPendingTempValid.load(std::memory_order_acquire)) ::unlink(gPendingTemp);
+    ::_exit(128 + sig);
+}
+
+void installBenchSignalGuard() {
+    static const bool installed = [] {
+        svc::ShutdownSignal::instance().install();  // construct the latch up front
+        struct sigaction sa = {};
+        sa.sa_handler = onBenchSignal;
+        sigemptyset(&sa.sa_mask);
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        return true;
+    }();
+    (void)installed;
+}
+
+void setPendingTemp(const std::string& path) {
+    if (path.size() >= sizeof gPendingTemp) return;
+    std::snprintf(gPendingTemp, sizeof gPendingTemp, "%s", path.c_str());
+    gPendingTempValid.store(true, std::memory_order_release);
+}
+
+void clearPendingTemp() { gPendingTempValid.store(false, std::memory_order_release); }
+
 }  // namespace
 
 JsonReport::Section& JsonReport::section(const std::string& name, bool isTable) {
@@ -93,10 +140,17 @@ void JsonReport::addRow(const std::string& table,
 }
 
 bool JsonReport::write(const std::string& stem) const {
+    installBenchSignalGuard();
     std::error_code ec;
     std::filesystem::create_directories("bench_out", ec);
-    std::ofstream out("bench_out/" + stem + ".json");
-    if (!out) return false;
+    const std::string dest = "bench_out/" + stem + ".json";
+    const std::string temp = dest + ".tmp." + std::to_string(::getpid());
+    setPendingTemp(temp);
+    std::ofstream out(temp);
+    if (!out) {
+        clearPendingTemp();
+        return false;
+    }
     out << "{\n";
     for (std::size_t si = 0; si < sections_.size(); ++si) {
         const Section& s = sections_[si];
@@ -124,7 +178,21 @@ bool JsonReport::write(const std::string& stem) const {
         out << (si + 1 < sections_.size() ? "," : "") << "\n";
     }
     out << "}\n";
-    return static_cast<bool>(out);
+    out.close();
+    if (out.fail()) {
+        std::filesystem::remove(temp, ec);
+        clearPendingTemp();
+        return false;
+    }
+    // Atomic publication: readers (and CI artifact upload) either see the
+    // previous complete report or this one, never a truncated file.
+    std::filesystem::rename(temp, dest, ec);
+    clearPendingTemp();
+    if (ec) {
+        std::filesystem::remove(temp, ec);
+        return false;
+    }
+    return true;
 }
 
 }  // namespace phlogon::bench

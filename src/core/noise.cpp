@@ -90,6 +90,13 @@ StochasticGaeResult stochasticGaeTransient(const Gae& gae, double cSeconds, doub
 HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dphi0,
                                      double holdTime, std::size_t trials,
                                      const StochasticGaeOptions& opt) {
+    return holdErrorProbabilityRange(gae, cSeconds, dphi0, holdTime, 0, trials, opt);
+}
+
+HoldErrorResult holdErrorProbabilityRange(const Gae& gae, double cSeconds, double dphi0,
+                                          double holdTime, std::size_t firstTrial,
+                                          std::size_t trials,
+                                          const StochasticGaeOptions& opt) {
     HoldErrorResult out;
     const auto stable = gae.stableEquilibria();
     if (stable.empty()) throw std::invalid_argument("holdErrorProbability: no stable lock");
@@ -143,7 +150,7 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
                 std::vector<num::SplitMix64> rngs;
                 rngs.reserve(n);
                 for (std::size_t l = 0; l < n; ++l)
-                    rngs.emplace_back(deriveTrialSeed(opt.seed, lo + l));
+                    rngs.emplace_back(deriveTrialSeed(opt.seed, firstTrial + lo + l));
                 for (std::size_t k = 0; k < nSteps; ++k) {
                     gae.rhsManyPacked(phi.data(), drift.data(), n);
                     for (std::size_t l = 0; l < n; ++l)
@@ -161,8 +168,9 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
         [&](std::size_t trial) {
             StochasticGaeOptions o = opt;
             // Counter-based per-trial seed: stochasticGaeTransient mixes the
-            // seed, so the engine runs on deriveTrialSeed(opt.seed, trial).
-            o.seed = opt.seed + kSeedIncrement * trial;
+            // seed, so the engine runs on deriveTrialSeed(opt.seed, trial)
+            // with `trial` the absolute ensemble index.
+            o.seed = opt.seed + kSeedIncrement * (firstTrial + trial);
             o.storeEvery = 1u << 20;  // end point only
             const StochasticGaeResult r = stochasticGaeTransient(gae, cSeconds, start, 0.0,
                                                                  holdTime, o);

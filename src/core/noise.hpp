@@ -99,4 +99,17 @@ HoldErrorResult holdErrorProbability(const Gae& gae, double cSeconds, double dph
                                      double holdTime, std::size_t trials,
                                      const StochasticGaeOptions& opt = {});
 
+/// Contiguous sub-range [firstTrial, firstTrial + trials) of the same
+/// experiment: trial firstTrial + k runs with engine seed
+/// deriveTrialSeed(opt.seed, firstTrial + k) — exactly the seed it gets in
+/// a full run — so splitting an N-trial ensemble into chunks and summing
+/// the per-chunk counts reproduces holdErrorProbability(..., N, opt)
+/// bitwise, regardless of chunk boundaries, thread count or batch size.
+/// This is what makes the service's checkpointed hold-error jobs
+/// resumable with bit-identical results (DESIGN.md §16).
+HoldErrorResult holdErrorProbabilityRange(const Gae& gae, double cSeconds, double dphi0,
+                                          double holdTime, std::size_t firstTrial,
+                                          std::size_t trials,
+                                          const StochasticGaeOptions& opt = {});
+
 }  // namespace phlogon::core

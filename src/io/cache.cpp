@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "io/file_lock.hpp"
 #include "io/hash.hpp"
 #include "io/serialize.hpp"
 #include "obs/metrics.hpp"
@@ -80,8 +81,15 @@ std::optional<std::vector<std::uint8_t>> ArtifactCache::fetch(std::uint64_t key,
         // Corrupt / stale-version / mistyped entry: drop it so the slot is
         // clean for the recompute-and-store that follows.  WrongType means a
         // (vanishingly unlikely) key collision across artifact kinds — also
-        // best removed.
-        fs::remove(path, ec);
+        // best removed.  Under the directory lock: another process may have
+        // just re-published a good entry at this path, and an unlocked
+        // remove() would delete its fresh store (re-check under the lock).
+        {
+            FileLock lock(lockPath());
+            const ArtifactProbe probe = probeArtifactFile(path);
+            if (probe.status != ArtifactStatus::Ok || probe.header.type != type)
+                fs::remove(path, ec);
+        }
         stats_->corruptions.fetch_add(1, std::memory_order_relaxed);
         stats_->misses.fetch_add(1, std::memory_order_relaxed);
         PHLOGON_COUNT_METRIC("cache.corruptions");
@@ -101,10 +109,15 @@ bool ArtifactCache::store(std::uint64_t key, std::uint32_t type,
                           const std::vector<std::uint8_t>& payload) const {
     if (!enabled()) return false;
     OBS_SPAN("cache.store");
+    // One lock spans publish + prune: concurrent writers serialize their
+    // store/evict cycles, so eviction always sees the directory state its
+    // own budget math was computed from (no double-evict below watermark,
+    // no pruning a neighbour's store mid-publication).  See file_lock.hpp.
+    FileLock lock(lockPath());
     if (!writeArtifactFile(entryPath(key), type, payload)) return false;
     stats_->stores.fetch_add(1, std::memory_order_relaxed);
     PHLOGON_COUNT_METRIC("cache.stores");
-    evictToFit();
+    evictLocked();
     return true;
 }
 
@@ -133,6 +146,13 @@ std::vector<ArtifactCache::Entry> ArtifactCache::entries() const {
 
 std::size_t ArtifactCache::evictToFit() const {
     if (!enabled()) return 0;
+    FileLock lock(lockPath());
+    return evictLocked();
+}
+
+fs::path ArtifactCache::lockPath() const { return dir_ / ".lock"; }
+
+std::size_t ArtifactCache::evictLocked() const {
     std::vector<Entry> all = entries();
     std::uintmax_t total = 0;
     for (const Entry& e : all) total += e.fileBytes;

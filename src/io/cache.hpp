@@ -15,7 +15,12 @@
 //     and the fetch reports a miss — the caller recomputes and re-stores;
 //   * store errors (disk full, permissions): silently dropped;
 //   * publication is atomic (write-temp-then-rename), so concurrent
-//     processes sharing one cache directory at worst redo work.
+//     processes sharing one cache directory at worst redo work;
+//   * every mutating pass (store+prune, eviction, corrupt-entry removal)
+//     holds an advisory flock on "<dir>/.lock" (io/file_lock.hpp) so
+//     concurrent writers cannot double-evict below the watermark or delete
+//     an entry a peer just re-published; an unacquirable lock degrades to
+//     the old unlocked-but-atomic behaviour.
 //
 // Size control: after each store the directory is LRU-pruned to maxBytes
 // (default 256 MiB, override PHLOGON_CACHE_MAX_MB) using file mtimes;
@@ -65,6 +70,8 @@ public:
     std::uintmax_t maxBytes() const { return maxBytes_; }
 
     std::filesystem::path entryPath(std::uint64_t key) const;
+    /// Advisory lock file guarding mutating passes ("<dir>/.lock").
+    std::filesystem::path lockPath() const;
 
     /// Payload bytes for `key` if a valid artifact of `type` exists.
     /// Invalid entries (bad CRC, wrong version, truncated) are removed.
@@ -87,9 +94,9 @@ public:
     /// All *.phlg entries in the cache directory, oldest mtime first.
     std::vector<Entry> entries() const;
 
-    /// Remove oldest entries until the directory is within `maxBytes`.
-    /// Exposed for tests; store() calls it automatically.  Returns the
-    /// number of files removed.
+    /// Remove oldest entries until the directory is within `maxBytes`,
+    /// under the directory lock.  Exposed for tests; store() runs the same
+    /// pass inside its own lock scope.  Returns the number of files removed.
     std::size_t evictToFit() const;
 
     /// Snapshot of this cache's hit/miss/store/eviction/corruption counts.
@@ -103,6 +110,9 @@ private:
         std::atomic<std::uint64_t> evictions{0};
         std::atomic<std::uint64_t> corruptions{0};
     };
+
+    /// Eviction body; caller holds the directory lock.
+    std::size_t evictLocked() const;
 
     std::filesystem::path dir_;
     std::uintmax_t maxBytes_ = kDefaultMaxBytes;

@@ -80,4 +80,28 @@ core::GaeTransientResult resumeGaeTransient(const core::PpvModel& model, double 
                                             std::size_t gridSize = 1024,
                                             const core::GaeCheckpointOptions& ckpt = {});
 
+// ---- Monte-Carlo hold-error -----------------------------------------------
+
+/// Snapshot of a chunked holdErrorProbability ensemble after a completed
+/// trial chunk (the service's long-MC jobs, DESIGN.md §16).  Per-trial
+/// seeds are counter-based (core::deriveTrialSeed over absolute trial
+/// indices), so a run resumed at `trialsDone` reproduces trials
+/// [trialsDone, trialsTotal) — and hence the final counts and the running
+/// outcome hash — bit-for-bit.
+struct McCheckpoint {
+    std::uint64_t jobKey = 0;       ///< content key of the job parameters
+    std::uint64_t trialsTotal = 0;  ///< requested ensemble size
+    std::uint64_t trialsDone = 0;   ///< completed trials (chunk-aligned)
+    std::uint64_t trials = 0;       ///< converged trials among trialsDone
+    std::uint64_t errors = 0;       ///< bit losses among converged trials
+    /// FNV-1a fold of each completed chunk's (firstTrial, trials, errors):
+    /// equal hashes mean equal per-chunk outcomes in equal order.
+    std::uint64_t outcomeHash = 0;
+};
+
+std::vector<std::uint8_t> encodeMcCheckpoint(const McCheckpoint& c);
+std::optional<McCheckpoint> decodeMcCheckpoint(const std::vector<std::uint8_t>& payload);
+bool saveMcCheckpoint(const std::filesystem::path& path, const McCheckpoint& c);
+std::optional<McCheckpoint> loadMcCheckpoint(const std::filesystem::path& path);
+
 }  // namespace phlogon::io

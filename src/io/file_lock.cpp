@@ -1,0 +1,52 @@
+#include "io/file_lock.hpp"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+namespace phlogon::io {
+
+FileLock::FileLock(const std::filesystem::path& path, bool exclusive) {
+    // Create the parent directory on demand so the first locked store in a
+    // fresh cache dir does not degrade to unlocked operation.
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    int fd;
+    do {
+        fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) return;
+    int rc;
+    do {
+        rc = ::flock(fd, exclusive ? LOCK_EX : LOCK_SH);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        ::close(fd);
+        return;
+    }
+    fd_ = fd;
+}
+
+FileLock::~FileLock() { release(); }
+
+FileLock::FileLock(FileLock&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+    if (this != &other) {
+        release();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void FileLock::release() {
+    if (fd_ >= 0) {
+        // close() drops the flock held through this descriptor.
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace phlogon::io

@@ -1,0 +1,52 @@
+#pragma once
+// Advisory cross-process file locking (flock).
+//
+// The ArtifactCache's store/evict path is multi-process by design: CI jobs,
+// parallel ctest binaries and the phlogond service all share one
+// PHLOGON_CACHE_DIR.  Publication itself is atomic (temp + rename), but the
+// LRU eviction pass races: two processes can scan the directory
+// concurrently, both conclude they are over budget, and together evict far
+// below the watermark — or evict an entry a third process just published
+// and was about to read (double-evict / lost-store, ROADMAP item 3).
+//
+// FileLock wraps a BSD flock(2) on a dedicated lock file ("<dir>/.lock"),
+// never on the artifacts themselves, so lock acquisition cannot collide
+// with entry publication or deletion.  Advisory semantics are exactly
+// right here: every mutating path in this codebase takes the lock, while
+// outside readers (ls, backup scripts) stay unaffected.
+//
+// Robustness policy matches the cache's: a lock that cannot be created or
+// acquired (read-only dir, NFS without flock, EINTR storm) degrades to
+// unlocked operation rather than failing the flow — the pre-lock behaviour,
+// racy but never wrong about file *contents* thanks to atomic publication.
+
+#include <filesystem>
+
+namespace phlogon::io {
+
+/// RAII advisory lock on `path` (the file is created if absent and left in
+/// place — removing a flock file while others may hold it reintroduces the
+/// race).  Blocking acquire in the constructor; released in the destructor.
+class FileLock {
+public:
+    FileLock() = default;
+    /// Acquire an exclusive (or shared) lock on `path`, blocking until
+    /// granted.  On any failure the object reports !held() and the caller
+    /// proceeds unlocked.
+    explicit FileLock(const std::filesystem::path& path, bool exclusive = true);
+    ~FileLock();
+
+    FileLock(FileLock&& other) noexcept;
+    FileLock& operator=(FileLock&& other) noexcept;
+    FileLock(const FileLock&) = delete;
+    FileLock& operator=(const FileLock&) = delete;
+
+    bool held() const { return fd_ >= 0; }
+    /// Release early (idempotent).
+    void release();
+
+private:
+    int fd_ = -1;
+};
+
+}  // namespace phlogon::io

@@ -1,0 +1,366 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace phlogon::io::json {
+
+Value Value::boolean(bool v) {
+    Value out;
+    out.kind = Kind::Bool;
+    out.b = v;
+    return out;
+}
+
+Value Value::number(double v) {
+    Value out;
+    out.kind = Kind::Number;
+    out.num = v;
+    return out;
+}
+
+Value Value::string(std::string v) {
+    Value out;
+    out.kind = Kind::String;
+    out.str = std::move(v);
+    return out;
+}
+
+Value Value::array() {
+    Value out;
+    out.kind = Kind::Array;
+    out.arr = std::make_shared<Array>();
+    return out;
+}
+
+Value Value::object() {
+    Value out;
+    out.kind = Kind::Object;
+    out.obj = std::make_shared<Object>();
+    return out;
+}
+
+const Value* Value::field(const std::string& key) const {
+    if (kind != Kind::Object || !obj) return nullptr;
+    const auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+}
+
+double Value::fieldNumber(const std::string& key, double fallback) const {
+    const Value* v = field(key);
+    return v ? v->numberOr(fallback) : fallback;
+}
+
+bool Value::fieldBool(const std::string& key, bool fallback) const {
+    const Value* v = field(key);
+    return v ? v->boolOr(fallback) : fallback;
+}
+
+std::string Value::fieldString(const std::string& key, const std::string& fallback) const {
+    const Value* v = field(key);
+    return v ? v->stringOr(fallback) : fallback;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+    if (kind == Kind::Object && obj) (*obj)[key] = std::move(v);
+    return *this;
+}
+
+Value& Value::push(Value v) {
+    if (kind == Kind::Array && arr) arr->push_back(std::move(v));
+    return *this;
+}
+
+std::size_t Value::size() const {
+    if (kind == Kind::Array && arr) return arr->size();
+    if (kind == Kind::Object && obj) return obj->size();
+    return 0;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : s_(text) {}
+
+    bool parse(Value& out, std::string& error) {
+        if (!value(out, 0)) {
+            std::ostringstream os;
+            os << err_ << " at offset " << pos_;
+            error = os.str();
+            return false;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            error = "trailing content after JSON value at offset " + std::to_string(pos_);
+            return false;
+        }
+        return true;
+    }
+
+private:
+    void skipWs() {
+        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+
+    bool fail(const char* what) {
+        if (err_.empty()) err_ = what;
+        return false;
+    }
+
+    bool literal(const char* word, std::size_t len) {
+        if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool value(Value& out, int depth) {
+        if (depth > kMaxDepth) return fail("nesting depth limit exceeded");
+        skipWs();
+        if (pos_ >= s_.size()) return fail("unexpected end of input");
+        switch (s_[pos_]) {
+            case '{': return object(out, depth);
+            case '[': return array(out, depth);
+            case '"':
+                out.kind = Value::Kind::String;
+                return string(out.str);
+            case 't':
+                out.kind = Value::Kind::Bool;
+                out.b = true;
+                return literal("true", 4);
+            case 'f':
+                out.kind = Value::Kind::Bool;
+                out.b = false;
+                return literal("false", 5);
+            case 'n':
+                out.kind = Value::Kind::Null;
+                return literal("null", 4);
+            default: return number(out);
+        }
+    }
+
+    bool object(Value& out, int depth) {
+        out = Value::object();
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key)) return fail("expected key");
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+            ++pos_;
+            Value v;
+            if (!value(v, depth + 1)) return false;
+            (*out.obj)[key] = std::move(v);
+            skipWs();
+            if (pos_ >= s_.size()) return fail("unterminated object");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool array(Value& out, int depth) {
+        out = Value::array();
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value v;
+            if (!value(v, depth + 1)) return false;
+            out.arr->push_back(std::move(v));
+            skipWs();
+            if (pos_ >= s_.size()) return fail("unterminated array");
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"') return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) return fail("unterminated escape");
+            const char e = s_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = s_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else return fail("bad \\u escape");
+                    }
+                    // UTF-8 encode (surrogate pairs are not needed by any
+                    // producer in this tree; lone surrogates pass through).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool number(Value& out) {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start) return fail("expected value");
+        char* end = nullptr;
+        out.kind = Value::Kind::Number;
+        out.num = std::strtod(s_.c_str() + start, &end);
+        if (end != s_.c_str() + pos_) return fail("malformed number");
+        return true;
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+void dumpTo(const Value& v, std::string& out) {
+    switch (v.kind) {
+        case Value::Kind::Null: out += "null"; return;
+        case Value::Kind::Bool: out += v.b ? "true" : "false"; return;
+        case Value::Kind::Number: {
+            if (!std::isfinite(v.num)) {
+                out += "null";
+                return;
+            }
+            char buf[32];
+            // Integral values (ids, counts) print exactly; everything else
+            // round-trips through %.17g.
+            if (v.num == std::floor(v.num) && std::fabs(v.num) < 9.0e15) {
+                std::snprintf(buf, sizeof buf, "%.0f", v.num);
+            } else {
+                std::snprintf(buf, sizeof buf, "%.17g", v.num);
+            }
+            out += buf;
+            return;
+        }
+        case Value::Kind::String: out += quote(v.str); return;
+        case Value::Kind::Array: {
+            out += '[';
+            bool first = true;
+            if (v.arr)
+                for (const Value& e : *v.arr) {
+                    if (!first) out += ',';
+                    first = false;
+                    dumpTo(e, out);
+                }
+            out += ']';
+            return;
+        }
+        case Value::Kind::Object: {
+            out += '{';
+            bool first = true;
+            if (v.obj)
+                for (const auto& [k, e] : *v.obj) {
+                    if (!first) out += ',';
+                    first = false;
+                    out += quote(k);
+                    out += ':';
+                    dumpTo(e, out);
+                }
+            out += '}';
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+ParseResult parse(const std::string& text) {
+    ParseResult r;
+    r.ok = Parser(text).parse(r.value, r.error);
+    return r;
+}
+
+std::string dump(const Value& v) {
+    std::string out;
+    dumpTo(v, out);
+    return out;
+}
+
+std::string quote(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+}  // namespace phlogon::io::json

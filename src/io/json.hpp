@@ -1,0 +1,95 @@
+#pragma once
+// Minimal shared JSON value model: strict recursive-descent parser plus a
+// canonical serializer.  No external dependency; used by the trace reader
+// (obs/trace_read.cpp), the service protocol (src/service/) and the tools.
+//
+// Scope is deliberately the subset this codebase emits and accepts:
+// numbers are doubles (64-bit integers round-trip exactly up to 2^53, which
+// covers every id/count the protocol carries), strings are UTF-8 with the
+// standard escapes, and parsing is strict — trailing content, bad escapes
+// or malformed numbers are errors, never silently skipped.  The parser is
+// tolerant of *unknown keys* (it keeps them), not of invalid syntax.
+//
+// Depth is bounded (kMaxDepth) so a hostile request of "[[[[..." cannot
+// overflow the stack — the service's malformed-frame tests feed exactly
+// that.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace phlogon::io::json {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+    bool b = false;
+    double num = 0.0;
+    std::string str;
+    std::shared_ptr<Array> arr;
+    std::shared_ptr<Object> obj;
+
+    Value() = default;
+    static Value null() { return Value(); }
+    static Value boolean(bool v);
+    static Value number(double v);
+    static Value integer(std::int64_t v) { return number(static_cast<double>(v)); }
+    static Value string(std::string v);
+    static Value array();
+    static Value object();
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /// Object field lookup; nullptr when absent or not an object.
+    const Value* field(const std::string& key) const;
+    double numberOr(double fallback) const { return isNumber() ? num : fallback; }
+    bool boolOr(bool fallback) const { return isBool() ? b : fallback; }
+    std::string stringOr(std::string fallback) const {
+        return isString() ? str : std::move(fallback);
+    }
+    /// Convenience typed field reads (fallback when absent / wrong kind).
+    double fieldNumber(const std::string& key, double fallback) const;
+    bool fieldBool(const std::string& key, bool fallback) const;
+    std::string fieldString(const std::string& key, const std::string& fallback) const;
+
+    /// Mutation helpers (object/array kinds are created on demand by the
+    /// static constructors above; set() on a non-object is a no-op by
+    /// design — build values top-down with object()/array()).
+    Value& set(const std::string& key, Value v);
+    Value& push(Value v);
+    std::size_t size() const;
+};
+
+struct ParseResult {
+    bool ok = false;
+    std::string error;  ///< parse diagnostic with byte offset
+    Value value;
+};
+
+/// Nesting bound for parse(): deeper input fails with a diagnostic instead
+/// of recursing without limit.
+inline constexpr int kMaxDepth = 64;
+
+/// Strict parse of one JSON value spanning the whole input.
+ParseResult parse(const std::string& text);
+
+/// Serialize to compact JSON.  NaN/Inf (not representable in JSON)
+/// serialize as null; integral doubles print without an exponent so ids
+/// and counts round-trip textually.
+std::string dump(const Value& v);
+
+/// JSON string escaping of `s` including the surrounding quotes.
+std::string quote(const std::string& s);
+
+}  // namespace phlogon::io::json

@@ -55,6 +55,8 @@ inline constexpr std::uint32_t kTypeSweepLockingRange = fourcc('S', 'W', 'L', 'R
 inline constexpr std::uint32_t kTypeSweepPhaseError = fourcc('S', 'W', 'P', 'E');
 inline constexpr std::uint32_t kTypeTransientCheckpoint = fourcc('T', 'C', 'K', 'P');
 inline constexpr std::uint32_t kTypeGaeCheckpoint = fourcc('G', 'C', 'K', 'P');
+inline constexpr std::uint32_t kTypeMcCheckpoint = fourcc('M', 'C', 'K', 'P');
+inline constexpr std::uint32_t kTypeFsmCheckpoint = fourcc('F', 'C', 'K', 'P');
 
 /// Human-readable name of a type tag ("PSSR", or "????" when unknown).
 std::string typeName(std::uint32_t type);

@@ -1,272 +1,55 @@
 #include "obs/trace_read.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <sstream>
+
+#include "io/json.hpp"
 
 namespace phlogon::obs {
 
-namespace {
-
-// ---- minimal JSON value model + recursive-descent parser ------------------
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-    enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
-    bool b = false;
-    double num = 0.0;
-    std::string str;
-    std::shared_ptr<JsonArray> arr;
-    std::shared_ptr<JsonObject> obj;
-
-    const JsonValue* field(const std::string& key) const {
-        if (kind != Kind::Object || !obj) return nullptr;
-        const auto it = obj->find(key);
-        return it == obj->end() ? nullptr : &it->second;
-    }
-    double numberOr(double fallback) const { return kind == Kind::Number ? num : fallback; }
-    std::string stringOr(std::string fallback) const {
-        return kind == Kind::String ? str : std::move(fallback);
-    }
-};
-
-class JsonParser {
-public:
-    explicit JsonParser(const std::string& text) : s_(text) {}
-
-    bool parse(JsonValue& out, std::string& error) {
-        if (!value(out)) {
-            std::ostringstream os;
-            os << err_ << " at offset " << pos_;
-            error = os.str();
-            return false;
-        }
-        skipWs();
-        if (pos_ != s_.size()) {
-            error = "trailing content after JSON value at offset " + std::to_string(pos_);
-            return false;
-        }
-        return true;
-    }
-
-private:
-    void skipWs() {
-        while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-    }
-
-    bool fail(const char* what) {
-        if (err_.empty()) err_ = what;
-        return false;
-    }
-
-    bool literal(const char* word, std::size_t len) {
-        if (s_.compare(pos_, len, word) != 0) return fail("bad literal");
-        pos_ += len;
-        return true;
-    }
-
-    bool value(JsonValue& out) {
-        skipWs();
-        if (pos_ >= s_.size()) return fail("unexpected end of input");
-        switch (s_[pos_]) {
-            case '{': return object(out);
-            case '[': return array(out);
-            case '"':
-                out.kind = JsonValue::Kind::String;
-                return string(out.str);
-            case 't':
-                out.kind = JsonValue::Kind::Bool;
-                out.b = true;
-                return literal("true", 4);
-            case 'f':
-                out.kind = JsonValue::Kind::Bool;
-                out.b = false;
-                return literal("false", 5);
-            case 'n':
-                out.kind = JsonValue::Kind::Null;
-                return literal("null", 4);
-            default: return number(out);
-        }
-    }
-
-    bool object(JsonValue& out) {
-        out.kind = JsonValue::Kind::Object;
-        out.obj = std::make_shared<JsonObject>();
-        ++pos_;  // '{'
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            std::string key;
-            if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key)) return fail("expected key");
-            skipWs();
-            if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
-            ++pos_;
-            JsonValue v;
-            if (!value(v)) return false;
-            (*out.obj)[key] = std::move(v);
-            skipWs();
-            if (pos_ >= s_.size()) return fail("unterminated object");
-            if (s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (s_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool array(JsonValue& out) {
-        out.kind = JsonValue::Kind::Array;
-        out.arr = std::make_shared<JsonArray>();
-        ++pos_;  // '['
-        skipWs();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            JsonValue v;
-            if (!value(v)) return false;
-            out.arr->push_back(std::move(v));
-            skipWs();
-            if (pos_ >= s_.size()) return fail("unterminated array");
-            if (s_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (s_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool string(std::string& out) {
-        ++pos_;  // opening quote
-        out.clear();
-        while (pos_ < s_.size()) {
-            const char c = s_[pos_++];
-            if (c == '"') return true;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= s_.size()) return fail("unterminated escape");
-            const char e = s_[pos_++];
-            switch (e) {
-                case '"': out += '"'; break;
-                case '\\': out += '\\'; break;
-                case '/': out += '/'; break;
-                case 'b': out += '\b'; break;
-                case 'f': out += '\f'; break;
-                case 'n': out += '\n'; break;
-                case 'r': out += '\r'; break;
-                case 't': out += '\t'; break;
-                case 'u': {
-                    if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
-                    unsigned code = 0;
-                    for (int k = 0; k < 4; ++k) {
-                        const char h = s_[pos_++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-                        else return fail("bad \\u escape");
-                    }
-                    // UTF-8 encode (surrogate pairs not needed for our traces;
-                    // lone surrogates pass through as-is).
-                    if (code < 0x80) {
-                        out += static_cast<char>(code);
-                    } else if (code < 0x800) {
-                        out += static_cast<char>(0xC0 | (code >> 6));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    } else {
-                        out += static_cast<char>(0xE0 | (code >> 12));
-                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    }
-                    break;
-                }
-                default: return fail("unknown escape");
-            }
-        }
-        return fail("unterminated string");
-    }
-
-    bool number(JsonValue& out) {
-        const std::size_t start = pos_;
-        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+'))
-            ++pos_;
-        if (pos_ == start) return fail("expected value");
-        char* end = nullptr;
-        out.kind = JsonValue::Kind::Number;
-        out.num = std::strtod(s_.c_str() + start, &end);
-        if (end != s_.c_str() + pos_) return fail("malformed number");
-        return true;
-    }
-
-    const std::string& s_;
-    std::size_t pos_ = 0;
-    std::string err_;
-};
-
-}  // namespace
+using io::json::Value;
 
 // ---- trace extraction -----------------------------------------------------
 
 ParsedTrace parseChromeTrace(const std::string& json) {
     ParsedTrace out;
-    JsonValue root;
-    if (!JsonParser(json).parse(root, out.error)) return out;
+    io::json::ParseResult parsed = io::json::parse(json);
+    if (!parsed.ok) {
+        out.error = parsed.error;
+        return out;
+    }
+    const Value& root = parsed.value;
 
-    const JsonValue* events = root.field("traceEvents");
+    const Value* events = root.field("traceEvents");
     // Chrome also accepts the bare-array format.
-    if (!events && root.kind == JsonValue::Kind::Array) events = &root;
-    if (!events || events->kind != JsonValue::Kind::Array) {
+    if (!events && root.isArray()) events = &root;
+    if (!events || !events->isArray()) {
         out.error = "no traceEvents array";
         return out;
     }
-    if (const JsonValue* other = root.field("otherData")) {
-        if (const JsonValue* d = other->field("droppedEvents"))
+    if (const Value* other = root.field("otherData")) {
+        if (const Value* d = other->field("droppedEvents"))
             out.droppedEvents = static_cast<std::uint64_t>(d->numberOr(0.0));
     }
 
-    for (const JsonValue& ev : *events->arr) {
-        if (ev.kind != JsonValue::Kind::Object) {
+    for (const Value& ev : *events->arr) {
+        if (!ev.isObject()) {
             out.error = "non-object trace event";
             return out;
         }
         ParsedEvent p;
-        if (const JsonValue* v = ev.field("name")) p.name = v->stringOr("");
-        if (const JsonValue* v = ev.field("cat")) p.cat = v->stringOr("");
-        if (const JsonValue* v = ev.field("ph")) p.ph = v->stringOr("");
-        if (const JsonValue* v = ev.field("ts")) p.tsUs = v->numberOr(0.0);
-        if (const JsonValue* v = ev.field("dur")) p.durUs = v->numberOr(0.0);
-        if (const JsonValue* v = ev.field("pid"))
-            p.pid = static_cast<std::int64_t>(v->numberOr(0.0));
-        if (const JsonValue* v = ev.field("tid"))
-            p.tid = static_cast<std::int64_t>(v->numberOr(0.0));
+        p.name = ev.fieldString("name", "");
+        p.cat = ev.fieldString("cat", "");
+        p.ph = ev.fieldString("ph", "");
+        p.tsUs = ev.fieldNumber("ts", 0.0);
+        p.durUs = ev.fieldNumber("dur", 0.0);
+        p.pid = static_cast<std::int64_t>(ev.fieldNumber("pid", 0.0));
+        p.tid = static_cast<std::int64_t>(ev.fieldNumber("tid", 0.0));
         if (p.ph == "M") {
             if (p.name == "thread_name") {
-                if (const JsonValue* args = ev.field("args"))
-                    if (const JsonValue* n = args->field("name"))
+                if (const Value* args = ev.field("args"))
+                    if (const Value* n = args->field("name"))
                         out.threads[p.tid] = n->stringOr("");
             }
             continue;

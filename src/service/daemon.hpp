@@ -1,0 +1,151 @@
+#pragma once
+// phlogond: the long-running characterization/simulation service.
+//
+// One Daemon owns
+//   * the listening sockets (Unix-domain and/or loopback TCP),
+//   * the bounded priority JobQueue and its workers,
+//   * the shared ArtifactCache every request's characterization goes
+//     through (repeat requests for the same oscillator spec are cache
+//     hits regardless of which connection asked),
+//   * the checkpoint directory long jobs snapshot into.
+//
+// Threading model: one accept thread per listening socket; one thread per
+// connection running a readFrame → dispatch → writeFrame loop.  Analysis
+// requests are admitted into the queue; `"wait": true` (the default)
+// blocks the *connection* thread on the job, never a worker.  Control
+// requests (status, list-jobs, cancel, shutdown, ping) are answered
+// inline.
+//
+// Every response carries an observability envelope: the job's state and
+// timings, cumulative queue/cache/latency summaries, and — when metrics
+// are enabled — the full obs::RunReport as a JSON object under "obs".
+//
+// Shutdown (request or SIGINT/SIGTERM via ShutdownSignal + run()):
+// stop accepting, then either Drain (run the backlog dry) or Checkpoint
+// (cancel queued jobs, have running jobs write their §11 snapshot and
+// return), answer the still-connected waiters, close connections, exit 0.
+// A Checkpoint-stopped job resumes from its snapshot when resubmitted to
+// the next daemon instance — bit-identically (tests/service).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "io/cache.hpp"
+#include "obs/metrics.hpp"
+#include "service/job_queue.hpp"
+#include "service/jobs.hpp"
+#include "service/protocol.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phlogon::svc {
+
+struct DaemonOptions {
+    /// Unix-domain socket path; empty disables the Unix listener.
+    std::string socketPath;
+    /// Loopback TCP port: -1 disables, 0 binds an ephemeral port
+    /// (read back via tcpPort()).
+    int tcpPort = -1;
+    JobQueue::Options queue;
+    /// Artifact cache directory; empty = disabled cache (every
+    /// characterization recomputes).
+    std::filesystem::path cacheDir;
+    std::uintmax_t cacheMaxBytes = io::ArtifactCache::kDefaultMaxBytes;
+    /// Job checkpoint directory; empty disables checkpointing.
+    std::filesystem::path checkpointDir;
+};
+
+struct DaemonStats {
+    std::uint64_t requests = 0;       ///< frames dispatched
+    std::uint64_t errors = 0;         ///< error responses sent
+    std::uint64_t badFrames = 0;      ///< truncated/oversized frames
+    std::uint64_t connections = 0;    ///< accepted over the lifetime
+    std::size_t activeConnections = 0;
+};
+
+class Daemon {
+public:
+    explicit Daemon(const DaemonOptions& opt);
+    ~Daemon();
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// Bind, listen and start the accept/worker threads.  False (with a
+    /// diagnostic in lastError()) when no listener could be bound.
+    bool start();
+
+    /// Serve until a shutdown is requested (a "shutdown" request, or
+    /// ShutdownSignal once installed), then stop with the requested mode.
+    /// Returns 0 on a clean exit — the daemon's whole main().
+    int run();
+
+    /// Stop accepting, wind down the queue per `mode`, close connections.
+    /// Idempotent.
+    void stop(JobQueue::Shutdown mode = JobQueue::Shutdown::Checkpoint);
+
+    /// Ask run() to wind down (same as receiving a "shutdown" request).
+    void requestStop(JobQueue::Shutdown mode);
+
+    bool running() const { return started_ && !stopped_; }
+    const std::string& lastError() const { return lastError_; }
+    const std::string& socketPath() const { return opt_.socketPath; }
+    /// Actual TCP port (after ephemeral binding); -1 when disabled.
+    int tcpPort() const { return boundTcpPort_; }
+
+    const io::ArtifactCache& cache() const { return cache_; }
+    JobQueue& queue() { return *queue_; }
+    DaemonStats stats() const;
+
+    /// Dispatch one request payload to a response payload — the exact
+    /// per-frame path of a connection thread, callable without a socket
+    /// (unit tests, in-process harnesses).
+    std::string dispatch(const std::string& payload);
+
+private:
+    void acceptLoop(int listenFd);
+    void serveConnection(int fd);
+    io::json::Value statusJson();
+    io::json::Value handle(const Request& req);
+    io::json::Value handleSubmit(const Request& req);
+    void attachObs(io::json::Value& response);
+
+    DaemonOptions opt_;
+    io::ArtifactCache cache_;
+    JobEnv env_;
+    std::unique_ptr<JobQueue> queue_;
+    std::string lastError_;
+
+    std::vector<int> listenFds_;
+    std::vector<std::thread> acceptThreads_;
+    int boundTcpPort_ = -1;
+
+    struct Conn {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+    mutable std::mutex connMu_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+    std::atomic<bool> accepting_{false};
+
+    mutable std::mutex stopMu_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    JobQueue::Shutdown stopMode_ = JobQueue::Shutdown::Checkpoint;
+
+    std::chrono::steady_clock::time_point startTime_;
+    mutable std::mutex statsMu_;
+    DaemonStats stats_;
+    obs::Histogram requestWall_;  ///< per-request latency (always recorded)
+};
+
+}  // namespace phlogon::svc

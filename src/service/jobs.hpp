@@ -1,0 +1,62 @@
+#pragma once
+// Request-type → job-body mapping for phlogond.
+//
+// Each analysis request type corresponds 1:1 to an existing library entry
+// point; buildJob validates the JSON params and returns a JobBody closure
+// over them.  All jobs share the daemon's ArtifactCache, so repeated
+// characterizations of the same oscillator spec are cache hits regardless
+// of which connection asked.
+//
+// The two long-running types checkpoint through the §11 artifact formats
+// (io/checkpoint.hpp) and poll JobContext::shouldStop() at chunk
+// boundaries:
+//
+//   * hold-error-mc — the trial ensemble runs in fixed chunks through
+//     core::holdErrorProbabilityRange; after each chunk an McCheckpoint
+//     (counts + outcome hash, keyed by the job's content key) is written.
+//     Per-trial seeds are counter-based over absolute trial indices, so a
+//     cancelled job resubmitted after a daemon restart resumes at the
+//     chunk boundary and produces the *bitwise identical* final counts of
+//     an uninterrupted run.
+//
+//   * fsm-transient — the bit schedule integrates slot by slot; every slot
+//     boundary is a fresh RKF45 start in a full run too (gaeTransient
+//     restarts the controller per schedule segment), so an FsmCheckpoint
+//     (current dphi + per-slot end phases) resumes bit-identically.
+//
+// Checkpoint files are content-keyed ("mc-<key>.phlg"), so a resubmitted
+// job finds its own snapshot and a changed parameter set cannot resume
+// from a stale one.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/cache.hpp"
+#include "io/json.hpp"
+#include "service/job_queue.hpp"
+
+namespace phlogon::svc {
+
+struct JobEnv {
+    /// Shared artifact cache; nullptr falls back to ArtifactCache::global().
+    const io::ArtifactCache* cache = nullptr;
+    /// Directory for job checkpoints; empty disables checkpointing.
+    std::filesystem::path checkpointDir;
+};
+
+struct BuiltJob {
+    bool ok = false;
+    std::string errorCode;    ///< "unknown-type" | "bad-params"
+    std::string errorMessage;
+    JobBody body;
+};
+
+/// The analysis request types phlogond serves.
+const std::vector<std::string>& jobTypes();
+
+/// Validate `params` for `type` and build the job body.  Parameter errors
+/// are reported here (at admission), not from inside the worker.
+BuiltJob buildJob(const std::string& type, const io::json::Value& params, const JobEnv& env);
+
+}  // namespace phlogon::svc

@@ -1,0 +1,210 @@
+#include "service/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace phlogon::svc {
+
+namespace {
+
+/// Read exactly n bytes; distinguishes clean EOF at offset 0 from a
+/// mid-buffer stream end.
+enum class ReadExact { Ok, EofAtStart, EofMid, Error };
+
+ReadExact readExact(int fd, void* buf, std::size_t n) {
+    auto* p = static_cast<std::uint8_t*>(buf);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0) return got == 0 ? ReadExact::EofAtStart : ReadExact::EofMid;
+        if (errno == EINTR) continue;
+        return ReadExact::Error;
+    }
+    return ReadExact::Ok;
+}
+
+bool writeAll(int fd, const void* buf, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(buf);
+    std::size_t put = 0;
+    while (put < n) {
+        // MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE; fall
+        // back to write(2) when fd is not a socket (pipes in tests).
+        ssize_t r = ::send(fd, p + put, n - put, MSG_NOSIGNAL);
+        if (r < 0 && (errno == ENOTSOCK || errno == EOPNOTSUPP))
+            r = ::write(fd, p + put, n - put);
+        if (r > 0) {
+            put += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string frameStatusName(FrameStatus s) {
+    switch (s) {
+        case FrameStatus::Ok: return "ok";
+        case FrameStatus::Eof: return "eof";
+        case FrameStatus::Truncated: return "truncated";
+        case FrameStatus::TooLarge: return "too-large";
+        case FrameStatus::IoError: return "io-error";
+    }
+    return "?";
+}
+
+FrameRead readFrame(int fd, std::uint32_t maxBytes) {
+    FrameRead out;
+    std::uint8_t prefix[4];
+    switch (readExact(fd, prefix, sizeof prefix)) {
+        case ReadExact::Ok: break;
+        case ReadExact::EofAtStart: out.status = FrameStatus::Eof; return out;
+        case ReadExact::EofMid: out.status = FrameStatus::Truncated; return out;
+        case ReadExact::Error: out.status = FrameStatus::IoError; return out;
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(prefix[0]) |
+                            static_cast<std::uint32_t>(prefix[1]) << 8 |
+                            static_cast<std::uint32_t>(prefix[2]) << 16 |
+                            static_cast<std::uint32_t>(prefix[3]) << 24;
+    if (n > maxBytes) {
+        // Deliberately no read of the announced payload: the peer claimed up
+        // to 4 GiB and the caller will drop the connection.
+        out.status = FrameStatus::TooLarge;
+        return out;
+    }
+    out.payload.resize(n);
+    switch (n == 0 ? ReadExact::Ok : readExact(fd, out.payload.data(), n)) {
+        case ReadExact::Ok: out.status = FrameStatus::Ok; return out;
+        case ReadExact::EofAtStart:
+        case ReadExact::EofMid: out.status = FrameStatus::Truncated; return out;
+        case ReadExact::Error: out.status = FrameStatus::IoError; return out;
+    }
+    out.status = FrameStatus::IoError;
+    return out;
+}
+
+bool writeFrame(int fd, const std::string& payload) {
+    if (payload.size() > kMaxFrameBytes) return false;
+    const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+    const std::uint8_t prefix[4] = {
+        static_cast<std::uint8_t>(n & 0xff),
+        static_cast<std::uint8_t>((n >> 8) & 0xff),
+        static_cast<std::uint8_t>((n >> 16) & 0xff),
+        static_cast<std::uint8_t>((n >> 24) & 0xff),
+    };
+    // Single buffered write so a frame is never interleaved with another
+    // thread's (the daemon serializes per-connection writes anyway).
+    std::string buf;
+    buf.reserve(4 + payload.size());
+    buf.append(reinterpret_cast<const char*>(prefix), 4);
+    buf.append(payload);
+    return writeAll(fd, buf.data(), buf.size());
+}
+
+Request parseRequest(const std::string& payload) {
+    Request req;
+    const io::json::ParseResult parsed = io::json::parse(payload);
+    if (!parsed.ok) {
+        req.errorCode = "bad-json";
+        req.errorMessage = parsed.error;
+        return req;
+    }
+    const io::json::Value& v = parsed.value;
+    if (!v.isObject()) {
+        req.errorCode = "bad-request";
+        req.errorMessage = "request must be a JSON object";
+        return req;
+    }
+    if (const io::json::Value* id = v.field("id")) req.id = *id;
+    req.type = v.fieldString("type", "");
+    if (req.type.empty()) {
+        req.errorCode = "bad-request";
+        req.errorMessage = "missing or non-string \"type\"";
+        return req;
+    }
+    if (const io::json::Value* p = v.field("params")) {
+        if (!p->isObject()) {
+            req.errorCode = "bad-request";
+            req.errorMessage = "\"params\" must be an object";
+            return req;
+        }
+        req.params = *p;
+    } else {
+        req.params = io::json::Value::object();
+    }
+    const double prio = v.fieldNumber("priority", 0.0);
+    if (std::isfinite(prio))
+        req.priority = std::clamp(static_cast<int>(prio), -100, 100);
+    req.wait = v.fieldBool("wait", true);
+    req.ok = true;
+    return req;
+}
+
+io::json::Value makeResponse(const io::json::Value& id) {
+    io::json::Value r = io::json::Value::object();
+    r.set("ok", io::json::Value::boolean(true));
+    r.set("id", id);
+    return r;
+}
+
+io::json::Value makeError(const io::json::Value& id, const std::string& code,
+                          const std::string& message) {
+    io::json::Value r = io::json::Value::object();
+    r.set("ok", io::json::Value::boolean(false));
+    r.set("id", id);
+    io::json::Value err = io::json::Value::object();
+    err.set("code", io::json::Value::string(code));
+    err.set("message", io::json::Value::string(message));
+    r.set("error", err);
+    return r;
+}
+
+int connectUnix(const std::string& path) {
+    sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path)) return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int connectTcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string roundTrip(int fd, const std::string& requestPayload) {
+    if (!writeFrame(fd, requestPayload)) return {};
+    const FrameRead r = readFrame(fd);
+    return r.ok() ? r.payload : std::string();
+}
+
+}  // namespace phlogon::svc

@@ -1,0 +1,94 @@
+#pragma once
+// phlogond wire protocol: length-prefixed JSON frames over a stream socket.
+//
+// Frame layout (both directions):
+//
+//   offset  size  field
+//        0     4  payload length N (u32, little-endian)
+//        4     N  payload: one UTF-8 JSON value
+//
+// The length prefix is bounded by kMaxFrameBytes: a peer announcing more is
+// answered with a structured "frame-too-large" error and disconnected (the
+// stream cannot be resynchronized after an untrusted prefix), while the
+// daemon keeps serving every other connection.  A frame that ends early
+// (peer half-closed mid-payload) is "truncated-frame"; invalid JSON inside
+// a well-formed frame is "bad-json" and, because framing is still intact,
+// the connection stays open.
+//
+// Requests are JSON objects:
+//
+//   {"type": "hold-error-mc", "params": {...}, "priority": 5,
+//    "wait": true, "id": 17}
+//
+// `type` selects the operation (see service/jobs.hpp for the four analysis
+// job types; the daemon itself adds status/cancel/list-jobs/stats/
+// shutdown/ping).  `id` is an opaque client token echoed in the response.
+// Responses are objects with "ok" (bool), the echoed "id", and either the
+// operation payload or an "error": {"code", "message"} — plus the
+// observability envelope the daemon attaches (see service/daemon.hpp).
+
+#include <cstdint>
+#include <string>
+
+#include "io/json.hpp"
+
+namespace phlogon::svc {
+
+/// Upper bound on one frame's payload (requests and responses are a few
+/// KiB; result tables top out well under 1 MiB).
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus {
+    Ok,
+    Eof,        ///< clean close: zero bytes where a prefix would start
+    Truncated,  ///< stream ended inside the prefix or payload
+    TooLarge,   ///< announced length exceeds the cap
+    IoError,    ///< read/write failure (errno-level)
+};
+
+std::string frameStatusName(FrameStatus s);
+
+struct FrameRead {
+    FrameStatus status = FrameStatus::IoError;
+    std::string payload;  ///< filled when status == Ok
+    bool ok() const { return status == FrameStatus::Ok; }
+};
+
+/// Read one frame from `fd` (blocking).  EINTR is retried; any other error
+/// maps to IoError.
+FrameRead readFrame(int fd, std::uint32_t maxBytes = kMaxFrameBytes);
+
+/// Write one frame (blocking, handles short writes, suppresses SIGPIPE).
+bool writeFrame(int fd, const std::string& payload);
+
+/// Parse + validate the request envelope.  `ok` false carries the error
+/// code/message to respond with.
+struct Request {
+    bool ok = false;
+    std::string errorCode;
+    std::string errorMessage;
+
+    std::string type;
+    io::json::Value id;      ///< echoed verbatim (null when absent)
+    io::json::Value params;  ///< object; empty object when absent
+    int priority = 0;        ///< higher = sooner; clamped to [-100, 100]
+    bool wait = true;        ///< block until the job finishes
+};
+
+Request parseRequest(const std::string& payload);
+
+/// Response builders.  Every response flows through these so the envelope
+/// shape ("ok", echoed "id") stays uniform.
+io::json::Value makeResponse(const io::json::Value& id);
+io::json::Value makeError(const io::json::Value& id, const std::string& code,
+                          const std::string& message);
+
+/// Client-side connectors (blocking).  Return the connected fd, or -1.
+int connectUnix(const std::string& path);
+int connectTcp(int port);  ///< 127.0.0.1:port
+
+/// One blocking request/response round trip on an open connection.
+/// Empty string on any framing or I/O failure.
+std::string roundTrip(int fd, const std::string& requestPayload);
+
+}  // namespace phlogon::svc

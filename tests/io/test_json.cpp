@@ -1,0 +1,122 @@
+// io/json: strict parser + canonical serializer shared by the trace
+// reader, the service protocol and the tools.
+
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace json = phlogon::io::json;
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json::parse("null").value.isNull());
+    EXPECT_TRUE(json::parse("true").value.boolOr(false));
+    EXPECT_FALSE(json::parse("false").value.boolOr(true));
+    EXPECT_DOUBLE_EQ(json::parse("42").value.numberOr(0), 42.0);
+    EXPECT_DOUBLE_EQ(json::parse("-1.5e3").value.numberOr(0), -1500.0);
+    EXPECT_EQ(json::parse("\"hi\"").value.stringOr(""), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+    const auto r = json::parse(R"({"a": [1, 2, {"b": true}], "c": {"d": null}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    const json::Value* a = r.value.field("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    EXPECT_EQ(a->size(), 3u);
+    EXPECT_TRUE((*a->arr)[2].fieldBool("b", false));
+    const json::Value* c = r.value.field("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(c->field("d")->isNull());
+}
+
+TEST(Json, StringEscapes) {
+    const auto r = json::parse(R"("a\"b\\c\n\tA")");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.str, "a\"b\\c\n\tA");
+    // quote() must invert the standard escapes.
+    const auto rt = json::parse(json::quote("x\"\\\n\ty"));
+    ASSERT_TRUE(rt.ok);
+    EXPECT_EQ(rt.value.str, "x\"\\\n\ty");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_FALSE(json::parse("").ok);
+    EXPECT_FALSE(json::parse("{").ok);
+    EXPECT_FALSE(json::parse("[1, 2,]").ok);
+    EXPECT_FALSE(json::parse("{\"a\": }").ok);
+    EXPECT_FALSE(json::parse("nul").ok);
+    EXPECT_FALSE(json::parse("1.2.3").ok);
+    EXPECT_FALSE(json::parse("\"bad\\x\"").ok);
+    EXPECT_FALSE(json::parse("\"unterminated").ok);
+    // Strictness: trailing content after a complete value is an error.
+    EXPECT_FALSE(json::parse("{} garbage").ok);
+    EXPECT_FALSE(json::parse("1 2").ok);
+}
+
+TEST(Json, DepthBoundStopsHostileNesting) {
+    // "[[[[..." deeper than kMaxDepth must fail with a diagnostic, not
+    // overflow the stack (the malformed-frame hardening path).
+    std::string deep(2048, '[');
+    const auto r = json::parse(deep);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("depth"), std::string::npos);
+    // At the bound it still parses.
+    std::string okDeep;
+    for (int i = 0; i < json::kMaxDepth - 1; ++i) okDeep += '[';
+    for (int i = 0; i < json::kMaxDepth - 1; ++i) okDeep += ']';
+    EXPECT_TRUE(json::parse(okDeep).ok);
+}
+
+TEST(Json, FieldHelpersFallBack) {
+    const auto r = json::parse(R"({"n": 3, "b": true, "s": "x"})");
+    ASSERT_TRUE(r.ok);
+    EXPECT_DOUBLE_EQ(r.value.fieldNumber("n", -1), 3.0);
+    EXPECT_DOUBLE_EQ(r.value.fieldNumber("missing", -1), -1.0);
+    EXPECT_DOUBLE_EQ(r.value.fieldNumber("s", -1), -1.0);  // wrong kind
+    EXPECT_TRUE(r.value.fieldBool("b", false));
+    EXPECT_FALSE(r.value.fieldBool("n", false));
+    EXPECT_EQ(r.value.fieldString("s", "?"), "x");
+    EXPECT_EQ(r.value.fieldString("b", "?"), "?");
+    // field() on a non-object is null, not a crash.
+    EXPECT_EQ(json::parse("3").value.field("x"), nullptr);
+}
+
+TEST(Json, DumpRoundTrips) {
+    json::Value v = json::Value::object();
+    v.set("id", json::Value::integer(123456789));
+    v.set("pi", json::Value::number(3.25));
+    v.set("ok", json::Value::boolean(true));
+    json::Value arr = json::Value::array();
+    arr.push(json::Value::string("a\"b"));
+    arr.push(json::Value::null());
+    v.set("xs", arr);
+    const std::string text = json::dump(v);
+    const auto r = json::parse(text);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.fieldNumber("id", 0), 123456789.0);
+    EXPECT_DOUBLE_EQ(r.value.fieldNumber("pi", 0), 3.25);
+    EXPECT_TRUE(r.value.fieldBool("ok", false));
+    EXPECT_EQ((*r.value.field("xs")->arr)[0].str, "a\"b");
+    // Integral doubles print without an exponent so ids round-trip
+    // textually.
+    EXPECT_NE(text.find("123456789"), std::string::npos);
+    EXPECT_EQ(text.find("e+"), std::string::npos);
+}
+
+TEST(Json, DumpNanInfAsNull) {
+    json::Value v = json::Value::object();
+    v.set("bad", json::Value::number(std::nan("")));
+    const auto r = json::parse(json::dump(v));
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.value.field("bad")->isNull());
+}
+
+TEST(Json, SetOnNonObjectIsNoOp) {
+    json::Value n = json::Value::number(1.0);
+    n.set("k", json::Value::number(2.0));  // documented no-op
+    EXPECT_TRUE(n.isNumber());
+    EXPECT_EQ(n.field("k"), nullptr);
+}

@@ -1,0 +1,294 @@
+// phlogon_client — load generator / CLI for phlogond.
+//
+// Single request:
+//   phlogon_client --socket /tmp/phlogond.sock req characterize-latch
+//       --params '{"syncAmp": 1e-4}' [--no-wait] [--priority 5]
+//   phlogon_client --socket S status | list | cancel <job> | shutdown [drain]
+//
+// Scripted mix (sequential):
+//   phlogon_client --socket S mix 'characterize-latch:3,hold-error-mc:1' --count 8
+//
+// Closed-loop load (the saturation driver): N threads, each with its own
+// connection, firing requests back-to-back from the weighted mix until
+// --count per thread is reached:
+//   phlogon_client --socket S load 'characterize-latch:4,locking-range-sweep:1'
+//       --threads 4 --count 25 [--assert-p95-ms 500]
+//
+// Exit status is non-zero if any request failed (CI asserts a clean run),
+// or if an --assert-p95-ms budget was exceeded.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "service/protocol.hpp"
+
+using namespace phlogon;
+namespace json = io::json;
+
+namespace {
+
+struct Endpoint {
+    std::string socketPath;
+    int tcpPort = -1;
+
+    int connect() const {
+        return socketPath.empty() ? svc::connectTcp(tcpPort) : svc::connectUnix(socketPath);
+    }
+};
+
+struct MixEntry {
+    std::string type;
+    int weight = 1;
+    std::string params;  ///< JSON object text ("{}" default)
+};
+
+/// "type:weight[:jsonparams],..." — params given via --params-for.
+std::vector<MixEntry> parseMix(const std::string& spec) {
+    std::vector<MixEntry> mix;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        std::string item = spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+        if (item.empty()) continue;
+        MixEntry e;
+        const std::size_t colon = item.find(':');
+        e.type = item.substr(0, colon);
+        if (colon != std::string::npos) e.weight = std::max(1, std::atoi(item.c_str() + colon + 1));
+        e.params = "{}";
+        mix.push_back(e);
+    }
+    return mix;
+}
+
+std::string buildRequest(const std::string& type, const std::string& paramsJson, int priority,
+                         bool wait, std::uint64_t id) {
+    std::string r = "{\"type\": " + json::quote(type) + ", \"id\": " + std::to_string(id);
+    if (priority != 0) r += ", \"priority\": " + std::to_string(priority);
+    if (!wait) r += ", \"wait\": false";
+    if (!paramsJson.empty() && paramsJson != "{}") r += ", \"params\": " + paramsJson;
+    r += "}";
+    return r;
+}
+
+struct LoadResult {
+    std::vector<double> latenciesMs;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retried = 0;  ///< queue-full rejections that were retried
+};
+
+/// Closed-loop worker: one connection, `count` requests drawn round-robin
+/// by weight from the mix.  queue-full responses honor retryAfterMs and
+/// retry the same request (they count as `retried`, not `failed`).
+LoadResult runLoad(const Endpoint& ep, const std::vector<MixEntry>& mix, int count, int priority,
+                   unsigned threadIdx) {
+    LoadResult res;
+    const int fd = ep.connect();
+    if (fd < 0) {
+        res.failed = static_cast<std::uint64_t>(count);
+        return res;
+    }
+    // Weighted round-robin schedule.
+    std::vector<const MixEntry*> schedule;
+    for (const MixEntry& e : mix)
+        for (int w = 0; w < e.weight; ++w) schedule.push_back(&e);
+    std::uint64_t id = static_cast<std::uint64_t>(threadIdx) * 1000000ull;
+    for (int k = 0; k < count; ++k) {
+        const MixEntry& e = *schedule[static_cast<std::size_t>(k) % schedule.size()];
+        const std::string payload = buildRequest(e.type, e.params, priority, true, ++id);
+        for (int attempt = 0;; ++attempt) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const std::string reply = svc::roundTrip(fd, payload);
+            const double ms =
+                std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (reply.empty()) {
+                ++res.failed;
+                ::close(fd);
+                return res;  // connection gone
+            }
+            const json::ParseResult parsed = json::parse(reply);
+            if (!parsed.ok) {
+                ++res.failed;
+                break;
+            }
+            if (parsed.value.fieldBool("ok", false)) {
+                res.latenciesMs.push_back(ms);
+                ++res.ok;
+                break;
+            }
+            const json::Value* err = parsed.value.field("error");
+            const std::string code = err ? err->fieldString("code", "") : "";
+            if (code == "queue-full" && attempt < 50) {
+                ++res.retried;
+                const double retryMs = parsed.value.fieldNumber("retryAfterMs", 100.0);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(static_cast<int>(retryMs)));
+                continue;
+            }
+            ++res.failed;
+            break;
+        }
+    }
+    ::close(fd);
+    return res;
+}
+
+double quantile(std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: phlogon_client (--socket PATH | --tcp PORT) COMMAND\n"
+                 "  req TYPE [--params JSON] [--priority N] [--no-wait]\n"
+                 "  status | list | ping\n"
+                 "  cancel JOB\n"
+                 "  shutdown [drain|checkpoint]\n"
+                 "  mix SPEC --count N [--priority N]\n"
+                 "  load SPEC --threads K --count N [--assert-p95-ms X] [--quiet]\n"
+                 "SPEC: 'type:weight,type:weight,...'\n");
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Endpoint ep;
+    std::vector<std::string> args;
+    std::string paramsJson = "{}";
+    int priority = 0;
+    int threads = 1;
+    int count = 1;
+    bool wait = true;
+    bool quiet = false;
+    double assertP95Ms = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) std::exit(usage());
+            return argv[++i];
+        };
+        if (arg == "--socket") ep.socketPath = next();
+        else if (arg == "--tcp") ep.tcpPort = std::atoi(next());
+        else if (arg == "--params") paramsJson = next();
+        else if (arg == "--priority") priority = std::atoi(next());
+        else if (arg == "--threads") threads = std::max(1, std::atoi(next()));
+        else if (arg == "--count") count = std::max(1, std::atoi(next()));
+        else if (arg == "--no-wait") wait = false;
+        else if (arg == "--quiet") quiet = true;
+        else if (arg == "--assert-p95-ms") assertP95Ms = std::atof(next());
+        else if (arg == "--help" || arg == "-h") return usage();
+        else args.push_back(arg);
+    }
+    if ((ep.socketPath.empty() && ep.tcpPort < 0) || args.empty()) return usage();
+    const std::string& cmd = args[0];
+
+    // ---- single-request commands -------------------------------------------
+    const auto single = [&](const std::string& payload, bool expectReply) -> int {
+        const int fd = ep.connect();
+        if (fd < 0) {
+            std::fprintf(stderr, "phlogon_client: cannot connect\n");
+            return 1;
+        }
+        const std::string reply = svc::roundTrip(fd, payload);
+        ::close(fd);
+        if (reply.empty()) {
+            // A daemon acting on "shutdown" may close before replying.
+            if (!expectReply) return 0;
+            std::fprintf(stderr, "phlogon_client: no reply\n");
+            return 1;
+        }
+        std::printf("%s\n", reply.c_str());
+        const json::ParseResult parsed = json::parse(reply);
+        return parsed.ok && parsed.value.fieldBool("ok", false) ? 0 : 1;
+    };
+
+    if (cmd == "req" && args.size() >= 2)
+        return single(buildRequest(args[1], paramsJson, priority, wait, 1), true);
+    if (cmd == "status") return single("{\"type\": \"status\", \"id\": 1}", true);
+    if (cmd == "ping") return single("{\"type\": \"ping\", \"id\": 1}", true);
+    if (cmd == "list") return single("{\"type\": \"list-jobs\", \"id\": 1}", true);
+    if (cmd == "cancel" && args.size() >= 2)
+        return single("{\"type\": \"cancel\", \"id\": 1, \"params\": {\"job\": " + args[1] + "}}",
+                      true);
+    if (cmd == "shutdown") {
+        const std::string mode = args.size() >= 2 ? args[1] : "checkpoint";
+        return single("{\"type\": \"shutdown\", \"id\": 1, \"params\": {\"mode\": " +
+                          json::quote(mode) + "}}",
+                      false);
+    }
+
+    // ---- mix / load ---------------------------------------------------------
+    if ((cmd == "mix" || cmd == "load") && args.size() >= 2) {
+        const std::vector<MixEntry> mix = parseMix(args[1]);
+        if (mix.empty()) return usage();
+        if (!paramsJson.empty() && paramsJson != "{}") {
+            std::fprintf(stderr, "phlogon_client: --params applies per-type defaults to every "
+                                 "mix entry\n");
+        }
+        const int nThreads = cmd == "mix" ? 1 : threads;
+        std::vector<LoadResult> results(static_cast<std::size_t>(nThreads));
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            std::vector<std::thread> pool;
+            for (int t = 0; t < nThreads; ++t)
+                pool.emplace_back([&, t] {
+                    results[static_cast<std::size_t>(t)] =
+                        runLoad(ep, mix, count, priority, static_cast<unsigned>(t + 1));
+                });
+            for (std::thread& th : pool) th.join();
+        }
+        const double wallS =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+        LoadResult total;
+        for (const LoadResult& r : results) {
+            total.ok += r.ok;
+            total.failed += r.failed;
+            total.retried += r.retried;
+            total.latenciesMs.insert(total.latenciesMs.end(), r.latenciesMs.begin(),
+                                     r.latenciesMs.end());
+        }
+        std::sort(total.latenciesMs.begin(), total.latenciesMs.end());
+        const double p50 = quantile(total.latenciesMs, 0.50);
+        const double p95 = quantile(total.latenciesMs, 0.95);
+        const double p99 = quantile(total.latenciesMs, 0.99);
+        if (!quiet) {
+            std::printf("phlogon_client: %s threads=%d count=%d/thread\n", cmd.c_str(), nThreads,
+                        count);
+            std::printf("  ok=%llu failed=%llu retried=%llu wall=%.2fs rate=%.1f req/s\n",
+                        static_cast<unsigned long long>(total.ok),
+                        static_cast<unsigned long long>(total.failed),
+                        static_cast<unsigned long long>(total.retried), wallS,
+                        wallS > 0 ? static_cast<double>(total.ok) / wallS : 0.0);
+            std::printf("  latency ms: p50=%.2f p95=%.2f p99=%.2f\n", p50, p95, p99);
+        }
+        if (total.failed > 0) return 1;
+        if (assertP95Ms > 0 && p95 > assertP95Ms) {
+            std::fprintf(stderr, "phlogon_client: p95 %.2f ms exceeds budget %.2f ms\n", p95,
+                         assertP95Ms);
+            return 3;
+        }
+        return 0;
+    }
+    return usage();
+}

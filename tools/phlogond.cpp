@@ -1,0 +1,108 @@
+// phlogond — the long-running characterization/simulation service.
+//
+//   phlogond --socket /tmp/phlogond.sock --workers 2 --cache /tmp/cache
+//            --ckpt /tmp/ckpt
+//
+// Serves the analysis request types (characterize-latch,
+// locking-range-sweep, hold-error-mc, fsm-transient) plus control requests
+// (status, list-jobs, job-status, cancel, shutdown, ping) over
+// length-prefixed JSON frames; see DESIGN.md §16 and tools/phlogon_client.
+// SIGINT/SIGTERM drain gracefully: queued jobs are cancelled, running jobs
+// write their checkpoint and stop, the daemon exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/report.hpp"
+#include "service/daemon.hpp"
+#include "service/shutdown.hpp"
+
+namespace {
+
+void usage() {
+    std::printf(
+        "usage: phlogond [options]\n"
+        "  --socket PATH     Unix-domain socket to listen on\n"
+        "  --tcp PORT        also listen on 127.0.0.1:PORT (0 = ephemeral)\n"
+        "  --workers N       job-queue worker threads (default 2)\n"
+        "  --depth N         queued-job bound before rejection (default 64)\n"
+        "  --retry-ms N      retry-after hint on rejection (default 200)\n"
+        "  --cache DIR       artifact cache directory (default $PHLOGON_CACHE_DIR)\n"
+        "  --cache-max-mb N  cache size bound (default 256)\n"
+        "  --ckpt DIR        checkpoint directory for long jobs (default off)\n"
+        "At least one of --socket/--tcp is required.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace phlogon;
+    svc::DaemonOptions opt;
+    if (const char* env = std::getenv("PHLOGON_CACHE_DIR"); env && *env) opt.cacheDir = env;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "phlogond: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opt.socketPath = next();
+        } else if (arg == "--tcp") {
+            opt.tcpPort = std::atoi(next());
+        } else if (arg == "--workers") {
+            opt.queue.workers = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--depth") {
+            opt.queue.maxDepth = static_cast<std::size_t>(std::atoi(next()));
+        } else if (arg == "--retry-ms") {
+            opt.queue.retryAfterMs = std::atoi(next());
+        } else if (arg == "--cache") {
+            opt.cacheDir = next();
+        } else if (arg == "--cache-max-mb") {
+            opt.cacheMaxBytes = static_cast<std::uintmax_t>(std::atof(next()) * 1024.0 * 1024.0);
+        } else if (arg == "--ckpt") {
+            opt.checkpointDir = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "phlogond: unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+    if (opt.socketPath.empty() && opt.tcpPort < 0) {
+        usage();
+        return 2;
+    }
+
+    svc::ShutdownSignal::instance().install();
+    svc::Daemon daemon(opt);
+    if (!daemon.start()) {
+        std::fprintf(stderr, "phlogond: %s\n", daemon.lastError().c_str());
+        return 1;
+    }
+    if (!opt.socketPath.empty()) std::printf("phlogond: listening on %s\n", opt.socketPath.c_str());
+    if (daemon.tcpPort() >= 0) std::printf("phlogond: listening on 127.0.0.1:%d\n", daemon.tcpPort());
+    std::printf("phlogond: workers=%zu depth=%zu cache=%s ckpt=%s\n", opt.queue.workers,
+                opt.queue.maxDepth,
+                opt.cacheDir.empty() ? "(off)" : opt.cacheDir.string().c_str(),
+                opt.checkpointDir.empty() ? "(off)" : opt.checkpointDir.string().c_str());
+    std::fflush(stdout);
+
+    const int rc = daemon.run();
+
+    const svc::DaemonStats st = daemon.stats();
+    std::printf("phlogond: served %llu requests (%llu errors, %llu bad frames) on %llu connections\n",
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.errors),
+                static_cast<unsigned long long>(st.badFrames),
+                static_cast<unsigned long long>(st.connections));
+    obs::maybePrintRunReport(stdout);
+    return rc;
+}
