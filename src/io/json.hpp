@@ -67,6 +67,17 @@ struct Value {
     /// static constructors above; set() on a non-object is a no-op by
     /// design — build values top-down with object()/array()).
     Value& set(const std::string& key, Value v);
+    /// Typed set() shorthands, so envelope-building code reads as data:
+    /// `r.set("queued", depth).set("state", "running")`.
+    Value& set(const std::string& key, const char* v) { return set(key, string(v)); }
+    Value& set(const std::string& key, const std::string& v) { return set(key, string(v)); }
+    Value& set(const std::string& key, double v) { return set(key, number(v)); }
+    Value& set(const std::string& key, std::int64_t v) { return set(key, integer(v)); }
+    Value& set(const std::string& key, std::uint64_t v) {
+        return set(key, number(static_cast<double>(v)));
+    }
+    Value& set(const std::string& key, int v) { return set(key, integer(v)); }
+    Value& set(const std::string& key, bool v) { return set(key, boolean(v)); }
     Value& push(Value v);
     std::size_t size() const;
 };

@@ -1,0 +1,161 @@
+#pragma once
+// Leveled, rate-limited, structured JSON-lines logger for long-running
+// processes (phlogond above all).  One record per line:
+//
+//   {"ts":1723111845.201339,"lvl":"info","event":"service.job.done",
+//    "job":17,"type":"hold-error-mc","ms":412.7,"traceId":"run-3"}
+//
+// Design constraints mirror trace.hpp/metrics.hpp:
+//
+//   1. *Disabled must be free.*  Without PHLOGON_LOG in the environment
+//      (and no programmatic configure()), logEnabled() is one relaxed
+//      atomic load + branch and no record is ever formatted.  Building
+//      with -DPHLOGON_DISABLE_OBS removes even that.
+//   2. *Lock-light hot path.*  A producer formats its record outside any
+//      lock, then takes a mutex only long enough to move one std::string
+//      into a bounded ring; a background drain thread owns the sink and
+//      flushes on a short cadence.  A full ring drops new records (and
+//      counts the drops) rather than blocking the producer.
+//   3. *Rate limiting per event.*  A burst of identical events past
+//      `rateLimit` within `rateWindowNs` is collapsed: the first
+//      `rateLimit` records are written, the rest become one synthetic
+//      {"event":...,"suppressed":k} record when the window rolls (or at
+//      flush()).  A misbehaving hot loop cannot turn the log into its
+//      own denial of service.
+//
+// Event taxonomy follows the span taxonomy (DESIGN.md §12/§17):
+// dot-separated "<layer>.<operation>", e.g. "service.job.done",
+// "service.conn.accept", "job.checkpoint".
+//
+// Environment: PHLOGON_LOG=<path> enables logging to that file (append);
+// "stderr" or "-" selects stderr.  PHLOGON_LOG_LEVEL=debug|info|warn|error
+// sets the threshold (default info).  configure() overrides both.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace phlogon::obs {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char* logLevelName(LogLevel lvl);
+
+#ifdef PHLOGON_NO_OBS
+
+inline constexpr bool logEnabled(LogLevel) { return false; }
+
+#else
+
+namespace detail {
+/// -2 = not yet initialized from the environment, -1 = off, else the
+/// minimum level that is recorded (0 = debug .. 3 = error).
+extern std::atomic<int> logThreshold;
+bool logInitSlow(LogLevel lvl);
+}  // namespace detail
+
+/// Fast-path gate: one relaxed load + compare once initialized.
+inline bool logEnabled(LogLevel lvl) {
+    const int t = detail::logThreshold.load(std::memory_order_relaxed);
+    if (t >= -1) return t >= 0 && static_cast<int>(lvl) >= t;
+    return detail::logInitSlow(lvl);
+}
+
+#endif  // PHLOGON_NO_OBS
+
+/// One typed key/value of a structured record.  Keys must outlive the call
+/// (string literals in practice); values are copied.
+class LogField {
+public:
+    LogField(const char* key, const char* v) : key_(key), kind_(Kind::Str), s_(v) {}
+    LogField(const char* key, const std::string& v) : key_(key), kind_(Kind::Str), s_(v) {}
+    LogField(const char* key, double v) : key_(key), kind_(Kind::Num), num_(v) {}
+    LogField(const char* key, std::int64_t v) : key_(key), kind_(Kind::Int), i_(v) {}
+    LogField(const char* key, std::uint64_t v)
+        : key_(key), kind_(Kind::Int), i_(static_cast<std::int64_t>(v)) {}
+    LogField(const char* key, int v) : key_(key), kind_(Kind::Int), i_(v) {}
+    LogField(const char* key, unsigned v) : key_(key), kind_(Kind::Int), i_(v) {}
+    LogField(const char* key, bool v) : key_(key), kind_(Kind::Bool), b_(v) {}
+
+    /// Append `"key":value` (no separators) to a JSON line under assembly.
+    void appendTo(std::string& out) const;
+
+private:
+    enum class Kind { Str, Num, Int, Bool };
+    const char* key_;
+    Kind kind_;
+    std::string s_;
+    double num_ = 0.0;
+    std::int64_t i_ = 0;
+    bool b_ = false;
+};
+
+/// Process-wide logger.  All methods are thread-safe.
+class Logger {
+public:
+    static Logger& instance();
+
+    struct Options {
+        /// Sink path; empty or "stderr"/"-" selects stderr.
+        std::string path;
+        LogLevel threshold = LogLevel::Info;
+        /// Bounded pending-record ring; overflow drops (and counts).
+        std::size_t ringCapacity = 4096;
+        /// Identical-event budget per window before suppression kicks in.
+        std::uint64_t rateLimit = 64;
+        std::int64_t rateWindowNs = 1'000'000'000;
+    };
+
+    /// (Re)configure and enable: opens the sink, starts the drain thread,
+    /// and publishes the threshold to the logEnabled() gate.
+    void configure(const Options& opt);
+    /// Disable recording (buffered records are still drained).
+    void disable();
+
+    /// Format and enqueue one record.  Callers go through the PHLOGON_LOG_*
+    /// macros, which check logEnabled() first.
+    void log(LogLevel lvl, const char* event, std::initializer_list<LogField> fields);
+
+    /// Drain every pending record (including pending suppression summaries)
+    /// to the sink and fflush it.  Safe from any thread.
+    void flush();
+
+    /// Records dropped because the ring was full (lifetime).
+    std::uint64_t droppedRecords() const;
+    /// Records suppressed by the per-event rate limiter (lifetime).
+    std::uint64_t suppressedRecords() const;
+
+    /// Test hook: steady-clock override for rate-limit windows.  Pass
+    /// nullptr to restore the real clock.
+    void setClockForTest(std::function<std::int64_t()> nowNs);
+
+private:
+    Logger();
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace phlogon::obs
+
+// Structured logging call sites.  `event` must be a string literal (it keys
+// the rate limiter); fields are LogField initializers:
+//
+//   PHLOGON_LOG_INFO("service.job.done", {"job", id}, {"ms", wallMs});
+#ifdef PHLOGON_NO_OBS
+#define PHLOGON_LOG_AT(lvl, event, ...) ((void)0)
+#else
+#define PHLOGON_LOG_AT(lvl, event, ...)                                       \
+    do {                                                                      \
+        if (::phlogon::obs::logEnabled(lvl))                                  \
+            ::phlogon::obs::Logger::instance().log(lvl, event, {__VA_ARGS__}); \
+    } while (0)
+#endif  // PHLOGON_NO_OBS
+#define PHLOGON_LOG_DEBUG(event, ...) \
+    PHLOGON_LOG_AT(::phlogon::obs::LogLevel::Debug, event, ##__VA_ARGS__)
+#define PHLOGON_LOG_INFO(event, ...) \
+    PHLOGON_LOG_AT(::phlogon::obs::LogLevel::Info, event, ##__VA_ARGS__)
+#define PHLOGON_LOG_WARN(event, ...) \
+    PHLOGON_LOG_AT(::phlogon::obs::LogLevel::Warn, event, ##__VA_ARGS__)
+#define PHLOGON_LOG_ERROR(event, ...) \
+    PHLOGON_LOG_AT(::phlogon::obs::LogLevel::Error, event, ##__VA_ARGS__)

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -92,6 +94,148 @@ void Histogram::reset() {
     sumNs_.store(0, std::memory_order_relaxed);
     minNs_.store(UINT64_MAX, std::memory_order_relaxed);
     maxNs_.store(0, std::memory_order_relaxed);
+}
+
+// ---- WindowedHistogram ----------------------------------------------------
+
+namespace {
+
+std::int64_t steadyNowNsMetrics() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
+
+WindowedHistogram::WindowedHistogram(std::int64_t bucketNs, int buckets)
+    : bucketNs_(bucketNs > 0 ? bucketNs : 1), nSlots_(buckets > 0 ? buckets : 1) {
+    slots_.resize(static_cast<std::size_t>(nSlots_));
+}
+
+void WindowedHistogram::rotateLocked(std::int64_t bucket) {
+    Slot& slot = slots_[static_cast<std::size_t>(bucket % nSlots_)];
+    if (slot.bucket != bucket) slot = Slot{};
+    slot.bucket = bucket;
+    if (bucket > latestBucket_) latestBucket_ = bucket;
+}
+
+void WindowedHistogram::observe(double seconds) { observeAt(seconds, steadyNowNsMetrics()); }
+
+void WindowedHistogram::observeAt(double seconds, std::int64_t nowNs) {
+    if (!(seconds >= 0.0)) return;
+    const std::uint64_t ns = static_cast<std::uint64_t>(seconds * 1e9);
+    const std::int64_t bucket = nowNs / bucketNs_;
+    std::lock_guard<std::mutex> lk(mx_);
+    // Observations behind the trailing window edge would land in a slot the
+    // ring has already reused; drop them rather than corrupt a newer bucket.
+    if (bucket <= latestBucket_ - nSlots_) return;
+    rotateLocked(bucket);
+    Slot& slot = slots_[static_cast<std::size_t>(bucket % nSlots_)];
+    slot.bins[binForNs(ns)] += 1;
+    slot.count += 1;
+    slot.sumNs += ns;
+    if (ns > slot.maxNs) slot.maxNs = ns;
+}
+
+WindowedHistogram::Stats WindowedHistogram::stats() const {
+    return statsAt(steadyNowNsMetrics());
+}
+
+WindowedHistogram::Stats WindowedHistogram::statsAt(std::int64_t nowNs) const {
+    Stats out;
+    out.windowSeconds =
+        static_cast<double>(bucketNs_) * static_cast<double>(nSlots_) / 1e9;
+    const std::int64_t cur = nowNs / bucketNs_;
+    std::uint64_t bins[Histogram::kBins] = {};
+    std::uint64_t sumNs = 0;
+    std::uint64_t maxNs = 0;
+    {
+        std::lock_guard<std::mutex> lk(mx_);
+        for (const Slot& slot : slots_) {
+            if (slot.bucket < 0) continue;
+            if (slot.bucket <= cur - nSlots_ || slot.bucket > cur) continue;
+            for (int k = 0; k < Histogram::kBins; ++k) bins[k] += slot.bins[k];
+            out.count += slot.count;
+            sumNs += slot.sumNs;
+            if (slot.maxNs > maxNs) maxNs = slot.maxNs;
+        }
+    }
+    if (out.count == 0) return out;
+    out.ratePerSec = static_cast<double>(out.count) / out.windowSeconds;
+    out.totalSeconds = static_cast<double>(sumNs) / 1e9;
+    out.maxSeconds = static_cast<double>(maxNs) / 1e9;
+    auto quantile = [&](double q) {
+        const double target = q * static_cast<double>(out.count);
+        std::uint64_t seen = 0;
+        for (int k = 0; k < Histogram::kBins; ++k) {
+            seen += bins[k];
+            if (static_cast<double>(seen) >= target) {
+                const double mid = std::exp2(static_cast<double>(k) + 0.5) / 1e9;
+                return std::min(mid, out.maxSeconds);
+            }
+        }
+        return out.maxSeconds;
+    };
+    out.p50Seconds = quantile(0.50);
+    out.p95Seconds = quantile(0.95);
+    out.p99Seconds = quantile(0.99);
+    return out;
+}
+
+void WindowedHistogram::reset() {
+    std::lock_guard<std::mutex> lk(mx_);
+    for (Slot& s : slots_) s = Slot{};
+    latestBucket_ = -1;
+}
+
+// ---- Prometheus exposition ------------------------------------------------
+
+namespace {
+
+std::string promName(const std::string& name) {
+    std::string out = "phlogon_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+void appendSample(std::string& out, const std::string& name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += name;
+    out += ' ';
+    out += buf;
+    out += '\n';
+}
+
+}  // namespace
+
+std::string prometheusText(const MetricsSnapshot& s) {
+    std::string out;
+    for (const auto& c : s.counters) {
+        const std::string n = promName(c.name);
+        out += "# TYPE " + n + " counter\n";
+        appendSample(out, n, static_cast<double>(c.value));
+    }
+    for (const auto& g : s.gauges) {
+        const std::string n = promName(g.name);
+        out += "# TYPE " + n + " gauge\n";
+        appendSample(out, n, static_cast<double>(g.value));
+        appendSample(out, n + "_max", static_cast<double>(g.max));
+    }
+    for (const auto& h : s.histograms) {
+        const std::string n = promName(h.name) + "_seconds";
+        out += "# TYPE " + n + " summary\n";
+        appendSample(out, n + "{quantile=\"0.5\"}", h.p50Seconds);
+        appendSample(out, n + "{quantile=\"0.95\"}", h.p95Seconds);
+        appendSample(out, n + "_sum", h.totalSeconds);
+        appendSample(out, n + "_count", static_cast<double>(h.count));
+    }
+    return out;
 }
 
 // ---- MetricsRegistry ------------------------------------------------------

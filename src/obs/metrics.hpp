@@ -26,6 +26,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -121,6 +123,56 @@ private:
     std::atomic<std::uint64_t> maxNs_{0};
 };
 
+/// Sliding-window latency histogram: a ring of fixed-interval buckets, each
+/// a full 64-bin log2-ns histogram.  stats() merges the buckets covering the
+/// trailing window (default 16 × 4 s ≈ 64 s), so p50/p95/p99 answer "how is
+/// the service doing *now*", not "since boot" — the lifetime Histogram above
+/// stays as the forever-aggregate.  Buckets rotate lazily on observe/stats;
+/// an idle histogram costs nothing.  All methods are thread-safe (one mutex:
+/// this is a per-job-type service-rate object, not a solver-inner-loop one).
+class WindowedHistogram {
+public:
+    explicit WindowedHistogram(std::int64_t bucketNs = 4'000'000'000,
+                               int buckets = 16);
+
+    void observe(double seconds);
+    /// Deterministic-clock variant for tests: `nowNs` supplies the rotation
+    /// clock (monotonic; out-of-order observations older than the current
+    /// bucket are dropped).
+    void observeAt(double seconds, std::int64_t nowNs);
+
+    struct Stats {
+        std::uint64_t count = 0;     ///< observations inside the window
+        double windowSeconds = 0.0;  ///< nominal window span
+        double ratePerSec = 0.0;     ///< count / windowSeconds
+        double p50Seconds = 0.0;
+        double p95Seconds = 0.0;
+        double p99Seconds = 0.0;
+        double maxSeconds = 0.0;
+        double totalSeconds = 0.0;   ///< sum of observed durations
+    };
+    Stats stats() const;
+    Stats statsAt(std::int64_t nowNs) const;
+
+    void reset();
+
+private:
+    struct Slot {
+        std::int64_t bucket = -1;  ///< absolute bucket index, -1 = empty
+        std::uint64_t bins[Histogram::kBins] = {};
+        std::uint64_t count = 0;
+        std::uint64_t sumNs = 0;
+        std::uint64_t maxNs = 0;
+    };
+    void rotateLocked(std::int64_t bucket);
+
+    std::int64_t bucketNs_;
+    int nSlots_;
+    mutable std::mutex mx_;
+    std::vector<Slot> slots_;
+    std::int64_t latestBucket_ = -1;
+};
+
 /// Point-in-time copy of the registry, for reports and tests.
 struct MetricsSnapshot {
     struct CounterValue {
@@ -166,6 +218,11 @@ private:
     struct Impl;
     Impl* impl_;
 };
+
+/// Prometheus text exposition (version 0.0.4) of a snapshot.  Metric names
+/// are prefixed "phlogon_" with dots mapped to underscores; histograms emit
+/// _count/_sum plus {quantile="..."} sample lines.
+std::string prometheusText(const MetricsSnapshot& s);
 
 /// Fold one analysis's SolverCounters into the global solver metrics
 /// ("newton.iters", "lu.factorizations", ... plus the per-analysis wall-time

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -21,13 +22,13 @@ struct ThreadBuffer {
 
     explicit ThreadBuffer(std::uint32_t tid) : tid(tid), events(kCapacity) {}
 
-    void push(const char* name, std::int64_t startNs, std::int64_t durNs) {
+    void push(const TraceEvent& e) {
         const std::uint32_t n = count.load(std::memory_order_relaxed);
         if (n >= kCapacity) {
             dropped.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        events[n] = TraceEvent{name, startNs, durNs};
+        events[n] = e;
         count.store(n + 1, std::memory_order_release);
     }
 
@@ -66,7 +67,13 @@ void appendEscaped(std::string& out, const char* s) {
     }
 }
 
+/// Ambient context of the calling thread; stamped onto every recorded event.
+thread_local TraceContext g_traceContext;
+
 }  // namespace
+
+TraceContext currentTraceContext() { return g_traceContext; }
+void setCurrentTraceContext(TraceContext ctx) { g_traceContext = ctx; }
 
 #ifndef PHLOGON_NO_OBS
 namespace detail {
@@ -80,6 +87,13 @@ struct Tracer::Impl {
     mutable std::mutex mx;  // guards buffers (vector growth) + path + names
     std::vector<std::unique_ptr<ThreadBuffer>> buffers;
     std::string path;
+
+    // Interned client trace ids: events store a small stable reference so
+    // recording stays a few stores; write() resolves references to strings.
+    // Never cleared (references outlive start()/stop() cycles on purpose —
+    // a resumed job keeps its original trace id across restarts in-process).
+    std::vector<std::string> traceIds;
+    std::map<std::string, std::uint32_t> traceIdIndex;
 
     ThreadBuffer& localBuffer() {
         thread_local ThreadBuffer* tl = nullptr;
@@ -131,11 +145,46 @@ void Tracer::stop() {
 }
 
 void Tracer::recordSpan(const char* name, std::int64_t startNs, std::int64_t endNs) {
-    impl_->localBuffer().push(name, startNs, endNs - startNs >= 0 ? endNs - startNs : 0);
+    TraceEvent e;
+    e.name = name;
+    e.startNs = startNs;
+    e.durNs = endNs - startNs >= 0 ? endNs - startNs : 0;
+    e.traceRef = g_traceContext.traceRef;
+    e.jobId = g_traceContext.jobId;
+    impl_->localBuffer().push(e);
 }
 
 void Tracer::recordInstant(const char* name) {
-    impl_->localBuffer().push(name, nowNs(), -1);
+    TraceEvent e;
+    e.name = name;
+    e.startNs = nowNs();
+    e.durNs = -1;
+    e.traceRef = g_traceContext.traceRef;
+    e.jobId = g_traceContext.jobId;
+    impl_->localBuffer().push(e);
+}
+
+void Tracer::recordFlow(const char* name, std::uint64_t flowId, bool start) {
+    TraceEvent e;
+    e.name = name;
+    e.startNs = nowNs();
+    e.durNs = -1;
+    e.traceRef = g_traceContext.traceRef;
+    e.jobId = g_traceContext.jobId;
+    e.flowId = flowId;
+    e.flowPhase = start ? 's' : 'f';
+    impl_->localBuffer().push(e);
+}
+
+std::uint32_t Tracer::internTraceId(const std::string& traceId) {
+    Impl& im = *impl_;
+    std::lock_guard<std::mutex> lk(im.mx);
+    auto it = im.traceIdIndex.find(traceId);
+    if (it != im.traceIdIndex.end()) return it->second;
+    im.traceIds.push_back(traceId);
+    const std::uint32_t ref = static_cast<std::uint32_t>(im.traceIds.size());  // id + 1
+    im.traceIdIndex.emplace(traceId, ref);
+    return ref;
 }
 
 void Tracer::setThreadName(std::string name) {
@@ -169,6 +218,7 @@ bool Tracer::write() {
     // append-only and never deallocated before process exit.
     std::vector<ThreadBuffer*> bufs;
     std::vector<std::string> names;
+    std::vector<std::string> traceIds;
     {
         std::lock_guard<std::mutex> lk(im.mx);
         path = im.path;
@@ -177,6 +227,7 @@ bool Tracer::write() {
             bufs.push_back(b.get());
             names.push_back(b->name);
         }
+        traceIds = im.traceIds;
     }
     if (path.empty()) return false;
 
@@ -213,16 +264,39 @@ bool Tracer::write() {
             appendEscaped(out, e.name);
             out += "\",\"cat\":\"";
             out.append(e.name, static_cast<std::size_t>(dot - e.name));
-            if (e.durNs < 0) {
+            if (e.flowPhase != 0) {
+                // Chrome flow event: "s" starts on the producer thread, "f"
+                // with bp:"e" binds to the enclosing slice on the consumer.
                 std::snprintf(line, sizeof line,
-                              "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%u}",
+                              "\",\"ph\":\"%c\",%s\"id\":%llu,\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                              e.flowPhase, e.flowPhase == 'f' ? "\"bp\":\"e\"," : "",
+                              static_cast<unsigned long long>(e.flowId), tsUs, b.tid);
+            } else if (e.durNs < 0) {
+                std::snprintf(line, sizeof line,
+                              "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":1,\"tid\":%u",
                               tsUs, b.tid);
             } else {
                 std::snprintf(line, sizeof line,
-                              "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                              "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
                               tsUs, static_cast<double>(e.durNs) / 1e3, b.tid);
             }
             out += line;
+            if (e.traceRef != 0 || e.jobId != 0) {
+                out += ",\"args\":{";
+                bool firstArg = true;
+                if (e.traceRef != 0 && e.traceRef <= traceIds.size()) {
+                    out += "\"traceId\":\"";
+                    appendEscaped(out, traceIds[e.traceRef - 1].c_str());
+                    out += '"';
+                    firstArg = false;
+                }
+                if (e.jobId != 0) {
+                    if (!firstArg) out += ',';
+                    out += "\"job\":" + std::to_string(e.jobId);
+                }
+                out += '}';
+            }
+            out += '}';
         }
     }
     out += "\n],\"otherData\":{\"droppedEvents\":" + std::to_string(dropped) + "}}\n";

@@ -73,6 +73,38 @@ struct TraceEvent {
     const char* name = nullptr;
     std::int64_t startNs = 0;
     std::int64_t durNs = 0;
+    std::uint32_t traceRef = 0;  ///< interned trace id + 1; 0 = no context
+    std::uint64_t jobId = 0;     ///< service job id; 0 = none
+    std::uint64_t flowId = 0;    ///< flow-event correlation id
+    char flowPhase = 0;          ///< 's' = flow start, 'f' = finish, 0 = not a flow
+};
+
+/// Ambient per-thread trace context.  Spans and instants recorded while a
+/// context is installed are stamped with it, so every event of one service
+/// job carries the client's traceId and the job id — across threads, and
+/// across daemon restarts when the client resubmits with the same traceId.
+struct TraceContext {
+    std::uint32_t traceRef = 0;
+    std::uint64_t jobId = 0;
+};
+
+TraceContext currentTraceContext();
+void setCurrentTraceContext(TraceContext ctx);
+
+/// RAII installer: saves the calling thread's context, installs the given
+/// one, restores on destruction (so nested jobs/requests compose).
+class TraceContextScope {
+public:
+    TraceContextScope(std::uint32_t traceRef, std::uint64_t jobId)
+        : prev_(currentTraceContext()) {
+        setCurrentTraceContext({traceRef, jobId});
+    }
+    ~TraceContextScope() { setCurrentTraceContext(prev_); }
+    TraceContextScope(const TraceContextScope&) = delete;
+    TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+private:
+    TraceContext prev_;
 };
 
 /// Process-wide trace collector.  All methods are safe to call from any
@@ -96,6 +128,14 @@ public:
     void recordSpan(const char* name, std::int64_t startNs, std::int64_t endNs);
     /// Record an instant event on the calling thread.
     void recordInstant(const char* name);
+    /// Record a Chrome flow event ("s" when start, else "f" bound to the
+    /// enclosing slice) linking producer and consumer threads of one job.
+    void recordFlow(const char* name, std::uint64_t flowId, bool start);
+
+    /// Intern a client-supplied trace id; returns a reference usable in
+    /// TraceContextScope (stable for the life of the process; the same
+    /// string always maps to the same reference).  Never returns 0.
+    std::uint32_t internTraceId(const std::string& traceId);
 
     /// Nanoseconds on the trace clock (steady, zeroed at process start).
     static std::int64_t nowNs();

@@ -1,6 +1,7 @@
 #include "obs/trace_read.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -46,6 +47,12 @@ ParsedTrace parseChromeTrace(const std::string& json) {
         p.durUs = ev.fieldNumber("dur", 0.0);
         p.pid = static_cast<std::int64_t>(ev.fieldNumber("pid", 0.0));
         p.tid = static_cast<std::int64_t>(ev.fieldNumber("tid", 0.0));
+        p.flowId = static_cast<std::uint64_t>(ev.fieldNumber("id", 0.0));
+        p.bindingPoint = ev.fieldString("bp", "");
+        if (const Value* args = ev.field("args")) {
+            p.traceId = args->fieldString("traceId", "");
+            p.jobId = static_cast<std::uint64_t>(args->fieldNumber("job", 0.0));
+        }
         if (p.ph == "M") {
             if (p.name == "thread_name") {
                 if (const Value* args = ev.field("args"))
@@ -83,6 +90,24 @@ std::vector<ParsedEvent> ParsedTrace::spansForThread(std::int64_t tid) const {
     return out;
 }
 
+std::vector<ParsedEvent> ParsedTrace::spansForTraceId(const std::string& traceId) const {
+    std::vector<ParsedEvent> out;
+    for (const ParsedEvent& e : events)
+        if (e.ph == "X" && e.traceId == traceId) out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const ParsedEvent& a, const ParsedEvent& b) { return a.tsUs < b.tsUs; });
+    return out;
+}
+
+std::vector<ParsedEvent> ParsedTrace::flowsForTraceId(const std::string& traceId) const {
+    std::vector<ParsedEvent> out;
+    for (const ParsedEvent& e : events)
+        if ((e.ph == "s" || e.ph == "f") && e.traceId == traceId) out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const ParsedEvent& a, const ParsedEvent& b) { return a.tsUs < b.tsUs; });
+    return out;
+}
+
 std::vector<std::int64_t> ParsedTrace::spanThreadIds() const {
     std::vector<std::int64_t> tids;
     for (const ParsedEvent& e : events)
@@ -90,6 +115,129 @@ std::vector<std::int64_t> ParsedTrace::spanThreadIds() const {
     std::sort(tids.begin(), tids.end());
     tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
     return tids;
+}
+
+namespace {
+
+void appendEscapedMerge(std::string& out, const std::string& s) {
+    for (char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += ch;
+                }
+        }
+    }
+}
+
+}  // namespace
+
+std::string mergeChromeTraces(const std::vector<std::filesystem::path>& inputs,
+                              std::string* error) {
+    std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    std::uint64_t dropped = 0;
+    std::int64_t tidBase = 0;
+
+    for (const std::filesystem::path& file : inputs) {
+        const ParsedTrace trace = readChromeTraceFile(file);
+        if (!trace.ok) {
+            if (error) *error = file.string() + ": " + trace.error;
+            return std::string();
+        }
+        dropped += trace.droppedEvents;
+
+        // Remap this file's tids to a disjoint range; keep relative order so
+        // "main" from each run stays at the top of its block.
+        std::map<std::int64_t, std::int64_t> tidMap;
+        auto mapped = [&](std::int64_t tid) {
+            const auto [it, inserted] =
+                tidMap.emplace(tid, tidBase + static_cast<std::int64_t>(tidMap.size()));
+            (void)inserted;
+            return it->second;
+        };
+
+        char buf[64];
+        for (const auto& [tid, name] : trace.threads) {
+            if (!first) json += ",";
+            first = false;
+            json += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(tid)));
+            json += buf;
+            json += ",\"args\":{\"name\":\"";
+            appendEscapedMerge(json, name);
+            json += " [";
+            appendEscapedMerge(json, file.filename().string());
+            json += "]\"}}";
+        }
+        for (const ParsedEvent& e : trace.events) {
+            if (!first) json += ",";
+            first = false;
+            json += "{\"ph\":\"";
+            appendEscapedMerge(json, e.ph);
+            json += "\",\"name\":\"";
+            appendEscapedMerge(json, e.name);
+            json += "\",\"cat\":\"";
+            appendEscapedMerge(json, e.cat.empty() ? std::string("trace") : e.cat);
+            json += "\",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(e.tid)));
+            json += buf;
+            std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.tsUs);
+            json += buf;
+            if (e.ph == "X") {
+                std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", e.durUs);
+                json += buf;
+            } else if (e.ph == "i" || e.ph == "I") {
+                json += ",\"s\":\"t\"";
+            }
+            // Flow correlation ids survive the merge untouched — flows are
+            // keyed by (traceId, job) content, not by thread ids, so a flow
+            // started before a daemon restart still binds to its finish in
+            // the post-restart file.
+            if (e.flowId != 0) {
+                std::snprintf(buf, sizeof buf, ",\"id\":%llu",
+                              static_cast<unsigned long long>(e.flowId));
+                json += buf;
+            }
+            if (!e.bindingPoint.empty()) {
+                json += ",\"bp\":\"";
+                appendEscapedMerge(json, e.bindingPoint);
+                json += "\"";
+            }
+            if (!e.traceId.empty() || e.jobId != 0) {
+                json += ",\"args\":{";
+                bool firstArg = true;
+                if (!e.traceId.empty()) {
+                    json += "\"traceId\":\"";
+                    appendEscapedMerge(json, e.traceId);
+                    json += "\"";
+                    firstArg = false;
+                }
+                if (e.jobId != 0) {
+                    if (!firstArg) json += ",";
+                    std::snprintf(buf, sizeof buf, "\"job\":%llu",
+                                  static_cast<unsigned long long>(e.jobId));
+                    json += buf;
+                }
+                json += "}";
+            }
+            json += "}";
+        }
+        tidBase += static_cast<std::int64_t>(tidMap.size());
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "],\"otherData\":{\"droppedEvents\":%llu}}",
+                  static_cast<unsigned long long>(dropped));
+    json += buf;
+    return json;
 }
 
 bool ParsedTrace::spansProperlyNested(std::string* why) const {

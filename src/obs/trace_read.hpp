@@ -21,12 +21,16 @@ namespace phlogon::obs {
 struct ParsedEvent {
     std::string name;
     std::string cat;
-    std::string ph;     ///< "X" span, "i" instant, "M" metadata, ...
+    std::string ph;     ///< "X" span, "i" instant, "M" metadata, "s"/"f" flow
     double tsUs = 0.0;
     double durUs = 0.0;
     std::int64_t pid = 0;
     std::int64_t tid = 0;
     std::string argName;  ///< args.name for metadata events
+    std::string traceId;  ///< args.traceId (per-job trace propagation)
+    std::uint64_t jobId = 0;       ///< args.job; 0 = none
+    std::uint64_t flowId = 0;      ///< "id" on flow events; 0 = none
+    std::string bindingPoint;      ///< "bp" on flow finish events ("e")
 };
 
 struct ParsedTrace {
@@ -39,6 +43,10 @@ struct ParsedTrace {
     /// Spans ("X") on `tid`, sorted by start time (ties: longer first, i.e.
     /// parents before their children).
     std::vector<ParsedEvent> spansForThread(std::int64_t tid) const;
+    /// Spans ("X") carrying args.traceId == traceId, any thread, ts-sorted.
+    std::vector<ParsedEvent> spansForTraceId(const std::string& traceId) const;
+    /// Flow events ("s"/"f") carrying args.traceId == traceId, ts-sorted.
+    std::vector<ParsedEvent> flowsForTraceId(const std::string& traceId) const;
     /// All tids that carry at least one span.
     std::vector<std::int64_t> spanThreadIds() const;
     /// True when every thread's spans form a proper nesting (each pair of
@@ -49,5 +57,14 @@ struct ParsedTrace {
 
 ParsedTrace parseChromeTrace(const std::string& json);
 ParsedTrace readChromeTraceFile(const std::filesystem::path& path);
+
+/// Merge several trace files into one Chrome trace JSON document, remapping
+/// tids so threads from different inputs (e.g. the daemon before and after a
+/// restart) never collide, and preserving event args (traceId/job) and flow
+/// ids — which is what lets a resumed job's spans join its original trace.
+/// On failure returns an empty string and sets `error` (if given) to the
+/// first offending input.
+std::string mergeChromeTraces(const std::vector<std::filesystem::path>& inputs,
+                              std::string* error = nullptr);
 
 }  // namespace phlogon::obs

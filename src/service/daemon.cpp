@@ -10,6 +10,7 @@
 
 #include <chrono>
 
+#include "obs/log.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "service/shutdown.hpp"
@@ -76,6 +77,7 @@ json::Value snapshotJson(const JobSnapshot& s) {
     j.set("type", json::Value::string(s.type));
     j.set("state", json::Value::string(jobStateName(s.state)));
     j.set("priority", json::Value::integer(s.priority));
+    if (!s.traceId.empty()) j.set("traceId", s.traceId);
     if (s.progressTotal > 0) {
         json::Value prog = json::Value::object();
         prog.set("done", json::Value::integer(static_cast<std::int64_t>(s.progressDone)));
@@ -107,6 +109,10 @@ Daemon::Daemon(const DaemonOptions& opt)
         std::error_code ec;
         std::filesystem::create_directories(opt_.checkpointDir, ec);
     }
+    // The queue's lifecycle hooks feed the windowed latency state; `this`
+    // outlives the queue (member destruction order), so capturing it is safe.
+    opt_.queue.onJobStarted = [this](const JobSnapshot& s) { jobStartedHook(s); };
+    opt_.queue.onJobFinished = [this](const JobSnapshot& s) { jobFinishedHook(s); };
     queue_ = std::make_unique<JobQueue>(opt_.queue);
 }
 
@@ -130,6 +136,10 @@ bool Daemon::start() {
     started_ = true;
     accepting_ = true;
     for (const int fd : listenFds_) acceptThreads_.emplace_back([this, fd] { acceptLoop(fd); });
+    PHLOGON_LOG_INFO("service.start", {"socket", opt_.socketPath},
+                     {"tcpPort", boundTcpPort_},
+                     {"workers", static_cast<std::uint64_t>(queue_->workers())},
+                     {"maxDepth", static_cast<std::uint64_t>(opt_.queue.maxDepth)});
     return true;
 }
 
@@ -166,6 +176,8 @@ void Daemon::requestStop(JobQueue::Shutdown mode) {
 
 void Daemon::stop(JobQueue::Shutdown mode) {
     if (!started_ || stopped_.exchange(true)) return;
+    PHLOGON_LOG_INFO("service.shutdown",
+                     {"mode", mode == JobQueue::Shutdown::Drain ? "drain" : "checkpoint"});
     // 1. Stop accepting: closing the listeners kicks the accept threads out.
     accepting_ = false;
     for (const int fd : listenFds_) {
@@ -194,6 +206,11 @@ void Daemon::stop(JobQueue::Shutdown mode) {
         if (c->thread.joinable()) c->thread.join();
         ::close(c->fd);
     }
+    PHLOGON_LOG_INFO("service.stopped",
+                     {"requests", stats().requests});
+#ifndef PHLOGON_NO_OBS
+    obs::Logger::instance().flush();
+#endif
 }
 
 void Daemon::acceptLoop(int listenFd) {
@@ -229,6 +246,7 @@ void Daemon::acceptLoop(int listenFd) {
             std::lock_guard<std::mutex> lock(statsMu_);
             ++stats_.connections;
         }
+        PHLOGON_LOG_DEBUG("service.conn.accept", {"fd", fd});
         raw->thread = std::thread([this, raw] {
             serveConnection(raw->fd);
             // Half-close so the peer sees EOF immediately; the fd itself is
@@ -253,6 +271,8 @@ void Daemon::serveConnection(int fd) {
                     std::lock_guard<std::mutex> lock(statsMu_);
                     ++stats_.badFrames;
                 }
+                PHLOGON_LOG_WARN("service.conn.badFrame",
+                                 {"status", frameStatusName(frame.status)});
                 // Best-effort structured error, then drop the connection —
                 // after a bad prefix the stream has no frame boundary left.
                 const char* code = frame.status == FrameStatus::TooLarge ? "frame-too-large"
@@ -271,19 +291,42 @@ void Daemon::serveConnection(int fd) {
 }
 
 std::string Daemon::dispatch(const std::string& payload) {
-    OBS_SPAN("service.request");
     const auto t0 = std::chrono::steady_clock::now();
     const Request req = parseRequest(payload);
-    json::Value response = req.ok ? handle(req) : makeError(req.id, req.errorCode, req.errorMessage);
-    attachObs(response);
+    // Install the client's trace context before opening the request span so
+    // the span (and everything recorded inside handle()) carries it.  The
+    // job id is not known yet — the worker installs its own context.
+    std::uint32_t traceRef = 0;
+    if (obs::traceEnabled() && req.ok && !req.traceId.empty())
+        traceRef = obs::Tracer::instance().internTraceId(req.traceId);
+    obs::TraceContextScope traceScope(traceRef, 0);
+    json::Value response;
+    {
+        OBS_SPAN("service.request");
+        response = req.ok ? handle(req) : makeError(req.id, req.errorCode, req.errorMessage);
+        attachObs(response, req);
+    }
     const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     requestWall_.observe(wall);
+    requestWindow_.observe(wall);
+    const bool okResponse = response.fieldBool("ok", true);
     {
         std::lock_guard<std::mutex> lock(statsMu_);
         ++stats_.requests;
-        if (!response.fieldBool("ok", true)) ++stats_.errors;
+        if (!okResponse) ++stats_.errors;
     }
     PHLOGON_COUNT_METRIC("service.requests");
+    if (!okResponse) {
+        std::string code = req.errorCode;
+        if (const json::Value* err = response.field("error"))
+            code = err->fieldString("code", code);
+        PHLOGON_LOG_WARN("service.request.error",
+                         {"type", req.ok ? req.type : std::string("<parse>")},
+                         {"code", code}, {"traceId", req.traceId});
+    } else {
+        PHLOGON_LOG_DEBUG("service.request.done", {"type", req.type},
+                          {"ms", wall * 1e3}, {"traceId", req.traceId});
+    }
     return json::dump(response);
 }
 
@@ -298,6 +341,7 @@ json::Value Daemon::handle(const Request& req) {
         r.set("status", statusJson());
         return r;
     }
+    if (req.type == "metrics") return handleMetrics(req);
     if (req.type == "list-jobs") {
         json::Value r = makeResponse(req.id);
         json::Value arr = json::Value::array();
@@ -336,13 +380,19 @@ json::Value Daemon::handle(const Request& req) {
 json::Value Daemon::handleSubmit(const Request& req) {
     BuiltJob built = buildJob(req.type, req.params, env_);
     if (!built.ok) return makeError(req.id, built.errorCode, built.errorMessage);
-    const SubmitResult sub = queue_->submit(req.type, req.priority, std::move(built.body));
+    const SubmitResult sub =
+        queue_->submit(req.type, req.priority, std::move(built.body), req.traceId);
     if (!sub.accepted) {
         json::Value r = makeError(req.id, "queue-full",
                                   "queue at capacity; retry after retryAfterMs");
         r.set("retryAfterMs", json::Value::integer(sub.retryAfterMs));
         return r;
     }
+    // Flow start on the connection thread, inside the service.request span;
+    // the worker's matching finish binds it to the job slice.
+    if (obs::traceEnabled() && !req.traceId.empty())
+        obs::Tracer::instance().recordFlow("service.job.dispatch",
+                                           jobFlowId(req.traceId, sub.id), true);
     PHLOGON_ADD_METRIC("service.queue.depthSum", queue_->stats().depth);
     if (!req.wait) {
         json::Value r = makeResponse(req.id);
@@ -405,16 +455,155 @@ json::Value Daemon::statusJson() {
     dj.set("connections", json::Value::integer(static_cast<std::int64_t>(d.connections)));
     s.set("daemon", dj);
 
+    // Trailing-window latency (the operator's "now" view); the lifetime
+    // aggregates survive as a sub-object for run-total accounting.
+    const obs::WindowedHistogram::Stats rw = requestWindow_.stats();
     json::Value lat = json::Value::object();
-    lat.set("count", json::Value::integer(static_cast<std::int64_t>(requestWall_.count())));
-    lat.set("p50Ms", json::Value::number(requestWall_.quantileSeconds(0.50) * 1e3));
-    lat.set("p95Ms", json::Value::number(requestWall_.quantileSeconds(0.95) * 1e3));
-    lat.set("p99Ms", json::Value::number(requestWall_.quantileSeconds(0.99) * 1e3));
+    lat.set("count", rw.count);
+    lat.set("windowSeconds", rw.windowSeconds);
+    lat.set("ratePerSec", rw.ratePerSec);
+    lat.set("p50Ms", rw.p50Seconds * 1e3);
+    lat.set("p95Ms", rw.p95Seconds * 1e3);
+    lat.set("p99Ms", rw.p99Seconds * 1e3);
+    json::Value lifetime = json::Value::object();
+    lifetime.set("count", json::Value::integer(static_cast<std::int64_t>(requestWall_.count())));
+    lifetime.set("p50Ms", requestWall_.quantileSeconds(0.50) * 1e3);
+    lifetime.set("p95Ms", requestWall_.quantileSeconds(0.95) * 1e3);
+    lifetime.set("p99Ms", requestWall_.quantileSeconds(0.99) * 1e3);
+    lat.set("lifetime", lifetime);
     s.set("latency", lat);
+
+    // Per-job-type windowed breakdown: end-to-end wall plus the queue-wait
+    // component, so "slow jobs" and "starved jobs" are distinguishable.
+    json::Value windows = json::Value::object();
+    json::Value recent = json::Value::array();
+    {
+        std::lock_guard<std::mutex> lock(windowMu_);
+        for (const auto& [type, tw] : typeWindows_) {
+            const obs::WindowedHistogram::Stats w = tw.wall.stats();
+            const obs::WindowedHistogram::Stats qw = tw.queueWait.stats();
+            json::Value t = json::Value::object();
+            t.set("finished", tw.finished);
+            t.set("n", w.count);
+            t.set("ratePerSec", w.ratePerSec);
+            t.set("p50Ms", w.p50Seconds * 1e3);
+            t.set("p95Ms", w.p95Seconds * 1e3);
+            t.set("p99Ms", w.p99Seconds * 1e3);
+            t.set("maxMs", w.maxSeconds * 1e3);
+            t.set("queueWaitP50Ms", qw.p50Seconds * 1e3);
+            t.set("queueWaitP95Ms", qw.p95Seconds * 1e3);
+            windows.set(type, t);
+        }
+        for (const JobSnapshot& snap : recent_) recent.push(snapshotJson(snap));
+    }
+    s.set("window", windows);
+    s.set("recent", recent);
     return s;
 }
 
-void Daemon::attachObs(io::json::Value& response) {
+json::Value Daemon::handleMetrics(const Request& req) {
+    json::Value r = makeResponse(req.id);
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+
+    json::Value m = json::Value::object();
+    json::Value counters = json::Value::object();
+    for (const auto& c : snap.counters) counters.set(c.name, c.value);
+    m.set("counters", counters);
+    json::Value gauges = json::Value::object();
+    for (const auto& g : snap.gauges) {
+        json::Value gv = json::Value::object();
+        gv.set("value", json::Value::integer(g.value));
+        gv.set("max", json::Value::integer(g.max));
+        gauges.set(g.name, gv);
+    }
+    m.set("gauges", gauges);
+    json::Value hists = json::Value::object();
+    for (const auto& h : snap.histograms) {
+        json::Value hv = json::Value::object();
+        hv.set("count", h.count);
+        hv.set("totalSeconds", h.totalSeconds);
+        hv.set("p50Seconds", h.p50Seconds);
+        hv.set("p95Seconds", h.p95Seconds);
+        hv.set("maxSeconds", h.maxSeconds);
+        hists.set(h.name, hv);
+    }
+    m.set("histograms", hists);
+    r.set("metrics", m);
+    r.set("status", statusJson());
+    r.set("prometheus", obs::prometheusText(snap) + servicePrometheus());
+    return r;
+}
+
+std::string Daemon::servicePrometheus() {
+    std::string out;
+    char buf[160];
+    auto line = [&](const char* name, double v) {
+        std::snprintf(buf, sizeof buf, "%s %.9g\n", name, v);
+        out += buf;
+    };
+    const DaemonStats d = stats();
+    const QueueStats q = queue_->stats();
+    const io::CacheStats c = cache_.stats();
+    out += "# TYPE phlogon_service_requests_total counter\n";
+    line("phlogon_service_requests_total", static_cast<double>(d.requests));
+    line("phlogon_service_errors_total", static_cast<double>(d.errors));
+    line("phlogon_service_connections_total", static_cast<double>(d.connections));
+    out += "# TYPE phlogon_service_queue_depth gauge\n";
+    line("phlogon_service_queue_depth", static_cast<double>(q.depth));
+    line("phlogon_service_queue_running", static_cast<double>(q.running));
+    line("phlogon_service_cache_hits_total", static_cast<double>(c.hits));
+    line("phlogon_service_cache_misses_total", static_cast<double>(c.misses));
+    const obs::WindowedHistogram::Stats rw = requestWindow_.stats();
+    out += "# TYPE phlogon_service_request_seconds summary\n";
+    line("phlogon_service_request_seconds{quantile=\"0.5\"}", rw.p50Seconds);
+    line("phlogon_service_request_seconds{quantile=\"0.95\"}", rw.p95Seconds);
+    line("phlogon_service_request_seconds{quantile=\"0.99\"}", rw.p99Seconds);
+    line("phlogon_service_request_seconds_count", static_cast<double>(rw.count));
+    std::lock_guard<std::mutex> lock(windowMu_);
+    for (const auto& [type, tw] : typeWindows_) {
+        const obs::WindowedHistogram::Stats w = tw.wall.stats();
+        for (const auto& [q2, v] :
+             {std::pair<const char*, double>{"0.5", w.p50Seconds},
+              {"0.95", w.p95Seconds},
+              {"0.99", w.p99Seconds}}) {
+            std::snprintf(buf, sizeof buf,
+                          "phlogon_service_job_seconds{type=\"%s\",quantile=\"%s\"} %.9g\n",
+                          type.c_str(), q2, v);
+            out += buf;
+        }
+        std::snprintf(buf, sizeof buf,
+                      "phlogon_service_job_seconds_count{type=\"%s\"} %llu\n", type.c_str(),
+                      static_cast<unsigned long long>(w.count));
+        out += buf;
+    }
+    return out;
+}
+
+void Daemon::jobStartedHook(const JobSnapshot& s) {
+    std::lock_guard<std::mutex> lock(windowMu_);
+    typeWindows_[s.type].queueWait.observe(s.queuedMs / 1e3);
+}
+
+void Daemon::jobFinishedHook(const JobSnapshot& s) {
+    const double wallMs = s.queuedMs + s.runMs;
+    {
+        std::lock_guard<std::mutex> lock(windowMu_);
+        TypeWindow& tw = typeWindows_[s.type];
+        tw.wall.observe(wallMs / 1e3);
+        ++tw.finished;
+        JobSnapshot lean = s;
+        lean.result = json::Value();  // keep the ring cheap: timings only
+        recent_.push_back(std::move(lean));
+        if (recent_.size() > kRecentJobs) recent_.pop_front();
+    }
+    if (s.runMs >= opt_.slowJobMs) {
+        PHLOGON_LOG_WARN("service.job.slow", {"job", s.id}, {"type", s.type},
+                         {"runMs", s.runMs}, {"queuedMs", s.queuedMs},
+                         {"traceId", s.traceId});
+    }
+}
+
+void Daemon::attachObs(io::json::Value& response, const Request& req) {
     json::Value envl = json::Value::object();
     const QueueStats q = queue_->stats();
     envl.set("queueDepth", json::Value::integer(static_cast<std::int64_t>(q.depth)));
@@ -422,10 +611,12 @@ void Daemon::attachObs(io::json::Value& response) {
     const io::CacheStats c = cache_.stats();
     envl.set("cacheHits", json::Value::integer(static_cast<std::int64_t>(c.hits)));
     envl.set("cacheMisses", json::Value::integer(static_cast<std::int64_t>(c.misses)));
-    envl.set("requestP95Ms", json::Value::number(requestWall_.quantileSeconds(0.95) * 1e3));
-    if (obs::metricsEnabled()) {
+    envl.set("requestP95Ms", requestWindow_.stats().p95Seconds * 1e3);
+    if (req.fullEnvelope && obs::metricsEnabled()) {
         // Full structured run report (counters, gauges, histograms across
         // every instrumented layer) — already JSON, parsed into the tree.
+        // Opt-in per request: collecting + parsing it on every response was
+        // a measurable tax on the saturation bench.
         const json::ParseResult rep = json::parse(obs::RunReport::collect().toJson());
         if (rep.ok) envl.set("report", rep.value);
     }

@@ -39,6 +39,8 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -59,6 +61,9 @@ struct DaemonOptions {
     std::uintmax_t cacheMaxBytes = io::ArtifactCache::kDefaultMaxBytes;
     /// Job checkpoint directory; empty disables checkpointing.
     std::filesystem::path checkpointDir;
+    /// Jobs running at least this long get a "service.job.slow" warn log
+    /// record and lead the status/"recent" slow-job list.
+    double slowJobMs = 1000.0;
 };
 
 struct DaemonStats {
@@ -113,7 +118,15 @@ private:
     io::json::Value statusJson();
     io::json::Value handle(const Request& req);
     io::json::Value handleSubmit(const Request& req);
-    void attachObs(io::json::Value& response);
+    io::json::Value handleMetrics(const Request& req);
+    /// Cheap envelope always (queue depth, cache counters, windowed p95);
+    /// the full RunReport only when the request asked for "envelope":"full"
+    /// and metrics are enabled — building and JSON-parsing the report on
+    /// every response was measurable on the saturation bench.
+    void attachObs(io::json::Value& response, const Request& req);
+    void jobStartedHook(const JobSnapshot& s);
+    void jobFinishedHook(const JobSnapshot& s);
+    std::string servicePrometheus();
 
     DaemonOptions opt_;
     io::ArtifactCache cache_;
@@ -145,7 +158,22 @@ private:
     std::chrono::steady_clock::time_point startTime_;
     mutable std::mutex statsMu_;
     DaemonStats stats_;
-    obs::Histogram requestWall_;  ///< per-request latency (always recorded)
+    obs::Histogram requestWall_;  ///< per-request latency, lifetime aggregate
+
+    /// Trailing-window latency state (status/"metrics"/phlogon_top read it;
+    /// job-queue lifecycle hooks feed it).  windowMu_ guards the map shape
+    /// and the recent ring; the histograms lock internally.
+    obs::WindowedHistogram requestWindow_;  ///< dispatch wall, all requests
+    struct TypeWindow {
+        obs::WindowedHistogram wall;       ///< queuedMs + runMs per job
+        obs::WindowedHistogram queueWait;  ///< queuedMs, observed at start
+        std::uint64_t finished = 0;
+    };
+    mutable std::mutex windowMu_;
+    std::map<std::string, TypeWindow> typeWindows_;
+    /// Last finished jobs, results dropped (id/type/timing/traceId only).
+    static constexpr std::size_t kRecentJobs = 32;
+    std::deque<JobSnapshot> recent_;
 };
 
 }  // namespace phlogon::svc

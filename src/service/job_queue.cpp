@@ -1,5 +1,6 @@
 #include "service/job_queue.hpp"
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,7 +33,8 @@ JobQueue::JobQueue(const Options& opt) : opt_(opt) {
 
 JobQueue::~JobQueue() { shutdown(Shutdown::Checkpoint); }
 
-SubmitResult JobQueue::submit(const std::string& type, int priority, JobBody body) {
+SubmitResult JobQueue::submit(const std::string& type, int priority, JobBody body,
+                              const std::string& traceId) {
     SubmitResult res;
     std::shared_ptr<Record> rec;
     {
@@ -46,11 +48,14 @@ SubmitResult JobQueue::submit(const std::string& type, int priority, JobBody bod
             res.retryAfterMs = opt_.retryAfterMs;
             ++stats_.rejected;
             PHLOGON_COUNT_METRIC("service.queue.rejected");
+            PHLOGON_LOG_WARN("service.queue.full", {"type", type},
+                             {"depth", static_cast<std::uint64_t>(ready_.size())});
             return res;
         }
         rec = std::make_shared<Record>();
         rec->id = nextId_++;
         rec->type = type;
+        rec->traceId = traceId;
         rec->priority = priority;
         rec->body = std::move(body);
         rec->submitted = std::chrono::steady_clock::now();
@@ -93,6 +98,41 @@ void JobQueue::workerLoop() {
             ++running_;
         }
 
+        // Re-establish the submitting client's trace context on this worker
+        // thread: every span/instant/log the body emits inherits it.
+        obs::TraceContext jobCtx;
+        jobCtx.jobId = rec->id;
+#ifndef PHLOGON_NO_OBS
+        if (obs::traceEnabled() && !rec->traceId.empty())
+            jobCtx.traceRef = obs::Tracer::instance().internTraceId(rec->traceId);
+#endif
+        obs::TraceContextScope traceScope(jobCtx.traceRef, jobCtx.jobId);
+
+#ifndef PHLOGON_NO_OBS
+        if (obs::traceEnabled()) {
+            // Queue-wait span with explicit endpoints (submit -> start): the
+            // record's clocks are the trace clock, so this back-dates cleanly.
+            const auto toNs = [](std::chrono::steady_clock::time_point t) {
+                return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           t.time_since_epoch())
+                    .count();
+            };
+            obs::Tracer::instance().recordSpan("service.queueWait", toNs(rec->submitted),
+                                               toNs(rec->started));
+        }
+#endif
+
+        if (opt_.onJobStarted) {
+            JobSnapshot snap;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                snap = snapshotLocked(*rec);
+            }
+            opt_.onJobStarted(snap);
+        }
+        PHLOGON_LOG_DEBUG("service.job.start", {"job", rec->id}, {"type", rec->type},
+                          {"traceId", rec->traceId});
+
         JobContext ctx;
         ctx.stop_ = &rec->stop;
         ctx.done_ = &rec->progressDone;
@@ -102,6 +142,12 @@ void JobQueue::workerLoop() {
         bool failed = false;
         {
             OBS_SPAN("service.job");
+#ifndef PHLOGON_NO_OBS
+            // Bind the connection thread's flow start to this slice.
+            if (obs::traceEnabled() && !rec->traceId.empty())
+                obs::Tracer::instance().recordFlow(
+                    "service.job.dispatch", jobFlowId(rec->traceId, rec->id), false);
+#endif
             try {
                 result = rec->body(ctx);
             } catch (const std::exception& e) {
@@ -113,6 +159,7 @@ void JobQueue::workerLoop() {
             }
         }
 
+        JobSnapshot finishedSnap;
         {
             std::lock_guard<std::mutex> lock(mu_);
             rec->finished = std::chrono::steady_clock::now();
@@ -132,8 +179,20 @@ void JobQueue::workerLoop() {
             --running_;
             PHLOGON_ADD_METRIC("service.job.ms",
                                static_cast<std::uint64_t>(msBetween(rec->started, rec->finished)));
+            finishedSnap = snapshotLocked(*rec);
         }
         PHLOGON_COUNT_METRIC(failed ? "service.job.failed" : "service.job.finished");
+        if (failed) {
+            PHLOGON_LOG_ERROR("service.job.failed", {"job", rec->id}, {"type", rec->type},
+                              {"traceId", rec->traceId}, {"error", error});
+        } else {
+            PHLOGON_LOG_INFO("service.job.done", {"job", rec->id}, {"type", rec->type},
+                             {"traceId", rec->traceId},
+                             {"state", jobStateName(finishedSnap.state)},
+                             {"queuedMs", finishedSnap.queuedMs},
+                             {"runMs", finishedSnap.runMs});
+        }
+        if (opt_.onJobFinished) opt_.onJobFinished(finishedSnap);
         cv_.notify_all();
     }
 }
@@ -142,6 +201,7 @@ JobSnapshot JobQueue::snapshotLocked(const Record& r) const {
     JobSnapshot s;
     s.id = r.id;
     s.type = r.type;
+    s.traceId = r.traceId;
     s.priority = r.priority;
     s.state = r.state;
     s.result = r.result;

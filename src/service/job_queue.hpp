@@ -42,6 +42,23 @@ enum class JobState { Queued, Running, Done, Failed, Cancelled };
 
 std::string jobStateName(JobState s);
 
+/// Chrome-trace flow correlation id linking the connection thread's flow
+/// start to the worker thread's finish: FNV-1a over (traceId, jobId), so
+/// both sides derive the same id from data they each already hold, with no
+/// extra coordination.  Content-keyed on purpose — a resumed job in a
+/// restarted daemon (new pid, new tids) gets a *new* job id and therefore a
+/// new flow, while its spans still join the old trace via args.traceId.
+inline std::uint64_t jobFlowId(const std::string& traceId, std::uint64_t jobId) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+    auto mix = [&h](unsigned char c) {
+        h ^= c;
+        h *= 1099511628211ull;  // FNV prime
+    };
+    for (char c : traceId) mix(static_cast<unsigned char>(c));
+    for (int i = 0; i < 8; ++i) mix(static_cast<unsigned char>(jobId >> (8 * i)));
+    return h ? h : 1;  // 0 is the "no flow" sentinel in TraceEvent
+}
+
 /// Handle a running job body polls and reports through.
 class JobContext {
 public:
@@ -74,6 +91,7 @@ using JobBody = std::function<io::json::Value(JobContext&)>;
 struct JobSnapshot {
     std::uint64_t id = 0;
     std::string type;
+    std::string traceId;  ///< client-supplied correlation id; may be empty
     int priority = 0;
     JobState state = JobState::Queued;
     io::json::Value result;  ///< null until Done (or partial on Cancelled)
@@ -110,6 +128,11 @@ public:
         std::size_t workers = 2;
         std::size_t maxDepth = 64;   ///< queued-job bound (running excluded)
         int retryAfterMs = 200;      ///< hint attached to rejections
+        /// Lifecycle hooks (daemon feeds its windowed latency histograms and
+        /// slow-job log from these).  Invoked from worker threads with no
+        /// queue lock held; must not call back into the queue.
+        std::function<void(const JobSnapshot&)> onJobStarted;
+        std::function<void(const JobSnapshot&)> onJobFinished;
     };
 
     enum class Shutdown {
@@ -124,8 +147,12 @@ public:
     JobQueue& operator=(const JobQueue&) = delete;
 
     /// Admit a job or reject with the retry-after hint.  Rejections and
-    /// post-shutdown submissions never block.
-    SubmitResult submit(const std::string& type, int priority, JobBody body);
+    /// post-shutdown submissions never block.  `traceId` (optional) is the
+    /// client's correlation id: the worker installs it as the ambient trace
+    /// context while the body runs, so every span/instant/log record the job
+    /// emits carries it.
+    SubmitResult submit(const std::string& type, int priority, JobBody body,
+                        const std::string& traceId = std::string());
 
     /// Snapshot by id; nullopt for unknown ids (never submitted — finished
     /// jobs stay queryable for the queue's lifetime).
@@ -150,6 +177,7 @@ private:
     struct Record {
         std::uint64_t id = 0;
         std::string type;
+        std::string traceId;
         int priority = 0;
         JobState state = JobState::Queued;
         JobBody body;

@@ -14,6 +14,7 @@
 #include "io/hash.hpp"
 #include "io/model_cache.hpp"
 #include "io/serialize.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "phlogon/latch.hpp"
 
@@ -234,6 +235,12 @@ JobBody makeHoldErrorMc(const json::Value& p, const JobEnv& env) {
                 resumedFrom = st.trialsDone;
             }
         }
+        if (resumedFrom > 0) {
+            OBS_INSTANT("service.job.resume");
+            PHLOGON_LOG_INFO("service.job.resume", {"key", io::hashHex(jobKey)},
+                             {"trialsDone", resumedFrom},
+                             {"trialsTotal", static_cast<std::uint64_t>(trials)});
+        }
 
         core::StochasticGaeOptions opt;
         opt.seed = seed;
@@ -247,14 +254,21 @@ JobBody makeHoldErrorMc(const json::Value& p, const JobEnv& env) {
             }
             const std::size_t n =
                 std::min<std::size_t>(chunk, trials - static_cast<std::size_t>(st.trialsDone));
-            const core::HoldErrorResult r = core::holdErrorProbabilityRange(
-                gae, cSeconds, d.reference.phase1, holdTime,
-                static_cast<std::size_t>(st.trialsDone), n, opt);
-            st.outcomeHash = foldChunk(st.outcomeHash, st.trialsDone, r.trials, r.errors);
-            st.trialsDone += n;
-            st.trials += r.trials;
-            st.errors += r.errors;
-            if (!ckptPath.empty()) io::saveMcCheckpoint(ckptPath, st);
+            {
+                OBS_SPAN("service.job.chunk");
+                const core::HoldErrorResult r = core::holdErrorProbabilityRange(
+                    gae, cSeconds, d.reference.phase1, holdTime,
+                    static_cast<std::size_t>(st.trialsDone), n, opt);
+                st.outcomeHash = foldChunk(st.outcomeHash, st.trialsDone, r.trials, r.errors);
+                st.trialsDone += n;
+                st.trials += r.trials;
+                st.errors += r.errors;
+                if (!ckptPath.empty()) {
+                    io::saveMcCheckpoint(ckptPath, st);
+                    PHLOGON_LOG_DEBUG("service.job.checkpoint", {"key", io::hashHex(jobKey)},
+                                      {"trialsDone", st.trialsDone});
+                }
+            }
             ctx.setProgress(st.trialsDone, trials);
         }
 
@@ -367,6 +381,12 @@ JobBody makeFsmTransient(const json::Value& p, const JobEnv& env) {
                 resumedFrom = st.endPhase.size();
             }
         }
+        if (resumedFrom > 0) {
+            OBS_INSTANT("service.job.resume");
+            PHLOGON_LOG_INFO("service.job.resume", {"key", io::hashHex(jobKey)},
+                             {"slotsDone", resumedFrom},
+                             {"slotsTotal", static_cast<std::uint64_t>(bits.size())});
+        }
 
         ctx.setProgress(st.endPhase.size(), bits.size());
         bool stopped = false;
@@ -377,15 +397,22 @@ JobBody makeFsmTransient(const json::Value& p, const JobEnv& env) {
             }
             const std::size_t slot = st.endPhase.size();
             const double t0 = static_cast<double>(slot) * slotT;
-            const std::vector<core::GaeSegment> seg{
-                {t0, {d.sync(), d.dataInjection(writeAmp, bits[slot])}}};
-            const core::GaeTransientResult r = core::gaeTransient(
-                d.model, d.f1, seg, st.dphi, t0, t0 + slotT, {}, lp.gridSize);
-            if (!r.ok) throw std::runtime_error("fsm-transient: GAE integration failed");
-            st.dphi = r.final();
-            st.endPhase.push_back(st.dphi);
-            st.counters += r.counters;
-            if (!ckptPath.empty()) saveFsmCheckpoint(ckptPath, st);
+            {
+                OBS_SPAN("service.job.chunk");
+                const std::vector<core::GaeSegment> seg{
+                    {t0, {d.sync(), d.dataInjection(writeAmp, bits[slot])}}};
+                const core::GaeTransientResult r = core::gaeTransient(
+                    d.model, d.f1, seg, st.dphi, t0, t0 + slotT, {}, lp.gridSize);
+                if (!r.ok) throw std::runtime_error("fsm-transient: GAE integration failed");
+                st.dphi = r.final();
+                st.endPhase.push_back(st.dphi);
+                st.counters += r.counters;
+                if (!ckptPath.empty()) {
+                    saveFsmCheckpoint(ckptPath, st);
+                    PHLOGON_LOG_DEBUG("service.job.checkpoint", {"key", io::hashHex(jobKey)},
+                                      {"slotsDone", st.endPhase.size()});
+                }
+            }
             ctx.setProgress(st.endPhase.size(), bits.size());
         }
 

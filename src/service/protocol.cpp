@@ -150,6 +150,31 @@ Request parseRequest(const std::string& payload) {
     if (std::isfinite(prio))
         req.priority = std::clamp(static_cast<int>(prio), -100, 100);
     req.wait = v.fieldBool("wait", true);
+    if (const io::json::Value* t = v.field("traceId")) {
+        if (!t->isString()) {
+            req.errorCode = "bad-request";
+            req.errorMessage = "\"traceId\" must be a string";
+            return req;
+        }
+        // Sanitize: the id flows into log lines and trace JSON verbatim, so
+        // restrict it to a filename-safe alphabet and bound its length.
+        for (char c : t->str) {
+            const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+            req.traceId += ok ? c : '_';
+            if (req.traceId.size() >= 64) break;
+        }
+    }
+    if (const io::json::Value* env = v.field("envelope")) {
+        const std::string mode = env->stringOr("");
+        if (mode == "full") {
+            req.fullEnvelope = true;
+        } else if (mode != "basic") {
+            req.errorCode = "bad-request";
+            req.errorMessage = "\"envelope\" must be \"basic\" or \"full\"";
+            return req;
+        }
+    }
     req.ok = true;
     return req;
 }

@@ -73,6 +73,14 @@ struct Request {
     io::json::Value params;  ///< object; empty object when absent
     int priority = 0;        ///< higher = sooner; clamped to [-100, 100]
     bool wait = true;        ///< block until the job finishes
+    /// Client-supplied trace correlation id: stamped onto every span the
+    /// daemon records for this request (and the job it submits), so one
+    /// client run can be extracted from a merged daemon trace.  Sanitized to
+    /// [A-Za-z0-9._-], truncated to 64 chars; empty = no propagation.
+    std::string traceId;
+    /// "envelope": "full" opts this request into the full RunReport in the
+    /// response's obs envelope; the default stays cheap (see daemon.hpp).
+    bool fullEnvelope = false;
 };
 
 Request parseRequest(const std::string& payload);

@@ -191,6 +191,153 @@ TEST(TraceDisabled, SpansAreNotRecordedWhenOff) {
     EXPECT_EQ(Tracer::instance().eventCount(), before);
 }
 
+// ---- trace context, flows, merge ------------------------------------------
+
+TEST_F(TraceGolden, ContextStampsSpansAndInstantsWithTraceIdAndJob) {
+    const std::uint32_t ref = Tracer::instance().internTraceId("ctx-run-1");
+    ASSERT_NE(ref, 0u);
+    // Interning is stable: same string, same reference.
+    EXPECT_EQ(Tracer::instance().internTraceId("ctx-run-1"), ref);
+    {
+        TraceContextScope scope(ref, 42);
+        OBS_SPAN("test.ctx");
+        OBS_INSTANT("test.ctx_marker");
+    }
+    { OBS_SPAN("test.noctx"); }  // scope restored: unstamped
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+    for (const ParsedEvent& e : t.events) {
+        if (e.name == "test.ctx" || e.name == "test.ctx_marker") {
+            EXPECT_EQ(e.traceId, "ctx-run-1") << e.name;
+            EXPECT_EQ(e.jobId, 42u) << e.name;
+        }
+        if (e.name == "test.noctx") {
+            EXPECT_TRUE(e.traceId.empty());
+            EXPECT_EQ(e.jobId, 0u);
+        }
+    }
+    const auto stamped = t.spansForTraceId("ctx-run-1");
+    ASSERT_EQ(stamped.size(), 1u);
+    EXPECT_EQ(stamped[0].name, "test.ctx");
+}
+
+TEST_F(TraceGolden, ContextScopesNestAndRestore) {
+    const std::uint32_t outer = Tracer::instance().internTraceId("nest-outer");
+    const std::uint32_t inner = Tracer::instance().internTraceId("nest-inner");
+    ASSERT_NE(outer, inner);
+    {
+        TraceContextScope a(outer, 1);
+        {
+            TraceContextScope b(inner, 2);
+            OBS_SPAN("test.nested_inner");
+        }
+        // b destroyed: outer context restored.
+        OBS_SPAN("test.nested_outer");
+    }
+    EXPECT_EQ(currentTraceContext().traceRef, 0u);
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(t.spansForTraceId("nest-inner").size(), 1u);
+    EXPECT_EQ(t.spansForTraceId("nest-outer").size(), 1u);
+}
+
+TEST_F(TraceGolden, FlowEventsRoundTripWithMatchingIds) {
+    const std::uint32_t ref = Tracer::instance().internTraceId("flow-run");
+    const std::uint64_t flowId = 0xdeadbeefcafeull;
+    {
+        TraceContextScope scope(ref, 7);
+        Tracer::instance().recordFlow("test.flow", flowId, true);
+        {
+            OBS_SPAN("test.flow_consumer");
+            Tracer::instance().recordFlow("test.flow", flowId, false);
+        }
+    }
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+    const ParsedTrace t = readChromeTraceFile(path_);
+    ASSERT_TRUE(t.ok) << t.error;
+
+    const auto flows = t.flowsForTraceId("flow-run");
+    ASSERT_EQ(flows.size(), 2u);
+    EXPECT_EQ(flows[0].ph, "s");
+    EXPECT_EQ(flows[1].ph, "f");
+    EXPECT_EQ(flows[0].flowId, flowId);
+    EXPECT_EQ(flows[1].flowId, flowId);
+    // The finish binds to its enclosing slice (Chrome's bp:"e" semantics).
+    EXPECT_EQ(flows[1].bindingPoint, "e");
+}
+
+TEST_F(TraceGolden, MergePreservesArgsFlowsAndRemapsTids) {
+    // First trace: one stamped span + a flow start.
+    const std::uint32_t ref = Tracer::instance().internTraceId("merge-run");
+    {
+        TraceContextScope scope(ref, 3);
+        OBS_SPAN("test.first_half");
+        Tracer::instance().recordFlow("test.handoff", 99, true);
+    }
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+    const fs::path pathB = fs::temp_directory_path() / "phlogon_trace_test_b.json";
+    fs::remove(pathB);
+
+    // Second trace (a "restarted daemon"): same traceId string re-interned in
+    // a fresh collection, plus the matching flow finish.
+    Tracer::instance().start(pathB.string());
+    const std::uint32_t ref2 = Tracer::instance().internTraceId("merge-run");
+    {
+        TraceContextScope scope(ref2, 8);
+        OBS_SPAN("test.second_half");
+        Tracer::instance().recordFlow("test.handoff", 99, false);
+    }
+    Tracer::instance().stop();
+    ASSERT_TRUE(Tracer::instance().write());
+
+    std::string error;
+    const std::string merged = mergeChromeTraces({path_, pathB}, &error);
+    ASSERT_FALSE(merged.empty()) << error;
+    const ParsedTrace t = parseChromeTrace(merged);
+    ASSERT_TRUE(t.ok) << t.error;
+
+    // Both halves join the one trace id; their tids are disjoint.  (Each
+    // file's timestamps are rebased at write time, so match by name, not
+    // by ts order.)
+    const auto spans = t.spansForTraceId("merge-run");
+    ASSERT_EQ(spans.size(), 2u);
+    const ParsedEvent* first = nullptr;
+    const ParsedEvent* second = nullptr;
+    for (const ParsedEvent& e : spans) {
+        if (e.name == "test.first_half") first = &e;
+        if (e.name == "test.second_half") second = &e;
+    }
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(first->jobId, 3u);
+    EXPECT_EQ(second->jobId, 8u);
+    EXPECT_NE(first->tid, second->tid);
+
+    const auto flows = t.flowsForTraceId("merge-run");
+    ASSERT_EQ(flows.size(), 2u);
+    EXPECT_EQ(flows[0].flowId, 99u);
+    EXPECT_EQ(flows[1].flowId, 99u);
+
+    // Thread names survive with a per-input suffix.
+    bool sawSuffixed = false;
+    for (const auto& [tid, name] : t.threads)
+        if (name.find('[') != std::string::npos) sawSuffixed = true;
+    EXPECT_TRUE(sawSuffixed);
+
+    std::string why;
+    const std::string err = mergeChromeTraces({fs::path("/no/such/trace.json")}, &why);
+    EXPECT_TRUE(err.empty());
+    EXPECT_FALSE(why.empty());
+    fs::remove(pathB);
+}
+
 #endif  // PHLOGON_NO_OBS
 
 }  // namespace

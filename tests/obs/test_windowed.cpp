@@ -1,0 +1,138 @@
+// WindowedHistogram: trailing-window quantiles over a ring of fixed-interval
+// slots.  The injected-clock overloads (observeAt/statsAt) make rotation
+// fully deterministic here; quantile accuracy is checked against an exact
+// sorted sample (log2-ns bins → any quantile is within one bin, a factor of
+// sqrt(2), of the true value).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace phlogon::obs {
+namespace {
+
+constexpr std::int64_t kSec = 1'000'000'000;
+
+TEST(WindowedHistogram, EmptyStatsAreZero) {
+    WindowedHistogram h;
+    const auto s = h.statsAt(0);
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.p50Seconds, 0.0);
+    EXPECT_EQ(s.p95Seconds, 0.0);
+    EXPECT_EQ(s.maxSeconds, 0.0);
+    EXPECT_EQ(s.ratePerSec, 0.0);
+}
+
+TEST(WindowedHistogram, CountsAndRateInsideWindow) {
+    WindowedHistogram h(/*bucketNs=*/4 * kSec, /*buckets=*/16);  // 64 s window
+    for (int i = 0; i < 32; ++i)
+        h.observeAt(0.010, static_cast<std::int64_t>(i) * kSec);  // one per second
+    const auto s = h.statsAt(31 * kSec);
+    EXPECT_EQ(s.count, 32u);
+    EXPECT_DOUBLE_EQ(s.windowSeconds, 64.0);
+    EXPECT_NEAR(s.ratePerSec, 32.0 / 64.0, 1e-12);
+    EXPECT_NEAR(s.totalSeconds, 0.320, 0.320);  // bin-resolution total
+}
+
+TEST(WindowedHistogram, OldObservationsRotateOut) {
+    WindowedHistogram h(4 * kSec, 16);
+    // 10 slow observations at t=0, then 10 fast ones 100 s later: the
+    // window has fully rotated, so only the fast batch remains.
+    for (int i = 0; i < 10; ++i) h.observeAt(2.0, 0);
+    for (int i = 0; i < 10; ++i) h.observeAt(0.001, 100 * kSec);
+    const auto s = h.statsAt(100 * kSec);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_LT(s.p95Seconds, 0.01);  // the 2 s observations are gone
+    EXPECT_LT(s.maxSeconds, 0.01);
+}
+
+TEST(WindowedHistogram, PartialRotationKeepsRecentSlots) {
+    WindowedHistogram h(4 * kSec, 16);  // 64 s window
+    h.observeAt(1.0, 0);                // slot for bucket 0
+    h.observeAt(0.002, 50 * kSec);      // 50 s later, still in window
+    // At t=60 s both survive (window covers (60-64, 60]).
+    EXPECT_EQ(h.statsAt(60 * kSec).count, 2u);
+    // At t=70 s the t=0 observation's bucket has left the window.
+    const auto s = h.statsAt(70 * kSec);
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_LT(s.maxSeconds, 0.01);
+}
+
+TEST(WindowedHistogram, LateObservationOlderThanWindowIsDropped) {
+    WindowedHistogram h(4 * kSec, 16);
+    h.observeAt(0.001, 200 * kSec);  // establishes "now"
+    h.observeAt(5.0, 0);             // far in the past: dropped, not misfiled
+    const auto s = h.statsAt(200 * kSec);
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_LT(s.maxSeconds, 0.01);
+}
+
+TEST(WindowedHistogram, QuantilesAgreeWithExactSortWithinOneBin) {
+    WindowedHistogram h(4 * kSec, 16);
+    // A spread of latencies covering several decades, all in one window.
+    std::vector<double> sample;
+    double v = 50e-6;
+    for (int i = 0; i < 400; ++i) {
+        sample.push_back(v);
+        h.observeAt(v, static_cast<std::int64_t>(i % 60) * kSec / 2);
+        v *= 1.018;  // 50 us .. ~60 ms geometric ramp
+    }
+    std::sort(sample.begin(), sample.end());
+    const auto s = h.statsAt(30 * kSec);
+    ASSERT_EQ(s.count, sample.size());
+
+    const auto exact = [&](double q) {
+        return sample[static_cast<std::size_t>(q * (sample.size() - 1))];
+    };
+    // log2 bins: the histogram quantile is within a factor of sqrt(2) of
+    // the exact one (geometric bin midpoint vs true value).
+    const double tol = std::sqrt(2.0) + 1e-9;
+    for (const auto& [q, got] : {std::pair<double, double>{0.50, s.p50Seconds},
+                                 {0.95, s.p95Seconds},
+                                 {0.99, s.p99Seconds}}) {
+        const double want = exact(q);
+        EXPECT_LT(got / want, tol) << "q=" << q;
+        EXPECT_GT(got / want, 1.0 / tol) << "q=" << q;
+    }
+    EXPECT_LE(s.p50Seconds, s.p95Seconds);
+    EXPECT_LE(s.p95Seconds, s.p99Seconds);
+    EXPECT_LE(s.p99Seconds, s.maxSeconds * (1.0 + 1e-12));
+}
+
+TEST(WindowedHistogram, QuantileClampsToObservedMax) {
+    WindowedHistogram h(4 * kSec, 16);
+    for (int i = 0; i < 100; ++i) h.observeAt(0.010, 0);
+    const auto s = h.statsAt(0);
+    // All mass in one bin: every quantile equals the (clamped) max, never
+    // the bin's upper geometric midpoint above it.
+    EXPECT_DOUBLE_EQ(s.p50Seconds, s.maxSeconds);
+    EXPECT_DOUBLE_EQ(s.p99Seconds, s.maxSeconds);
+    EXPECT_NEAR(s.maxSeconds, 0.010, 0.010 * 0.5);
+}
+
+TEST(WindowedHistogram, ResetClearsEverything) {
+    WindowedHistogram h(4 * kSec, 16);
+    for (int i = 0; i < 10; ++i) h.observeAt(0.5, 0);
+    EXPECT_EQ(h.statsAt(0).count, 10u);
+    h.reset();
+    EXPECT_EQ(h.statsAt(0).count, 0u);
+    h.observeAt(0.25, 8 * kSec);  // usable again after reset
+    EXPECT_EQ(h.statsAt(8 * kSec).count, 1u);
+}
+
+TEST(WindowedHistogram, WallClockOverloadObserves) {
+    WindowedHistogram h;
+    h.observe(0.001);
+    h.observe(0.002);
+    const auto s = h.stats();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_GT(s.maxSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace phlogon::obs

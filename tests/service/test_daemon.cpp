@@ -15,6 +15,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 
 using namespace phlogon;
@@ -285,3 +286,125 @@ TEST(Daemon, ShutdownRequestStopsRun) {
     EXPECT_EQ(f.daemon.run(), 0);
     EXPECT_FALSE(f.daemon.running());
 }
+
+// ---- envelope opt-in, windowed latency, metrics request --------------------
+
+#ifndef PHLOGON_NO_OBS
+
+TEST(Daemon, FullRunReportIsOptInPerRequest) {
+    DaemonFixture f("envelope", /*withSocket=*/false);
+    obs::setMetricsEnabled(true);
+
+    // Default envelope: cheap counters only, never the full RunReport —
+    // building + JSON-parsing the report on every response was a measurable
+    // tax on the saturation bench (the regression this test pins down).
+    const json::Value basic =
+        dispatchJson(f.daemon, R"({"type": "characterize-latch", "id": 1})");
+    ASSERT_TRUE(basic.fieldBool("ok", false));
+    const json::Value* obsEnv = basic.field("obs");
+    ASSERT_NE(obsEnv, nullptr);
+    EXPECT_GE(obsEnv->fieldNumber("cacheMisses", -1), 0.0);
+    EXPECT_EQ(obsEnv->field("report"), nullptr);
+
+    // "envelope": "full" opts in; the report rides under obs.report.
+    const json::Value full = dispatchJson(
+        f.daemon, R"({"type": "characterize-latch", "id": 2, "envelope": "full"})");
+    ASSERT_TRUE(full.fieldBool("ok", false));
+    const json::Value* fullEnv = full.field("obs");
+    ASSERT_NE(fullEnv, nullptr);
+    const json::Value* report = fullEnv->field("report");
+    ASSERT_NE(report, nullptr);
+    EXPECT_NE(report->field("counters"), nullptr);
+
+    obs::setMetricsEnabled(false);
+
+    // With metrics off, even an opted-in request gets the cheap envelope.
+    const json::Value off = dispatchJson(
+        f.daemon, R"({"type": "ping", "id": 3, "envelope": "full"})");
+    ASSERT_TRUE(off.fieldBool("ok", false));
+    EXPECT_EQ(off.field("obs")->field("report"), nullptr);
+}
+
+TEST(Daemon, StatusWindowedLatencyMovesWithInjectedSlowJob) {
+    DaemonFixture f("window", /*withSocket=*/false);
+
+    // A quick MC job seeds the per-type window.
+    const json::Value quick = dispatchJson(
+        f.daemon,
+        R"({"type": "hold-error-mc", "id": 1,
+            "params": {"trials": 10, "chunk": 10, "holdCycles": 100}})");
+    ASSERT_TRUE(quick.fieldBool("ok", false));
+    const json::Value st1 = dispatchJson(f.daemon, R"({"type": "status", "id": 2})");
+    const json::Value* w1 = st1.field("status")->field("window")->field("hold-error-mc");
+    ASSERT_NE(w1, nullptr);
+    EXPECT_GE(w1->fieldNumber("n", 0), 1.0);
+    const double p95Before = w1->fieldNumber("p95Ms", 0.0);
+    EXPECT_GT(p95Before, 0.0);
+
+    // Inject a much slower job of the same type; the windowed p95 must move
+    // (lifetime-only aggregates would barely budge).
+    const json::Value slow = dispatchJson(
+        f.daemon,
+        R"({"type": "hold-error-mc", "id": 3,
+            "params": {"trials": 120, "chunk": 40, "holdCycles": 400}})");
+    ASSERT_TRUE(slow.fieldBool("ok", false));
+    const json::Value st2 = dispatchJson(f.daemon, R"({"type": "status", "id": 4})");
+    const json::Value* w2 = st2.field("status")->field("window")->field("hold-error-mc");
+    ASSERT_NE(w2, nullptr);
+    EXPECT_GE(w2->fieldNumber("n", 0), 2.0);
+    EXPECT_GT(w2->fieldNumber("p95Ms", 0.0), p95Before * 1.5);
+    EXPECT_GE(w2->fieldNumber("p99Ms", 0.0), w2->fieldNumber("p95Ms", 0.0));
+    EXPECT_GE(w2->fieldNumber("queueWaitP95Ms", -1.0), 0.0);
+
+    // The whole-request window and the recent-jobs ring moved with it.
+    const json::Value* lat = st2.field("status")->field("latency");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_GE(lat->fieldNumber("count", 0), 2.0);
+    EXPECT_GT(lat->fieldNumber("p95Ms", 0.0), 0.0);
+    const json::Value* recent = st2.field("status")->field("recent");
+    ASSERT_NE(recent, nullptr);
+    EXPECT_GE(recent->size(), 2u);
+}
+
+TEST(Daemon, MetricsRequestReturnsJsonAndPrometheus) {
+    DaemonFixture f("metrics", /*withSocket=*/false);
+    obs::setMetricsEnabled(true);
+    dispatchJson(f.daemon, R"({"type": "characterize-latch", "id": 1})");
+
+    const json::Value m = dispatchJson(f.daemon, R"({"type": "metrics", "id": 2})");
+    ASSERT_TRUE(m.fieldBool("ok", false));
+    ASSERT_NE(m.field("metrics"), nullptr);
+    EXPECT_NE(m.field("metrics")->field("counters"), nullptr);
+    EXPECT_NE(m.field("metrics")->field("histograms"), nullptr);
+    ASSERT_NE(m.field("status"), nullptr);
+
+    const std::string prom = m.fieldString("prometheus", "");
+    ASSERT_FALSE(prom.empty());
+    EXPECT_NE(prom.find("phlogon_service_requests_total"), std::string::npos);
+    EXPECT_NE(prom.find("phlogon_service_queue_depth"), std::string::npos);
+    EXPECT_NE(prom.find("phlogon_service_request_seconds{quantile=\"0.95\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("phlogon_service_job_seconds{type=\"characterize-latch\""),
+              std::string::npos);
+    obs::setMetricsEnabled(false);
+}
+
+TEST(Daemon, TraceIdRidesOnSnapshotsAndRecentRing) {
+    DaemonFixture f("traceid", /*withSocket=*/false);
+    const json::Value done = dispatchJson(
+        f.daemon,
+        R"({"type": "characterize-latch", "id": 1, "traceId": "ride-42"})");
+    ASSERT_TRUE(done.fieldBool("ok", false));
+    EXPECT_EQ(done.field("job")->fieldString("traceId", ""), "ride-42");
+
+    const json::Value st = dispatchJson(f.daemon, R"({"type": "status", "id": 2})");
+    const json::Value* recent = st.field("status")->field("recent");
+    ASSERT_NE(recent, nullptr);
+    ASSERT_GE(recent->size(), 1u);
+    bool saw = false;
+    for (const json::Value& j : *recent->arr)
+        if (j.fieldString("traceId", "") == "ride-42") saw = true;
+    EXPECT_TRUE(saw);
+}
+
+#endif  // PHLOGON_NO_OBS

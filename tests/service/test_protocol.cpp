@@ -149,6 +149,36 @@ TEST(Protocol, PriorityClamped) {
     EXPECT_EQ(svc::parseRequest(R"({"type": "t", "priority": -1000})").priority, -100);
 }
 
+TEST(Protocol, TraceIdSanitizedAndBounded) {
+    // Pass-through for the filename-safe alphabet.
+    EXPECT_EQ(svc::parseRequest(R"({"type": "t", "traceId": "run_3.a-B"})").traceId,
+              "run_3.a-B");
+    // Default: empty.
+    EXPECT_TRUE(svc::parseRequest(R"({"type": "t"})").traceId.empty());
+    // The id flows into log lines and trace JSON verbatim, so anything
+    // outside the safe alphabet is replaced, never forwarded.
+    EXPECT_EQ(svc::parseRequest(R"({"type": "t", "traceId": "a b\"c/d"})").traceId,
+              "a_b_c_d");
+    // Length is bounded at 64.
+    const svc::Request longId =
+        svc::parseRequest(R"({"type": "t", "traceId": ")" + std::string(200, 'x') + "\"}");
+    ASSERT_TRUE(longId.ok);
+    EXPECT_EQ(longId.traceId.size(), 64u);
+    // Non-string traceId is a structured bad-request, not a crash.
+    const svc::Request bad = svc::parseRequest(R"({"type": "t", "traceId": 7})");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.errorCode, "bad-request");
+}
+
+TEST(Protocol, EnvelopeFieldOptsIntoFullReport) {
+    EXPECT_FALSE(svc::parseRequest(R"({"type": "t"})").fullEnvelope);
+    EXPECT_FALSE(svc::parseRequest(R"({"type": "t", "envelope": "basic"})").fullEnvelope);
+    EXPECT_TRUE(svc::parseRequest(R"({"type": "t", "envelope": "full"})").fullEnvelope);
+    const svc::Request bad = svc::parseRequest(R"({"type": "t", "envelope": "verbose"})");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.errorCode, "bad-request");
+}
+
 TEST(Protocol, ResponseBuilders) {
     const json::Value ok = svc::makeResponse(json::Value::integer(3));
     EXPECT_TRUE(ok.fieldBool("ok", false));

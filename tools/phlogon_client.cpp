@@ -72,11 +72,18 @@ std::vector<MixEntry> parseMix(const std::string& spec) {
     return mix;
 }
 
+struct RequestTrim {
+    std::string traceId;   ///< propagated to the daemon's spans/logs
+    std::string envelope;  ///< "" (default) or "full" for the RunReport
+};
+
 std::string buildRequest(const std::string& type, const std::string& paramsJson, int priority,
-                         bool wait, std::uint64_t id) {
+                         bool wait, std::uint64_t id, const RequestTrim& trim = {}) {
     std::string r = "{\"type\": " + json::quote(type) + ", \"id\": " + std::to_string(id);
     if (priority != 0) r += ", \"priority\": " + std::to_string(priority);
     if (!wait) r += ", \"wait\": false";
+    if (!trim.traceId.empty()) r += ", \"traceId\": " + json::quote(trim.traceId);
+    if (!trim.envelope.empty()) r += ", \"envelope\": " + json::quote(trim.envelope);
     if (!paramsJson.empty() && paramsJson != "{}") r += ", \"params\": " + paramsJson;
     r += "}";
     return r;
@@ -93,7 +100,7 @@ struct LoadResult {
 /// by weight from the mix.  queue-full responses honor retryAfterMs and
 /// retry the same request (they count as `retried`, not `failed`).
 LoadResult runLoad(const Endpoint& ep, const std::vector<MixEntry>& mix, int count, int priority,
-                   unsigned threadIdx) {
+                   unsigned threadIdx, const RequestTrim& trim) {
     LoadResult res;
     const int fd = ep.connect();
     if (fd < 0) {
@@ -107,7 +114,7 @@ LoadResult runLoad(const Endpoint& ep, const std::vector<MixEntry>& mix, int cou
     std::uint64_t id = static_cast<std::uint64_t>(threadIdx) * 1000000ull;
     for (int k = 0; k < count; ++k) {
         const MixEntry& e = *schedule[static_cast<std::size_t>(k) % schedule.size()];
-        const std::string payload = buildRequest(e.type, e.params, priority, true, ++id);
+        const std::string payload = buildRequest(e.type, e.params, priority, true, ++id, trim);
         for (int attempt = 0;; ++attempt) {
             const auto t0 = std::chrono::steady_clock::now();
             const std::string reply = svc::roundTrip(fd, payload);
@@ -162,9 +169,14 @@ int usage() {
                  "  status | list | ping\n"
                  "  cancel JOB\n"
                  "  shutdown [drain|checkpoint]\n"
+                 "  metrics [--prometheus]\n"
                  "  mix SPEC --count N [--priority N]\n"
                  "  load SPEC --threads K --count N [--assert-p95-ms X] [--quiet]\n"
-                 "SPEC: 'type:weight,type:weight,...'\n");
+                 "SPEC: 'type:weight,type:weight,...'\n"
+                 "Common options:\n"
+                 "  --trace-id ID     correlation id stamped on every span/log the\n"
+                 "                    daemon emits for these requests\n"
+                 "  --envelope full   ask for the full obs::RunReport under \"obs\"\n");
     return 2;
 }
 
@@ -180,6 +192,7 @@ int main(int argc, char** argv) {
     bool wait = true;
     bool quiet = false;
     double assertP95Ms = 0.0;
+    RequestTrim trim;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -196,6 +209,8 @@ int main(int argc, char** argv) {
         else if (arg == "--no-wait") wait = false;
         else if (arg == "--quiet") quiet = true;
         else if (arg == "--assert-p95-ms") assertP95Ms = std::atof(next());
+        else if (arg == "--trace-id") trim.traceId = next();
+        else if (arg == "--envelope") trim.envelope = next();
         else if (arg == "--help" || arg == "-h") return usage();
         else args.push_back(arg);
     }
@@ -223,8 +238,29 @@ int main(int argc, char** argv) {
     };
 
     if (cmd == "req" && args.size() >= 2)
-        return single(buildRequest(args[1], paramsJson, priority, wait, 1), true);
+        return single(buildRequest(args[1], paramsJson, priority, wait, 1, trim), true);
     if (cmd == "status") return single("{\"type\": \"status\", \"id\": 1}", true);
+    if (cmd == "metrics") {
+        const bool prom =
+            std::find(args.begin(), args.end(), "--prometheus") != args.end();
+        const int fd = ep.connect();
+        if (fd < 0) {
+            std::fprintf(stderr, "phlogon_client: cannot connect\n");
+            return 1;
+        }
+        const std::string reply = svc::roundTrip(fd, "{\"type\": \"metrics\", \"id\": 1}");
+        ::close(fd);
+        const json::ParseResult parsed = json::parse(reply);
+        if (!parsed.ok || !parsed.value.fieldBool("ok", false)) {
+            std::fprintf(stderr, "phlogon_client: metrics request failed\n");
+            return 1;
+        }
+        if (prom)
+            std::printf("%s", parsed.value.fieldString("prometheus", "").c_str());
+        else
+            std::printf("%s\n", reply.c_str());
+        return 0;
+    }
     if (cmd == "ping") return single("{\"type\": \"ping\", \"id\": 1}", true);
     if (cmd == "list") return single("{\"type\": \"list-jobs\", \"id\": 1}", true);
     if (cmd == "cancel" && args.size() >= 2)
@@ -253,7 +289,7 @@ int main(int argc, char** argv) {
             for (int t = 0; t < nThreads; ++t)
                 pool.emplace_back([&, t] {
                     results[static_cast<std::size_t>(t)] =
-                        runLoad(ep, mix, count, priority, static_cast<unsigned>(t + 1));
+                        runLoad(ep, mix, count, priority, static_cast<unsigned>(t + 1), trim);
                 });
             for (std::thread& th : pool) th.join();
         }

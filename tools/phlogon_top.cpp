@@ -1,0 +1,196 @@
+// phlogon_top — live terminal dashboard for a running phlogond.
+//
+//   phlogon_top (--socket PATH | --tcp PORT) [--interval-ms N] [--once]
+//
+// Polls the daemon's "status" request and renders the operator's view:
+// request rate and windowed latency quantiles, queue depth and worker
+// utilization, cache hit rate, the per-job-type trailing-window breakdown
+// (wall p50/p95/p99 plus queue-wait p95, so slow jobs and starved jobs
+// read differently), and a tail of recently finished jobs with slow ones
+// flagged.  Everything shown comes from the windowed histograms — it is
+// the last ~60 s, not lifetime averages.
+//
+// --once prints a single snapshot without clearing the screen (CI logs,
+// scripts); otherwise the screen is redrawn every --interval-ms (default
+// 1000) until interrupted.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+#include "service/protocol.hpp"
+
+using namespace phlogon;
+namespace json = io::json;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) { g_stop = 1; }
+
+struct Endpoint {
+    std::string socketPath;
+    int tcpPort = -1;
+    int connect() const {
+        return socketPath.empty() ? svc::connectTcp(tcpPort) : svc::connectUnix(socketPath);
+    }
+    std::string name() const {
+        return socketPath.empty() ? "127.0.0.1:" + std::to_string(tcpPort) : socketPath;
+    }
+};
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: phlogon_top (--socket PATH | --tcp PORT)\n"
+                 "                   [--interval-ms N] [--once] [--slow-ms X]\n");
+    return 2;
+}
+
+std::string fmtMs(double ms) {
+    char buf[32];
+    if (ms >= 1000.0)
+        std::snprintf(buf, sizeof buf, "%.2fs", ms / 1e3);
+    else if (ms >= 1.0)
+        std::snprintf(buf, sizeof buf, "%.1fms", ms);
+    else
+        std::snprintf(buf, sizeof buf, "%.0fus", ms * 1e3);
+    return buf;
+}
+
+/// One poll + render.  Returns false when the daemon is unreachable (the
+/// loop keeps trying; --once exits non-zero).
+bool renderOnce(const Endpoint& ep, double slowMs, bool clearScreen) {
+    const int fd = ep.connect();
+    if (fd < 0) {
+        std::printf("phlogon_top: cannot connect to %s\n", ep.name().c_str());
+        return false;
+    }
+    const std::string reply = svc::roundTrip(fd, "{\"type\": \"status\", \"id\": 1}");
+    ::close(fd);
+    const json::ParseResult parsed = json::parse(reply);
+    if (!parsed.ok || !parsed.value.fieldBool("ok", false)) {
+        std::printf("phlogon_top: bad status reply from %s\n", ep.name().c_str());
+        return false;
+    }
+    const json::Value* st = parsed.value.field("status");
+    if (!st) {
+        std::printf("phlogon_top: status reply carries no status object\n");
+        return false;
+    }
+
+    if (clearScreen) std::printf("\033[H\033[2J");
+
+    std::printf("phlogond @ %s    up %.1fs\n", ep.name().c_str(),
+                st->fieldNumber("uptimeSeconds", 0.0));
+
+    const json::Value* lat = st->field("latency");
+    if (lat) {
+        std::printf(
+            "requests  %.1f req/s over %.0fs window  p50 %s  p95 %s  p99 %s  (n=%.0f)\n",
+            lat->fieldNumber("ratePerSec", 0.0), lat->fieldNumber("windowSeconds", 0.0),
+            fmtMs(lat->fieldNumber("p50Ms", 0.0)).c_str(),
+            fmtMs(lat->fieldNumber("p95Ms", 0.0)).c_str(),
+            fmtMs(lat->fieldNumber("p99Ms", 0.0)).c_str(), lat->fieldNumber("count", 0.0));
+    }
+
+    const json::Value* q = st->field("queue");
+    if (q) {
+        const double workers = q->fieldNumber("workers", 0.0);
+        const double running = q->fieldNumber("running", 0.0);
+        const double util = workers > 0 ? 100.0 * running / workers : 0.0;
+        std::printf(
+            "queue     depth %.0f  running %.0f/%.0f workers (%.0f%% busy)  "
+            "submitted %.0f  rejected %.0f  failed %.0f\n",
+            q->fieldNumber("depth", 0.0), running, workers, util,
+            q->fieldNumber("submitted", 0.0), q->fieldNumber("rejected", 0.0),
+            q->fieldNumber("failed", 0.0));
+    }
+
+    const json::Value* c = st->field("cache");
+    if (c && c->fieldBool("enabled", false)) {
+        std::printf("cache     hits %.0f  misses %.0f  hit rate %.1f%%\n",
+                    c->fieldNumber("hits", 0.0), c->fieldNumber("misses", 0.0),
+                    100.0 * c->fieldNumber("hitRate", 0.0));
+    }
+
+    const json::Value* windows = st->field("window");
+    if (windows && windows->obj && !windows->obj->empty()) {
+        std::size_t width = 12;
+        for (const auto& [type, tv] : *windows->obj) width = std::max(width, type.size());
+        const int w = static_cast<int>(width);
+        std::printf("\n%-*s %6s %8s %9s %9s %9s %9s %11s\n", w, "job type", "n", "rate",
+                    "p50", "p95", "p99", "max", "queue p95");
+        for (const auto& [type, tv] : *windows->obj) {
+            std::printf("%-*s %6.0f %6.1f/s %9s %9s %9s %9s %11s\n", w, type.c_str(),
+                        tv.fieldNumber("n", 0.0), tv.fieldNumber("ratePerSec", 0.0),
+                        fmtMs(tv.fieldNumber("p50Ms", 0.0)).c_str(),
+                        fmtMs(tv.fieldNumber("p95Ms", 0.0)).c_str(),
+                        fmtMs(tv.fieldNumber("p99Ms", 0.0)).c_str(),
+                        fmtMs(tv.fieldNumber("maxMs", 0.0)).c_str(),
+                        fmtMs(tv.fieldNumber("queueWaitP95Ms", 0.0)).c_str());
+        }
+    }
+
+    const json::Value* recent = st->field("recent");
+    if (recent && recent->arr && !recent->arr->empty()) {
+        std::printf("\nrecent jobs (oldest first, SLOW >= %s):\n", fmtMs(slowMs).c_str());
+        for (const json::Value& j : *recent->arr) {
+            const double runMs = j.fieldNumber("runMs", 0.0);
+            const std::string traceId = j.fieldString("traceId", "");
+            std::printf("  #%-5.0f %-22s %-10s queued %-8s run %-8s%s%s%s\n",
+                        j.fieldNumber("job", 0.0), j.fieldString("type", "?").c_str(),
+                        j.fieldString("state", "?").c_str(),
+                        fmtMs(j.fieldNumber("queuedMs", 0.0)).c_str(), fmtMs(runMs).c_str(),
+                        traceId.empty() ? "" : " trace=",
+                        traceId.c_str(), runMs >= slowMs ? "  SLOW" : "");
+        }
+    }
+    std::fflush(stdout);
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Endpoint ep;
+    int intervalMs = 1000;
+    bool once = false;
+    double slowMs = 1000.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) std::exit(usage());
+            return argv[++i];
+        };
+        if (arg == "--socket") ep.socketPath = next();
+        else if (arg == "--tcp") ep.tcpPort = std::atoi(next());
+        else if (arg == "--interval-ms") intervalMs = std::max(50, std::atoi(next()));
+        else if (arg == "--once") once = true;
+        else if (arg == "--slow-ms") slowMs = std::atof(next());
+        else if (arg == "--help" || arg == "-h") return usage();
+        else return usage();
+    }
+    if (ep.socketPath.empty() && ep.tcpPort < 0) return usage();
+
+    if (once) return renderOnce(ep, slowMs, false) ? 0 : 1;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop) {
+        renderOnce(ep, slowMs, true);
+        for (int waited = 0; waited < intervalMs && !g_stop; waited += 50)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("\n");
+    return 0;
+}

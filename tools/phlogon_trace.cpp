@@ -2,14 +2,20 @@
 // by the tracer (PHLOGON_TRACE=out.json).
 //
 //   phlogon_trace summarize <file.json>     per-span-name breakdown: count,
-//                                           total/self/avg wall time, % of
-//                                           traced time, over all threads
+//       [--trace ID] [--job N]              total/self/avg wall time, % of
+//                                           traced time, over all threads;
+//                                           filters restrict to one client
+//                                           trace id / one job's spans
 //   phlogon_trace merge <out.json> <in>...  concatenate traces; thread ids
 //                                           are remapped per input file so
-//                                           runs don't collide in Perfetto
+//                                           runs don't collide in Perfetto;
+//                                           args (traceId/job) and flow ids
+//                                           survive the merge
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,10 +28,21 @@ namespace {
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: phlogon_trace summarize <trace.json>\n"
+                 "usage: phlogon_trace summarize <trace.json> [--trace ID] [--job N]\n"
                  "       phlogon_trace merge <out.json> <in.json>...\n");
     return 2;
 }
+
+struct SummarizeFilter {
+    std::string traceId;       ///< keep only events with args.traceId == this
+    std::uint64_t jobId = 0;   ///< keep only events with args.job == this
+    bool active() const { return !traceId.empty() || jobId != 0; }
+    bool keep(const obs::ParsedEvent& e) const {
+        if (!traceId.empty() && e.traceId != traceId) return false;
+        if (jobId != 0 && e.jobId != jobId) return false;
+        return true;
+    }
+};
 
 std::string fmtUs(double us) {
     char buf[48];
@@ -45,15 +62,23 @@ struct NameStats {
     double maxUs = 0.0;
 };
 
-int summarize(const char* file) {
-    const obs::ParsedTrace trace = obs::readChromeTraceFile(file);
+int summarize(const char* file, const SummarizeFilter& filter) {
+    obs::ParsedTrace trace = obs::readChromeTraceFile(file);
     if (!trace.ok) {
         std::fprintf(stderr, "phlogon_trace: %s: %s\n", file, trace.error.c_str());
         return 1;
     }
+    if (filter.active()) {
+        std::vector<obs::ParsedEvent> kept;
+        kept.reserve(trace.events.size());
+        for (const obs::ParsedEvent& e : trace.events)
+            if (filter.keep(e)) kept.push_back(e);
+        trace.events = std::move(kept);
+    }
 
     std::map<std::string, NameStats> byName;
     std::map<std::string, std::uint64_t> instants;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> flows;  // name -> (starts, finishes)
     double tracedUs = 0.0;  // sum of root-span durations = total traced time
     std::size_t spanCount = 0;
 
@@ -92,11 +117,21 @@ int summarize(const char* file) {
             stack.pop_back();
         }
     }
-    for (const obs::ParsedEvent& e : trace.events)
+    for (const obs::ParsedEvent& e : trace.events) {
         if (e.ph == "i" || e.ph == "I") ++instants[e.name];
+        if (e.ph == "s") ++flows[e.name].first;
+        if (e.ph == "f") ++flows[e.name].second;
+    }
 
     std::printf("%s: %zu spans on %zu threads", file, spanCount,
                 trace.spanThreadIds().size());
+    if (filter.active()) {
+        std::printf(" (filtered");
+        if (!filter.traceId.empty()) std::printf(" trace=%s", filter.traceId.c_str());
+        if (filter.jobId != 0)
+            std::printf(" job=%llu", static_cast<unsigned long long>(filter.jobId));
+        std::printf(")");
+    }
     if (trace.droppedEvents) {
         std::printf(", %llu DROPPED",
                     static_cast<unsigned long long>(trace.droppedEvents));
@@ -129,93 +164,26 @@ int summarize(const char* file) {
             std::printf("%-*s %8llu\n", w, name.c_str(),
                         static_cast<unsigned long long>(n));
     }
+    if (!flows.empty()) {
+        std::printf("\n%-*s %8s %8s\n", w, "flow", "starts", "finishes");
+        for (const auto& [name, n] : flows)
+            std::printf("%-*s %8llu %8llu\n", w, name.c_str(),
+                        static_cast<unsigned long long>(n.first),
+                        static_cast<unsigned long long>(n.second));
+    }
     return 0;
 }
 
-void appendEscaped(std::string& out, const std::string& s) {
-    for (char ch : s) {
-        const unsigned char c = static_cast<unsigned char>(ch);
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            default:
-                if (c < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                    out += buf;
-                } else {
-                    out += ch;
-                }
-        }
-    }
-}
-
 int merge(const char* outPath, const std::vector<const char*>& inputs) {
-    std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-    bool first = true;
-    std::uint64_t dropped = 0;
-    std::int64_t tidBase = 0;
-
-    for (const char* file : inputs) {
-        const obs::ParsedTrace trace = obs::readChromeTraceFile(file);
-        if (!trace.ok) {
-            std::fprintf(stderr, "phlogon_trace: %s: %s\n", file, trace.error.c_str());
-            return 1;
-        }
-        dropped += trace.droppedEvents;
-
-        // Remap this file's tids to a disjoint range; keep relative order so
-        // "main" from each run stays at the top of its block.
-        std::map<std::int64_t, std::int64_t> tidMap;
-        auto mapped = [&](std::int64_t tid) {
-            const auto [it, inserted] =
-                tidMap.emplace(tid, tidBase + static_cast<std::int64_t>(tidMap.size()));
-            (void)inserted;
-            return it->second;
-        };
-
-        char buf[64];
-        for (const auto& [tid, name] : trace.threads) {
-            if (!first) json += ",";
-            first = false;
-            json += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
-            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(tid)));
-            json += buf;
-            json += ",\"args\":{\"name\":\"";
-            appendEscaped(json, name);
-            json += " [";
-            appendEscaped(json, file);
-            json += "]\"}}";
-        }
-        for (const obs::ParsedEvent& e : trace.events) {
-            if (!first) json += ",";
-            first = false;
-            json += "{\"ph\":\"";
-            appendEscaped(json, e.ph);
-            json += "\",\"name\":\"";
-            appendEscaped(json, e.name);
-            json += "\",\"cat\":\"";
-            appendEscaped(json, e.cat.empty() ? std::string("trace") : e.cat);
-            json += "\",\"pid\":1,\"tid\":";
-            std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(mapped(e.tid)));
-            json += buf;
-            std::snprintf(buf, sizeof buf, ",\"ts\":%.3f", e.tsUs);
-            json += buf;
-            if (e.ph == "X") {
-                std::snprintf(buf, sizeof buf, ",\"dur\":%.3f", e.durUs);
-                json += buf;
-            } else if (e.ph == "i" || e.ph == "I") {
-                json += ",\"s\":\"t\"";
-            }
-            json += "}";
-        }
-        tidBase += static_cast<std::int64_t>(tidMap.size());
+    // The merge itself lives in obs::mergeChromeTraces so the golden tests
+    // and the daemon-restart acceptance test share it with this tool.
+    std::vector<std::filesystem::path> paths(inputs.begin(), inputs.end());
+    std::string error;
+    const std::string json = obs::mergeChromeTraces(paths, &error);
+    if (json.empty()) {
+        std::fprintf(stderr, "phlogon_trace: %s\n", error.c_str());
+        return 1;
     }
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "],\"otherData\":{\"droppedEvents\":%llu}}",
-                  static_cast<unsigned long long>(dropped));
-    json += buf;
 
     std::FILE* f = std::fopen(outPath, "wb");
     if (!f) {
@@ -238,8 +206,23 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     const std::string cmd = argv[1];
     if (cmd == "summarize") {
-        if (argc != 3) return usage();
-        return summarize(argv[2]);
+        if (argc < 3) return usage();
+        SummarizeFilter filter;
+        const char* file = nullptr;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--trace" && i + 1 < argc) {
+                filter.traceId = argv[++i];
+            } else if (arg == "--job" && i + 1 < argc) {
+                filter.jobId = std::strtoull(argv[++i], nullptr, 10);
+            } else if (!file) {
+                file = argv[i];
+            } else {
+                return usage();
+            }
+        }
+        if (!file) return usage();
+        return summarize(file, filter);
     }
     if (cmd == "merge") {
         if (argc < 4) return usage();

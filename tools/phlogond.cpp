@@ -32,6 +32,11 @@ void usage() {
         "  --cache DIR       artifact cache directory (default $PHLOGON_CACHE_DIR)\n"
         "  --cache-max-mb N  cache size bound (default 256)\n"
         "  --ckpt DIR        checkpoint directory for long jobs (default off)\n"
+        "  --log PATH        structured JSON-lines log sink (also $PHLOGON_LOG;\n"
+        "                    \"-\" = stderr)\n"
+        "  --log-level LVL   debug|info|warn|error (default info)\n"
+        "  --slow-ms N       jobs running >= N ms get a service.job.slow warn\n"
+        "                    record (default 1000)\n"
         "At least one of --socket/--tcp is required.\n");
 }
 
@@ -67,6 +72,14 @@ int main(int argc, char** argv) {
             opt.cacheMaxBytes = static_cast<std::uintmax_t>(std::atof(next()) * 1024.0 * 1024.0);
         } else if (arg == "--ckpt") {
             opt.checkpointDir = next();
+        } else if (arg == "--log") {
+            // The logger reads these lazily at the first log call, so the
+            // flags are just a spelling of the environment contract.
+            ::setenv("PHLOGON_LOG", next(), 1);
+        } else if (arg == "--log-level") {
+            ::setenv("PHLOGON_LOG_LEVEL", next(), 1);
+        } else if (arg == "--slow-ms") {
+            opt.slowJobMs = std::atof(next());
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
