@@ -35,8 +35,10 @@
 #include "io/model_cache.hpp"
 #include "logic/compile.hpp"
 #include "logic/workloads.hpp"
+#include "numeric/interp.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/parallel.hpp"
+#include "numeric/simd/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "phlogon/encoding.hpp"
@@ -185,6 +187,98 @@ void reportBatchSpeedup() {
     std::printf("  (engines are distinct RNG configurations — counts differ; each is\n");
     std::printf("   bitwise stable across threads and batch size)\n\n");
     benchmark::DoNotOptimize(scalar1 + scalarT);
+}
+
+// One-shot SIMD kernel tier table (DESIGN.md §18): the same batched
+// primitives with the opt-in vector kernels off and on.  Off is the
+// bitwise-golden default; on resolves to the widest tier the CPU supports
+// (PHLOGON_SIMD=0|1|auto overrides).  The contract makes this a pure
+// wall-clock comparison: both paths produce bit-identical results.
+void reportSimdSpeedup() {
+    using num::simd::Tier;
+    const Tier tier = num::simd::resolveTier(true);
+    std::printf("SIMD kernel tier: scalar kernels vs opt-in vector kernels (resolved\n");
+    std::printf("tier with simd=true: %s%s):\n", num::simd::tierName(tier),
+                tier == Tier::Scalar ? " — no vector tier available, expect x1.0" : "");
+
+    // 1. Batched spline evaluation — the GAE RHS primitive (gather + Horner
+    //    over the packed per-segment cubics).
+    {
+        const std::size_t knots = 1024;
+        num::Vec s(knots);
+        for (std::size_t i = 0; i < knots; ++i) {
+            const double u = static_cast<double>(i) / static_cast<double>(knots);
+            s[i] = std::sin(2.0 * std::numbers::pi * u) +
+                   0.3 * std::cos(6.0 * std::numbers::pi * u);
+        }
+        const num::PeriodicCubicSpline spline(s);
+        const num::PackedPeriodicSpline packed(spline);
+        const std::size_t lanes = 4096;
+        num::Vec t(lanes), out(lanes);
+        for (std::size_t l = 0; l < lanes; ++l)
+            t[l] = 0.6180339887498949 * static_cast<double>(l);
+        const std::size_t reps = smokeMode() ? 1000 : 10000;
+        const auto evalMs = [&](Tier tr) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t r = 0; r < reps; ++r)
+                packed.evalManyAffine(t.data(), out.data(), lanes, 1.7, -0.3, tr);
+            benchmark::DoNotOptimize(out.data());
+            return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             t0)
+                .count();
+        };
+        evalMs(tier);  // warm up (table + instruction caches)
+        const double scalarMs = evalMs(Tier::Scalar);
+        const double simdMs = evalMs(tier);
+        std::printf("  spline evalManyAffine (%zu lanes x %zu reps): scalar %8.2f ms | "
+                    "%s %8.2f ms  -> speedup x%.2f\n",
+                    lanes, reps, scalarMs, num::simd::tierName(tier), simdMs,
+                    scalarMs / simdMs);
+        jsonOut().addRow("simdSpeedup", {{"workload", 0},
+                                         {"tier", static_cast<double>(tier)},
+                                         {"scalarMs", scalarMs},
+                                         {"simdMs", simdMs},
+                                         {"speedup", scalarMs / simdMs}});
+    }
+
+    // 2. Monte-Carlo hold-error — the end-to-end stochastic workload
+    //    (packed-spline RHS + ziggurat batch fill + Euler-Maruyama update).
+    {
+        const auto& d = bench::design100();
+        const core::Gae gae(d.model, d.f1, {d.sync()});
+        const double start = gae.stableEquilibria()[0].dphi;
+        const std::size_t trials = smokeMode() ? 128 : 512;
+        core::StochasticGaeOptions opt;
+        opt.seed = 7;
+        opt.batch = 64;
+        opt.threads = 1;
+        std::size_t errors = 0;
+        const auto wallMs = [&](bool simdOn) {
+            opt.simd = simdOn;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r =
+                core::holdErrorProbability(gae, 2e-7, start, 60.0 / d.f1, trials, opt);
+            errors = r.errors;
+            benchmark::DoNotOptimize(errors);
+            return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                             t0)
+                .count();
+        };
+        wallMs(true);  // warm up
+        const double offMs = wallMs(false);
+        const std::size_t offErr = errors;
+        const double onMs = wallMs(true);
+        std::printf("  MC hold-error (%zu trials, batch 64):             scalar %8.2f ms | "
+                    "%s %8.2f ms  -> speedup x%.2f\n",
+                    trials, offMs, num::simd::tierName(tier), onMs, offMs / onMs);
+        std::printf("  (error counts identical by the bitwise contract: %zu == %zu)\n\n",
+                    offErr, errors);
+        jsonOut().addRow("simdSpeedup", {{"workload", 1},
+                                         {"tier", static_cast<double>(tier)},
+                                         {"scalarMs", offMs},
+                                         {"simdMs", onMs},
+                                         {"speedup", offMs / onMs}});
+    }
 }
 
 // One-shot fabric-scaling table: the netlist->phase compiler lowers an
@@ -897,6 +991,7 @@ int main(int argc, char** argv) {
     std::printf("and the non-averaged phase system to sit in between.\n\n");
     reportSweepSpeedup();
     reportBatchSpeedup();
+    reportSimdSpeedup();
     reportFabricScaling();
     reportSolverStrategies();
     reportSparseScaling();

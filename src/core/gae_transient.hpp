@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/gae.hpp"
+#include "numeric/batch_ode.hpp"
 #include "numeric/counters.hpp"
 #include "numeric/ode.hpp"
 
@@ -81,10 +82,12 @@ struct GaeEnsembleResult {
 /// trajectory is bitwise identical to the scalar
 /// gaeTransient(model, f1, schedule, dphi0[l], ...) at any ensemble size
 /// (BatchOde contract).  Checkpointing is not supported here; per-trial
-/// checkpoint/resume stays on the scalar path.
+/// checkpoint/resume stays on the scalar path.  `batch` passes engine knobs
+/// through to the BatchOde (e.g. the SIMD tier opt-in — bitwise-neutral).
 GaeEnsembleResult gaeTransientEnsemble(const PpvModel& model, double f1,
                                        const std::vector<GaeSegment>& schedule, const Vec& dphi0,
                                        double t0, double t1, const num::OdeOptions& opt = {},
-                                       std::size_t gridSize = 1024);
+                                       std::size_t gridSize = 1024,
+                                       const num::BatchOptions& batch = {});
 
 }  // namespace phlogon::core

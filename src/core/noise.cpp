@@ -8,6 +8,7 @@
 #include "numeric/interp.hpp"
 #include "numeric/parallel.hpp"
 #include "numeric/rng.hpp"
+#include "numeric/simd/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -139,22 +140,29 @@ HoldErrorResult holdErrorProbabilityRange(const Gae& gae, double cSeconds, doubl
             std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(holdTime / dt)));
         const double h = holdTime / static_cast<double>(nSteps);
         const double sqrtH = std::sqrt(h);
+        const double sigmaSqrtH = sigma * sqrtH;
         const auto& zig = num::ZigguratNormal::instance();
+        // Tier-selected per-step kernels; every tier is bitwise-identical
+        // (lane streams are independent, so drawing all lanes' normals
+        // before the update is the same arithmetic as interleaving).
+        const num::simd::Tier tier = num::simd::resolveTier(opt.simd);
+        const num::simd::Kernels& kr = num::simd::kernels(tier);
+        if (tier != num::simd::Tier::Scalar) PHLOGON_COUNT_METRIC("batch.mc.simd");
         const std::size_t nBlocks = (trials + opt.batch - 1) / opt.batch;
         num::parallelFor(
             nBlocks,
             [&](std::size_t blk) {
                 const std::size_t lo = blk * opt.batch;
                 const std::size_t n = std::min(trials, lo + opt.batch) - lo;
-                std::vector<double> phi(n, start), drift(n);
+                std::vector<double> phi(n, start), drift(n), z(n);
                 std::vector<num::SplitMix64> rngs;
                 rngs.reserve(n);
                 for (std::size_t l = 0; l < n; ++l)
                     rngs.emplace_back(deriveTrialSeed(opt.seed, firstTrial + lo + l));
                 for (std::size_t k = 0; k < nSteps; ++k) {
-                    gae.rhsManyPacked(phi.data(), drift.data(), n);
-                    for (std::size_t l = 0; l < n; ++l)
-                        phi[l] += drift[l] * h + sigma * sqrtH * zig(rngs[l]);
+                    gae.rhsManyPacked(phi.data(), drift.data(), n, tier);
+                    kr.normalFill(zig, rngs.data(), z.data(), n);
+                    kr.mcUpdate(phi.data(), drift.data(), h, sigmaSqrtH, z.data(), n);
                 }
                 for (std::size_t l = 0; l < n; ++l) outcome[lo + l] = decode(phi[l]);
                 PHLOGON_ADD_METRIC("batch.mc.trials", n);

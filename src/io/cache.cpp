@@ -17,6 +17,29 @@ namespace phlogon::io {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Parse a cache-entry stem: exactly the 16 lowercase hex digits hashHex()
+/// writes (uppercase tolerated for hand-copied names).  Returns false for
+/// anything else — strtoull's 0-on-garbage would otherwise key foreign
+/// files as 0 and feed them into the LRU eviction pool.
+bool parseHexStem(const std::string& stem, std::uint64_t* key) {
+    if (stem.size() != 16) return false;
+    std::uint64_t k = 0;
+    for (char c : stem) {
+        unsigned d;
+        if (c >= '0' && c <= '9') d = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') d = static_cast<unsigned>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F') d = static_cast<unsigned>(c - 'A') + 10;
+        else return false;
+        k = (k << 4) | d;
+    }
+    *key = k;
+    return true;
+}
+
+}  // namespace
+
 ArtifactCache::ArtifactCache(fs::path dir, std::uintmax_t maxBytes)
     : dir_(std::move(dir)), maxBytes_(maxBytes) {}
 
@@ -131,7 +154,13 @@ std::vector<ArtifactCache::Entry> ArtifactCache::entries() const {
         if (!de.is_regular_file(ec) || de.path().extension() != ".phlg") continue;
         Entry e;
         e.path = de.path();
-        e.key = std::strtoull(de.path().stem().string().c_str(), nullptr, 16);
+        if (!parseHexStem(de.path().stem().string(), &e.key)) {
+            // Foreign *.phlg file (a user's stray export, a typo'd rename):
+            // not ours to key, and above all not ours to evict.
+            stats_->foreign.fetch_add(1, std::memory_order_relaxed);
+            PHLOGON_COUNT_METRIC("cache.foreign");
+            continue;
+        }
         e.fileBytes = de.file_size(ec);
         e.mtime = de.last_write_time(ec);
         const ArtifactProbe probe = probeArtifactFile(de.path());
@@ -179,6 +208,7 @@ CacheStats ArtifactCache::stats() const {
     s.stores = stats_->stores.load(std::memory_order_relaxed);
     s.evictions = stats_->evictions.load(std::memory_order_relaxed);
     s.corruptions = stats_->corruptions.load(std::memory_order_relaxed);
+    s.foreign = stats_->foreign.load(std::memory_order_relaxed);
     return s;
 }
 

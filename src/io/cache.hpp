@@ -47,6 +47,7 @@ struct CacheStats {
     std::uint64_t stores = 0;        ///< successful publications
     std::uint64_t evictions = 0;     ///< entries removed by LRU pruning
     std::uint64_t corruptions = 0;   ///< invalid entries deleted on fetch
+    std::uint64_t foreign = 0;       ///< non-cache *.phlg files skipped by scans
 };
 
 class ArtifactCache {
@@ -92,6 +93,9 @@ public:
         bool valid = false;  ///< header + CRC check passed
     };
     /// All *.phlg entries in the cache directory, oldest mtime first.
+    /// Only files whose stem is a full 16-hex-digit key (the only names the
+    /// cache ever writes) are listed: anything else is a foreign file —
+    /// counted in CacheStats::foreign, never keyed, never LRU-evicted.
     std::vector<Entry> entries() const;
 
     /// Remove oldest entries until the directory is within `maxBytes`,
@@ -109,6 +113,7 @@ private:
         std::atomic<std::uint64_t> stores{0};
         std::atomic<std::uint64_t> evictions{0};
         std::atomic<std::uint64_t> corruptions{0};
+        std::atomic<std::uint64_t> foreign{0};
     };
 
     /// Eviction body; caller holds the directory lock.

@@ -3,34 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "numeric/rkf45_tableau.hpp"
+#include "numeric/simd/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace phlogon::num {
 
-namespace {
-
-// Cash-Karp RKF45 coefficients — the same tableau as numeric/ode.cpp; the
-// per-lane arithmetic below must stay an exact mirror of rkf45 on a
-// 1-dimensional state (see the contract in batch_ode.hpp).
-constexpr double A2 = 1.0 / 5.0;
-constexpr double B21 = 1.0 / 5.0;
-constexpr double A3 = 3.0 / 10.0, B31 = 3.0 / 40.0, B32 = 9.0 / 40.0;
-constexpr double A4 = 3.0 / 5.0, B41 = 3.0 / 10.0, B42 = -9.0 / 10.0, B43 = 6.0 / 5.0;
-constexpr double A5 = 1.0, B51 = -11.0 / 54.0, B52 = 5.0 / 2.0, B53 = -70.0 / 27.0,
-                 B54 = 35.0 / 27.0;
-constexpr double A6 = 7.0 / 8.0, B61 = 1631.0 / 55296.0, B62 = 175.0 / 512.0,
-                 B63 = 575.0 / 13824.0, B64 = 44275.0 / 110592.0, B65 = 253.0 / 4096.0;
-constexpr double C1 = 37.0 / 378.0, C3 = 250.0 / 621.0, C4 = 125.0 / 594.0, C6 = 512.0 / 1771.0;
-constexpr double D1 = 2825.0 / 27648.0, D3 = 18575.0 / 48384.0, D4 = 13525.0 / 55296.0,
-                 D5 = 277.0 / 14336.0, D6 = 1.0 / 4.0;
-
-}  // namespace
+// Cash-Karp coefficients shared with numeric/ode.cpp and the SIMD error
+// kernel; the per-lane arithmetic below must stay an exact mirror of rkf45
+// on a 1-dimensional state (see the contract in batch_ode.hpp).
+using namespace cashkarp;
 
 void BatchOde::reserve(std::size_t lanes) {
     t_.reserve(lanes);
     y_.reserve(lanes);
     h_.reserve(lanes);
-    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_}) v->reserve(lanes);
+    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_, &err_})
+        v->reserve(lanes);
     active_.reserve(lanes);
     attempts_.reserve(lanes);
 }
@@ -58,9 +47,12 @@ BatchOdeSolution BatchOde::rkf45(const BatchRhs1& f, const Vec& y0, double t0, d
     t_.assign(lanes, t0);
     y_ = y0;
     h_.assign(lanes, h0);
-    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_}) v->assign(lanes, 0.0);
+    for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &k5_, &k6_, &yt_, &y5_, &ts_, &err_})
+        v->assign(lanes, 0.0);
     active_.assign(lanes, 1);
     attempts_.assign(lanes, 0);
+
+    const simd::Kernels& kr = simd::kernels(simd::resolveTier(opt_.simd));
 
     std::size_t accepted = 0, rejected = 0, rounds = 0;
     std::size_t remaining = lanes;
@@ -83,80 +75,42 @@ BatchOdeSolution BatchOde::rkf45(const BatchRhs1& f, const Vec& y0, double t0, d
             if (active_[l]) h_[l] = std::min(h_[l], t1 - t_[l]);
         }
 
-        // Six Cash-Karp stages, each one batched RHS call across all lanes.
+        // Six Cash-Karp stages, each one batched RHS call across all lanes;
+        // the stage combinations run on the selected kernel tier
+        // (bitwise-identical across tiers, see numeric/simd/simd.hpp).
+        static constexpr double kB2[] = {B21};
+        static constexpr double kB3[] = {B31, B32};
+        static constexpr double kB4[] = {B41, B42, B43};
+        static constexpr double kB5[] = {B51, B52, B53, B54};
+        static constexpr double kB6[] = {B61, B62, B63, B64, B65};
+        const double* ks[5] = {k1_.data(), k2_.data(), k3_.data(), k4_.data(), k5_.data()};
+
         f(t_.data(), y_.data(), k1_.data(), active_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) {
-            if (!active_[l]) continue;
-            const double h = h_[l];
-            double v = y_[l];
-            v += h * B21 * k1_[l];
-            yt_[l] = v;
-            ts_[l] = t_[l] + A2 * h;
-        }
+        kr.rkStage(y_.data(), h_.data(), t_.data(), ks, kB2, 1, A2, yt_.data(), ts_.data(),
+                   active_.data(), lanes);
         f(ts_.data(), yt_.data(), k2_.data(), active_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) {
-            if (!active_[l]) continue;
-            const double h = h_[l];
-            double v = y_[l];
-            v += h * B31 * k1_[l];
-            v += h * B32 * k2_[l];
-            yt_[l] = v;
-            ts_[l] = t_[l] + A3 * h;
-        }
+        kr.rkStage(y_.data(), h_.data(), t_.data(), ks, kB3, 2, A3, yt_.data(), ts_.data(),
+                   active_.data(), lanes);
         f(ts_.data(), yt_.data(), k3_.data(), active_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) {
-            if (!active_[l]) continue;
-            const double h = h_[l];
-            double v = y_[l];
-            v += h * B41 * k1_[l];
-            v += h * B42 * k2_[l];
-            v += h * B43 * k3_[l];
-            yt_[l] = v;
-            ts_[l] = t_[l] + A4 * h;
-        }
+        kr.rkStage(y_.data(), h_.data(), t_.data(), ks, kB4, 3, A4, yt_.data(), ts_.data(),
+                   active_.data(), lanes);
         f(ts_.data(), yt_.data(), k4_.data(), active_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) {
-            if (!active_[l]) continue;
-            const double h = h_[l];
-            double v = y_[l];
-            v += h * B51 * k1_[l];
-            v += h * B52 * k2_[l];
-            v += h * B53 * k3_[l];
-            v += h * B54 * k4_[l];
-            yt_[l] = v;
-            ts_[l] = t_[l] + A5 * h;
-        }
+        kr.rkStage(y_.data(), h_.data(), t_.data(), ks, kB5, 4, A5, yt_.data(), ts_.data(),
+                   active_.data(), lanes);
         f(ts_.data(), yt_.data(), k5_.data(), active_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) {
-            if (!active_[l]) continue;
-            const double h = h_[l];
-            double v = y_[l];
-            v += h * B61 * k1_[l];
-            v += h * B62 * k2_[l];
-            v += h * B63 * k3_[l];
-            v += h * B64 * k4_[l];
-            v += h * B65 * k5_[l];
-            yt_[l] = v;
-            ts_[l] = t_[l] + A6 * h;
-        }
+        kr.rkStage(y_.data(), h_.data(), t_.data(), ks, kB6, 5, A6, yt_.data(), ts_.data(),
+                   active_.data(), lanes);
         f(ts_.data(), yt_.data(), k6_.data(), active_.data(), lanes);
 
-        // Per-lane embedded error estimate and step control, scalar-exact.
+        // Per-lane embedded error estimate (scalar-exact on every tier),
+        // then step control.
+        kr.rkf45Embedded(y_.data(), h_.data(), k1_.data(), k3_.data(), k4_.data(),
+                         k5_.data(), k6_.data(), opt.absTol, opt.relTol, y5_.data(),
+                         err_.data(), active_.data(), lanes);
         for (std::size_t l = 0; l < lanes; ++l) {
             if (!active_[l]) continue;
             const double h = h_[l];
-            double v = y_[l];
-            v += h * C1 * k1_[l];
-            v += h * C3 * k3_[l];
-            v += h * C4 * k4_[l];
-            v += h * C6 * k6_[l];
-            y5_[l] = v;
-
-            const double e = h * ((C1 - D1) * k1_[l] + (C3 - D3) * k3_[l] +
-                                  (C4 - D4) * k4_[l] - D5 * k5_[l] + (C6 - D6) * k6_[l]);
-            const double sc =
-                opt.absTol + opt.relTol * std::max(std::abs(y_[l]), std::abs(y5_[l]));
-            const double errNorm = std::abs(e) / sc;
+            const double errNorm = err_[l];
 
             ++attempts_[l];
             if (!std::isfinite(errNorm)) {
@@ -221,25 +175,20 @@ OdeSolution BatchOde::rk4Lockstep(const BatchRhsCoupled& f, const Vec& y0, doubl
     y_ = y0;
     for (Vec* v : {&k1_, &k2_, &k3_, &k4_, &yt_}) v->assign(lanes, 0.0);
 
+    const simd::Kernels& kr = simd::kernels(simd::resolveTier(opt_.simd));
+
     double t = t0;
     sol.t.push_back(t);
     sol.y.push_back(y_);
     for (std::size_t i = 0; i < nSteps; ++i) {
         f(t, y_.data(), k1_.data(), lanes);
-        {
-            const double s = 0.5 * h;
-            for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + s * k1_[l];
-        }
+        kr.axpyLanes(y_.data(), k1_.data(), 0.5 * h, yt_.data(), lanes);
         f(t + 0.5 * h, yt_.data(), k2_.data(), lanes);
-        {
-            const double s = 0.5 * h;
-            for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + s * k2_[l];
-        }
+        kr.axpyLanes(y_.data(), k2_.data(), 0.5 * h, yt_.data(), lanes);
         f(t + 0.5 * h, yt_.data(), k3_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l) yt_[l] = y_[l] + h * k3_[l];
+        kr.axpyLanes(y_.data(), k3_.data(), h, yt_.data(), lanes);
         f(t + h, yt_.data(), k4_.data(), lanes);
-        for (std::size_t l = 0; l < lanes; ++l)
-            y_[l] += h / 6.0 * (k1_[l] + 2.0 * k2_[l] + 2.0 * k3_[l] + k4_[l]);
+        kr.rk4Combine(y_.data(), k1_.data(), k2_.data(), k3_.data(), k4_.data(), h, lanes);
         t = t0 + h * static_cast<double>(i + 1);
         if ((i + 1) % storeEvery == 0 || i + 1 == nSteps) {
             sol.t.push_back(t);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/lu.hpp"
+#include "numeric/simd/simd.hpp"
 
 namespace phlogon::num {
 
@@ -131,27 +132,36 @@ PackedPeriodicSpline::PackedPeriodicSpline(const PeriodicCubicSpline& s) : n_(s.
 double PackedPeriodicSpline::operator()(double t) const {
     const double u = wrap01(t) * static_cast<double>(n_);
     std::size_t i = static_cast<std::size_t>(u);
-    if (i >= n_) i = n_ - 1;  // wrap01 < 1, but *n_ can round up to n_
-    const double s = u - static_cast<double>(i);
+    double s = u - static_cast<double>(i);
+    if (i >= n_) {
+        // wrap01 < 1, but *n_ can round up to n_.  Wrap to segment 0 at its
+        // left knot (value exactly x_[0]) the way PeriodicCubicSpline's
+        // i % n does, instead of the old clamp to segment n_-1 at s = 1,
+        // which disagreed with the source spline by a rounding step.
+        i = 0;
+        s = 0.0;
+    }
     const double* c = &c_[4 * i];
     return c[0] + s * (c[1] + s * (c[2] + s * c[3]));
 }
 
 void PackedPeriodicSpline::evalMany(const double* t, double* out, std::size_t n) const {
-    evalManyAffine(t, out, n, 1.0, 0.0);
+    evalManyAffine(t, out, n, 1.0, 0.0, simd::Tier::Scalar);
 }
 
 void PackedPeriodicSpline::evalManyAffine(const double* t, double* out, std::size_t n,
                                           double mul, double add) const {
-    const double kn = static_cast<double>(n_);
-    for (std::size_t e = 0; e < n; ++e) {
-        const double u = wrap01(t[e]) * kn;
-        std::size_t i = static_cast<std::size_t>(u);
-        if (i >= n_) i = n_ - 1;
-        const double s = u - static_cast<double>(i);
-        const double* c = &c_[4 * i];
-        out[e] = add + mul * (c[0] + s * (c[1] + s * (c[2] + s * c[3])));
-    }
+    evalManyAffine(t, out, n, mul, add, simd::Tier::Scalar);
+}
+
+void PackedPeriodicSpline::evalMany(const double* t, double* out, std::size_t n,
+                                    simd::Tier tier) const {
+    evalManyAffine(t, out, n, 1.0, 0.0, tier);
+}
+
+void PackedPeriodicSpline::evalManyAffine(const double* t, double* out, std::size_t n,
+                                          double mul, double add, simd::Tier tier) const {
+    simd::kernels(tier).splineAffine(c_.data(), n_, t, out, n, mul, add);
 }
 
 double PeriodicCubicSpline::derivative(double t) const {
@@ -179,7 +189,9 @@ Vec resampleUniform(const Vec& t, const Vec& x, double t0, double period, std::s
         } else if (ti >= t.back()) {
             out[i] = x.back();
         } else {
-            while (k + 1 < t.size() && t[k + 1] < ti) ++k;
+            // The advance loop above already positioned k: it stops with
+            // t[k+1] >= ti, or at k == size-2 where t[k+1] = t.back() > ti
+            // in this branch.  (A second advance loop here was dead code.)
             const double dt = t[k + 1] - t[k];
             const double f = dt > 0 ? (ti - t[k]) / dt : 0.0;
             out[i] = x[k] + f * (x[k + 1] - x[k]);

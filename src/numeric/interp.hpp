@@ -9,6 +9,10 @@
 
 namespace phlogon::num {
 
+namespace simd {
+enum class Tier : int;  // numeric/simd/simd.hpp
+}
+
 /// Wrap t into [0, 1).
 double wrap01(double t);
 
@@ -81,6 +85,13 @@ public:
     /// the GAE right-hand side, evaluated in one pass per batch step.
     void evalManyAffine(const double* t, double* out, std::size_t n, double mul,
                         double add) const;
+
+    /// Tier-selected variants: same results bitwise on every tier (the SIMD
+    /// lane contract, numeric/simd/simd.hpp); the two-argument overloads
+    /// above always run the Scalar tier.
+    void evalMany(const double* t, double* out, std::size_t n, simd::Tier tier) const;
+    void evalManyAffine(const double* t, double* out, std::size_t n, double mul,
+                        double add, simd::Tier tier) const;
 
 private:
     std::size_t n_ = 0;

@@ -41,29 +41,46 @@ const ZigguratNormal& ZigguratNormal::instance() {
 
 double ZigguratNormal::operator()(SplitMix64& rng) const {
     for (;;) {
-        const std::uint64_t u = rng();
-        const int i = static_cast<int>(u & 0xff);
-        const double sign = (u & 0x100) ? -1.0 : 1.0;
-        // 53-bit uniform from the remaining high bits.
-        const double u01 = static_cast<double>(u >> 11) * 0x1.0p-53;
-        const double x = u01 * x_[i];
-        // Common case: strictly inside the layer below the next edge, where
-        // the whole vertical strip lies under the density.
-        if (x < x_[i + 1]) return sign * x;
-        if (i == 0) {
-            // Base strip: x < r is the uniform base rectangle; beyond it,
-            // Marsaglia's exact tail sampler for x > r.
-            if (x < kR) return sign * x;
-            double xt, yt;
-            do {
-                xt = -std::log(1.0 - rng.nextUnit()) / kR;
-                yt = -std::log(1.0 - rng.nextUnit());
-            } while (yt + yt < xt * xt);
-            return sign * (kR + xt);
-        }
-        // Wedge between x_[i+1] and x_[i]: accept under the density.
-        if (f_[i] + rng.nextUnit() * (f_[i + 1] - f_[i]) < gauss(x)) return sign * x;
+        double v;
+        if (tryDraw(rng(), rng, &v)) return v;
     }
 }
+
+bool ZigguratNormal::tryDraw(std::uint64_t u, SplitMix64& rng, double* out) const {
+    const int i = static_cast<int>(u & 0xff);
+    const double sign = (u & 0x100) ? -1.0 : 1.0;
+    // 53-bit uniform from the remaining high bits.
+    const double u01 = static_cast<double>(u >> 11) * 0x1.0p-53;
+    const double x = u01 * x_[i];
+    // Common case: strictly inside the layer below the next edge, where
+    // the whole vertical strip lies under the density.
+    if (x < x_[i + 1]) {
+        *out = sign * x;
+        return true;
+    }
+    if (i == 0) {
+        // Base strip: x < r is the uniform base rectangle; beyond it,
+        // Marsaglia's exact tail sampler for x > r.
+        if (x < kR) {
+            *out = sign * x;
+            return true;
+        }
+        double xt, yt;
+        do {
+            xt = -std::log(1.0 - rng.nextUnit()) / kR;
+            yt = -std::log(1.0 - rng.nextUnit());
+        } while (yt + yt < xt * xt);
+        *out = sign * (kR + xt);
+        return true;
+    }
+    // Wedge between x_[i+1] and x_[i]: accept under the density.
+    if (f_[i] + rng.nextUnit() * (f_[i + 1] - f_[i]) < gauss(x)) {
+        *out = sign * x;
+        return true;
+    }
+    return false;
+}
+
+double ZigguratNormal::tailEdge() { return kR; }
 
 }  // namespace phlogon::num

@@ -52,15 +52,33 @@ private:
 /// concurrent lanes, each drawing through its own SplitMix64 stream.
 class ZigguratNormal {
 public:
+    static constexpr int kLayers = 256;
+
     /// The process-wide sampler (tables built once, thread-safe).
     static const ZigguratNormal& instance();
 
     double operator()(SplitMix64& rng) const;
 
+    /// One ziggurat iteration from a pre-drawn 64-bit word `u`.  Returns
+    /// true with the accepted draw in *out; false means the wedge test
+    /// rejected and the caller must retry with a fresh word.  `rng` is only
+    /// advanced by the tail/wedge auxiliary draws, exactly as operator()
+    /// advances it — operator() is `while (!tryDraw(rng(), rng, &v)) {}` —
+    /// so a vectorized caller that pre-draws u keeps lane streams identical
+    /// to the scalar sampler.
+    bool tryDraw(std::uint64_t u, SplitMix64& rng, double* out) const;
+
+    /// Layer edges x_[0..kLayers] (x_[1] = tailEdge(), decreasing to 0);
+    /// exposed for the gathers in the AVX2 batch fill.
+    const double* layerEdges() const { return x_; }
+
+    /// The rightmost layer edge r: draws beyond it come from the exact
+    /// Marsaglia tail sampler.
+    static double tailEdge();
+
 private:
     ZigguratNormal();
 
-    static constexpr int kLayers = 256;
     // x_[0] = v/f(r) (base pseudo-width), x_[1] = r, strictly decreasing,
     // x_[kLayers] = 0; f_[i] = exp(-x_[i]^2 / 2).
     double x_[kLayers + 1];

@@ -1,0 +1,134 @@
+// Portable vector tier: std::experimental::simd (Parallelism TS v2, shipped
+// by libstdc++) for the pure-arithmetic stage kernels.  Table-lookup kernels
+// (spline gather, ziggurat fill) and the division/abs-heavy error norm stay
+// on the scalar entry points — gathers don't vectorize portably and the
+// remaining loops are not hot enough to justify per-toolchain variance.
+//
+// Built with -ffp-contract=off (src/CMakeLists.txt): the expressions below
+// must lower to separate multiplies and adds so results stay bitwise equal
+// to the scalar tier (the lane contract in simd.hpp).
+
+#include "numeric/simd/kernels_internal.hpp"
+
+#if defined(__has_include)
+#if __has_include(<experimental/simd>) && defined(__GNUC__)
+#define PHLOGON_HAVE_STDX_SIMD 1
+#endif
+#endif
+
+#if defined(PHLOGON_HAVE_STDX_SIMD)
+#include <experimental/simd>
+#endif
+
+namespace phlogon::num::simd::detail {
+
+#if defined(PHLOGON_HAVE_STDX_SIMD)
+
+namespace {
+
+namespace stdx = std::experimental;
+using vd = stdx::native_simd<double>;
+
+inline vd loadLanes(const double* p) { return vd(p, stdx::element_aligned); }
+
+bool allActive(const unsigned char* active, std::size_t l, std::size_t w) {
+    if (!active) return true;
+    for (std::size_t q = 0; q < w; ++q)
+        if (!active[l + q]) return false;
+    return true;
+}
+
+void rkStagePortable(const double* y, const double* h, const double* t,
+                     const double* const* ks, const double* bs, std::size_t nk, double a,
+                     double* yt, double* ts, const unsigned char* active,
+                     std::size_t lanes) {
+    constexpr std::size_t W = vd::size();
+    const vd va = a;
+    std::size_t l = 0;
+    for (; l + W <= lanes; l += W) {
+        if (!allActive(active, l, W)) {
+            // Mixed-active group: keep the scalar skip semantics exactly
+            // (inactive lanes' yt/ts must be left untouched).
+            const double* ksOff[8];
+            for (std::size_t j = 0; j < nk; ++j) ksOff[j] = ks[j] + l;
+            rkStageScalar(y + l, h + l, t ? t + l : nullptr, ksOff, bs, nk, a, yt + l,
+                          ts ? ts + l : nullptr, active + l, W);
+            continue;
+        }
+        const vd hv = loadLanes(h + l);
+        vd v = loadLanes(y + l);
+        for (std::size_t j = 0; j < nk; ++j) {
+            const vd hb = hv * vd(bs[j]);
+            v = v + hb * loadLanes(ks[j] + l);
+        }
+        v.copy_to(yt + l, stdx::element_aligned);
+        if (ts) {
+            const vd tv = loadLanes(t + l) + va * hv;
+            tv.copy_to(ts + l, stdx::element_aligned);
+        }
+    }
+    if (l < lanes) {
+        const double* ksOff[8];
+        for (std::size_t j = 0; j < nk; ++j) ksOff[j] = ks[j] + l;
+        rkStageScalar(y + l, h + l, t ? t + l : nullptr, ksOff, bs, nk, a, yt + l,
+                      ts ? ts + l : nullptr, active ? active + l : nullptr, lanes - l);
+    }
+}
+
+void axpyLanesPortable(const double* y, const double* k, double s, double* yt,
+                       std::size_t lanes) {
+    constexpr std::size_t W = vd::size();
+    const vd vs = s;
+    std::size_t l = 0;
+    for (; l + W <= lanes; l += W) {
+        const vd r = loadLanes(y + l) + vs * loadLanes(k + l);
+        r.copy_to(yt + l, stdx::element_aligned);
+    }
+    if (l < lanes) axpyLanesScalar(y + l, k + l, s, yt + l, lanes - l);
+}
+
+void rk4CombinePortable(double* y, const double* k1, const double* k2, const double* k3,
+                        const double* k4, double h, std::size_t lanes) {
+    constexpr std::size_t W = vd::size();
+    const vd vh6 = h / 6.0;
+    const vd two = 2.0;
+    std::size_t l = 0;
+    for (; l + W <= lanes; l += W) {
+        vd v = loadLanes(k1 + l) + two * loadLanes(k2 + l);
+        v = v + two * loadLanes(k3 + l);
+        v = v + loadLanes(k4 + l);
+        const vd r = loadLanes(y + l) + vh6 * v;
+        r.copy_to(y + l, stdx::element_aligned);
+    }
+    if (l < lanes) rk4CombineScalar(y + l, k1 + l, k2 + l, k3 + l, k4 + l, h, lanes - l);
+}
+
+void mcUpdatePortable(double* phi, const double* drift, double h, double sigmaSqrtH,
+                      const double* z, std::size_t lanes) {
+    constexpr std::size_t W = vd::size();
+    const vd vh = h;
+    const vd vs = sigmaSqrtH;
+    std::size_t l = 0;
+    for (; l + W <= lanes; l += W) {
+        const vd r = loadLanes(phi + l) + (loadLanes(drift + l) * vh + vs * loadLanes(z + l));
+        r.copy_to(phi + l, stdx::element_aligned);
+    }
+    if (l < lanes) mcUpdateScalar(phi + l, drift + l, h, sigmaSqrtH, z + l, lanes - l);
+}
+
+}  // namespace
+
+const Kernels& portableKernels() {
+    static const Kernels k = {Tier::Portable,       &splineAffineScalar, &rkStagePortable,
+                              &rkf45EmbeddedScalar, &axpyLanesPortable,  &rk4CombinePortable,
+                              &normalFillScalar,    &mcUpdatePortable};
+    return k;
+}
+
+#else
+
+const Kernels& portableKernels() { return scalarKernels(); }
+
+#endif
+
+}  // namespace phlogon::num::simd::detail

@@ -6,6 +6,7 @@
 
 #include "common/osc_fixture.hpp"
 #include "core/gae_sweep.hpp"
+#include "numeric/simd/simd.hpp"
 
 namespace phlogon::core {
 namespace {
@@ -159,6 +160,31 @@ TEST(HoldErrorBatched, BitwiseStableAcrossThreadsAndBatchSize) {
                 << "threads=" << threads << " batch=" << batch;
             EXPECT_EQ(r.trials, baseline.trials);
         }
+    }
+}
+
+TEST(HoldErrorBatched, SimdOnEqualsOff) {
+    // The SIMD kernels are an opt-in that must be bitwise-invisible: the
+    // same seed and batch size must produce the identical error count with
+    // opt.simd on and off.  Skip when PHLOGON_SIMD forces a tier, since then
+    // both runs resolve to the same kernels and the test proves nothing.
+    if (num::simd::envMode() != num::simd::EnvMode::Auto)
+        GTEST_SKIP() << "PHLOGON_SIMD overrides the opt-in";
+    const auto& d = testutil::sharedDesign();
+    const Gae gae(d.model, d.f1, {d.sync()});
+    const double c = 2e-7;
+    const double span = 40.0 / d.f1;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{5}, std::size_t{64}}) {
+        StochasticGaeOptions off;
+        off.seed = 777;
+        off.batch = batch;
+        off.simd = false;
+        const auto a = holdErrorProbability(gae, c, d.reference.phase1, span, 48, off);
+        StochasticGaeOptions on = off;
+        on.simd = true;
+        const auto b = holdErrorProbability(gae, c, d.reference.phase1, span, 48, on);
+        EXPECT_EQ(a.trials, b.trials) << "batch=" << batch;
+        EXPECT_EQ(a.errors, b.errors) << "batch=" << batch;
     }
 }
 

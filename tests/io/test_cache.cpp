@@ -114,7 +114,7 @@ TEST_F(CacheTest, StatsCountOutcomesAndAreSharedAcrossCopies) {
     const ArtifactCache cache(dir_);
     const ArtifactCache copy = cache;  // copies address the same directory
     CacheStats s = cache.stats();
-    EXPECT_EQ(s.hits + s.misses + s.stores + s.evictions + s.corruptions, 0u);
+    EXPECT_EQ(s.hits + s.misses + s.stores + s.evictions + s.corruptions + s.foreign, 0u);
 
     ASSERT_TRUE(cache.store(1, kTypeWaveform, bytesOf({1, 2, 3})));
     EXPECT_TRUE(copy.fetch(1, kTypeWaveform).has_value());      // hit
@@ -133,6 +133,42 @@ TEST_F(CacheTest, StatsCountOutcomesAndAreSharedAcrossCopies) {
     EXPECT_EQ(s.misses, 2u);
     EXPECT_EQ(s.corruptions, 1u);
     EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST_F(CacheTest, ForeignPhlgFilesAreSkippedNotKeyedAsZero) {
+    // Regression: entries() used to run strtoull(stem, nullptr, 16) with no
+    // end-pointer check, so a stray "garbage.phlg" parsed as key 0, was
+    // listed as a (corrupt) entry, and entered the LRU eviction pool — a
+    // cache scan could delete a user's file it never created.
+    const ArtifactCache cache(dir_);
+    ASSERT_TRUE(cache.store(1, kTypeWaveform, bytesOf({1, 2, 3})));
+    const fs::path garbage = dir_ / "garbage.phlg";
+    const fs::path shortHex = dir_ / "abc.phlg";        // hex but not 16 digits
+    const fs::path mixed = dir_ / "0123456789abcdeg.phlg";  // 16 chars, non-hex 'g'
+    for (const fs::path& p : {garbage, shortHex, mixed}) {
+        std::ofstream f(p, std::ios::binary);
+        f << "not a cache artifact";
+    }
+
+    const auto entries = cache.entries();
+    ASSERT_EQ(entries.size(), 1u);  // only the real key is listed
+    EXPECT_EQ(entries[0].key, 1u);
+    EXPECT_EQ(cache.stats().foreign, 3u);
+
+    // Overflow the budget: eviction may drop real entries but must never
+    // touch the foreign files.
+    const ArtifactCache tiny(dir_, 1);  // 1-byte budget evicts everything keyed
+    EXPECT_GE(tiny.evictToFit(), 1u);
+    EXPECT_FALSE(fs::exists(cache.entryPath(1)));
+    EXPECT_TRUE(fs::exists(garbage));
+    EXPECT_TRUE(fs::exists(shortHex));
+    EXPECT_TRUE(fs::exists(mixed));
+
+    // Uppercase 16-digit hex stems are still accepted as keys.
+    std::ofstream(dir_ / "00000000000000AB.phlg", std::ios::binary) << "x";
+    bool sawUpper = false;
+    for (const auto& e : cache.entries()) sawUpper = sawUpper || e.key == 0xABu;
+    EXPECT_TRUE(sawUpper);
 }
 
 TEST_F(CacheTest, StatsCountEvictions) {

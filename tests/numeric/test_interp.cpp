@@ -104,5 +104,73 @@ TEST(ResampleUniform, NonUniformSourceGrid) {
     for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(u[i], 2.0 * i, 1e-10);
 }
 
+TEST(ResampleUniform, BoundaryKnots) {
+    // Sample points landing exactly on t.front(), interior knots, and the
+    // value just below t.back() — the regions the (collapsed) k-advance loop
+    // must position correctly.
+    const Vec t{0.0, 0.25, 0.5, 0.75, 1.0};
+    const Vec x{0.0, 2.5, 5.0, 7.5, 10.0};
+    const Vec u = resampleUniform(t, x, 0.0, 1.0, 4);  // ti = 0, .25, .5, .75
+    EXPECT_DOUBLE_EQ(u[0], 0.0);   // ti == t.front(): clamped branch
+    EXPECT_NEAR(u[1], 2.5, 1e-12);  // ti exactly on an interior knot
+    EXPECT_NEAR(u[2], 5.0, 1e-12);
+    EXPECT_NEAR(u[3], 7.5, 1e-12);
+}
+
+TEST(ResampleUniform, EndpointAtBack) {
+    // ti >= t.back() clamps to x.back(); just below it interpolates within
+    // the last cell.
+    const Vec t{0.0, 1.0};
+    const Vec x{0.0, 10.0};
+    const Vec u = resampleUniform(t, x, 0.5, 1.0, 2);  // ti = 0.5, 1.0
+    EXPECT_NEAR(u[0], 5.0, 1e-12);
+    EXPECT_DOUBLE_EQ(u[1], 10.0);  // ti == t.back(): clamped
+    // Many samples crammed into the final cell never read past the end.
+    const Vec v = resampleUniform(t, x, 0.9, 0.1, 8);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(v[i], 9.0 + 0.1 * 10.0 * static_cast<double>(i) / 8.0, 1e-12);
+}
+
+TEST(PackedPeriodicSpline, MatchesSourceSplineEverywhere) {
+    Vec s(16);
+    for (std::size_t i = 0; i < 16; ++i) s[i] = std::sin(kTwoPi * i / 16.0) + 0.3 * std::cos(2 * kTwoPi * i / 16.0);
+    const PeriodicCubicSpline spline(s);
+    const PackedPeriodicSpline packed(spline);
+    for (int i = -300; i <= 300; ++i) {
+        const double t = static_cast<double>(i) / 97.0;
+        EXPECT_NEAR(packed(t), spline(t), 1e-12) << "t=" << t;
+    }
+}
+
+TEST(PackedPeriodicSpline, SeamWrapsLikeSourceSpline) {
+    // Regression for the seam disagreement: the packed clamp used to
+    // evaluate segment n-1 at s = 1 when wrap01(t)*n rounded up to n, while
+    // PeriodicCubicSpline's i % n wraps the same corner to segment 0 at
+    // s = 0 (value exactly x_[0]).  Both paths must agree bitwise at and
+    // around the seam.
+    Vec s(8);
+    for (std::size_t i = 0; i < 8; ++i) s[i] = std::cos(kTwoPi * i / 8.0) - 0.2 * std::sin(3 * kTwoPi * i / 8.0);
+    const PeriodicCubicSpline spline(s);
+    const PackedPeriodicSpline packed(spline);
+
+    // Exact integers hit the seam corner: wrap01 == 0, value == x_[0].
+    for (double t : {0.0, 1.0, -1.0, 5.0, -7.0, 1024.0}) {
+        EXPECT_EQ(packed(t), s[0]) << "t=" << t;
+        EXPECT_EQ(spline(t), packed(t)) << "t=" << t;
+    }
+    // Seam-adjacent values from both sides stay continuous and equal to the
+    // source spline to rounding.
+    for (double t : {std::nextafter(1.0, 0.0), std::nextafter(1.0, 2.0),
+                     1.0 - 1e-13, 1.0 + 1e-13, 2.0 - 1e-13, -1e-13}) {
+        EXPECT_NEAR(packed(t), spline(t), 1e-12) << "t=" << t;
+        EXPECT_NEAR(packed(t), s[0], 1e-9) << "t=" << t;  // continuity at the knot
+    }
+    // The batched path takes the same seam branch as operator().
+    const double ts[4] = {0.0, std::nextafter(1.0, 0.0), 3.0, -2.0};
+    double out[4];
+    packed.evalMany(ts, out, 4);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(packed(ts[i]), out[i]);
+}
+
 }  // namespace
 }  // namespace phlogon::num

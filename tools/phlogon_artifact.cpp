@@ -84,6 +84,9 @@ int listCache(const io::ArtifactCache& cache) {
                 static_cast<unsigned long long>(s.stores),
                 static_cast<unsigned long long>(s.evictions),
                 static_cast<unsigned long long>(s.corruptions));
+    if (s.foreign)
+        std::printf("%llu foreign *.phlg file(s) skipped (non-key names; never evicted)\n",
+                    static_cast<unsigned long long>(s.foreign));
     return 0;
 }
 
@@ -101,6 +104,9 @@ int scrubCache(const io::ArtifactCache& cache) {
     std::printf("scrubbed %s: %llu ok, %llu corrupt removed\n", cache.dir().string().c_str(),
                 static_cast<unsigned long long>(s.hits),
                 static_cast<unsigned long long>(s.corruptions));
+    if (s.foreign)
+        std::printf("%llu foreign *.phlg file(s) skipped\n",
+                    static_cast<unsigned long long>(s.foreign));
     return s.corruptions == 0 ? 0 : 1;
 }
 
